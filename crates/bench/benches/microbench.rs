@@ -1,0 +1,136 @@
+//! Criterion microbenchmarks of the hot per-contact primitives:
+//! the Theorem 1/2 estimators, MI gossip merge, MEMD Dijkstra, contact
+//! detection and raw engine throughput.
+
+use ce_core::{CommunityMap, ContactHistory, MemdSolver, MiMatrix};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dtn_mobility::scenario::ScenarioConfig;
+use dtn_sim::{NodeId, SimConfig, SimTime, Simulation, TrafficConfig};
+use std::hint::black_box;
+
+const N: u32 = 240;
+
+/// A history where node 0 met every peer on a quasi-periodic schedule.
+fn warm_history() -> ContactHistory {
+    let mut h = ContactHistory::new(NodeId(0), N, 32);
+    for peer in 1..N {
+        let base = 50.0 + f64::from(peer % 17) * 13.0;
+        let mut t = f64::from(peer % 7);
+        for k in 0..20 {
+            t += base + f64::from((k * peer) % 11);
+            h.record_meeting(NodeId(peer), SimTime::secs(t));
+        }
+    }
+    h
+}
+
+fn warm_mi(h: &ContactHistory) -> MiMatrix {
+    let mut mi = MiMatrix::new(N);
+    for i in 0..N {
+        // Synthesise plausible rows; row 0 from the real history.
+        let mut row = vec![f64::INFINITY; N as usize];
+        row[i as usize] = 0.0;
+        for j in 0..N {
+            if i != j {
+                row[j as usize] = 100.0 + f64::from((i * 31 + j * 17) % 400);
+            }
+        }
+        mi.set_row(NodeId(i), &row, 1.0);
+    }
+    let mut row0 = vec![f64::INFINITY; N as usize];
+    row0[0] = 0.0;
+    for j in 1..N {
+        if let Some(m) = h.pair(NodeId(j)).mean_interval() {
+            row0[j as usize] = m;
+        }
+    }
+    mi.set_row(NodeId(0), &row0, 2.0);
+    mi
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let h = warm_history();
+    let now = SimTime::secs(6000.0);
+    c.bench_function("eev_theorem1_n240", |b| {
+        b.iter(|| black_box(h.eev(black_box(now), black_box(336.0))))
+    });
+    c.bench_function("emd_theorem2_single_pair", |b| {
+        b.iter(|| black_box(h.pair(NodeId(7)).expected_meeting_delay(black_box(now))))
+    });
+    let map = CommunityMap::new((0..N).map(|i| i % 4).collect());
+    c.bench_function("enec_theorem4_n240_c4", |b| {
+        b.iter(|| black_box(map.enec(&h, black_box(now), black_box(336.0))))
+    });
+}
+
+fn bench_mi_merge(c: &mut Criterion) {
+    let h = warm_history();
+    let a = warm_mi(&h);
+    let mut b_mi = MiMatrix::new(N);
+    // Make half of b's rows fresher so the merge does real work.
+    for i in (0..N).step_by(2) {
+        let row = a.row(NodeId(i)).to_vec();
+        b_mi.set_row(NodeId(i), &row, 10.0);
+    }
+    c.bench_function("mi_merge_n240_half_fresher", |b| {
+        b.iter_batched(
+            || a.clone(),
+            |mut mine| black_box(mine.merge_from(&b_mi)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_memd(c: &mut Criterion) {
+    let h = warm_history();
+    let mi = warm_mi(&h);
+    let mut solver = MemdSolver::new();
+    let now = SimTime::secs(6000.0);
+    c.bench_function("memd_dijkstra_n240", |b| {
+        b.iter(|| {
+            let d = solver.memd_all(&h, &mi, black_box(now), None);
+            black_box(d[17])
+        })
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("trace_gen_n40_1000s", |b| {
+        b.iter(|| {
+            let cfg = ScenarioConfig {
+                duration: 1000.0,
+                ..ScenarioConfig::paper(40)
+            };
+            black_box(cfg.build(1).trace.contacts.len())
+        })
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let cfg = ScenarioConfig {
+        duration: 2000.0,
+        ..ScenarioConfig::paper(40)
+    };
+    let scenario = cfg.build(1);
+    let workload = TrafficConfig::paper(2000.0).generate(40, 1);
+    c.bench_function("engine_epidemic_n40_2000s", |b| {
+        b.iter(|| {
+            let stats = Simulation::new(
+                &scenario.trace,
+                workload.clone(),
+                SimConfig::paper(1),
+                |_, _| Box::new(dtn_routing::Epidemic::new()),
+            )
+            .run();
+            black_box(stats.relayed)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_estimators, bench_mi_merge, bench_memd,
+              bench_trace_generation, bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,285 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! ```text
+//! cargo run -p dtn-bench --release --bin ablation -- <which> [--seeds K] [--nodes a,b,c]
+//! ```
+//!
+//! `<which>` ∈:
+//!
+//! * `alpha`     — EER sensitivity to the horizon parameter α;
+//! * `ttl-aware` — TTL-conditioned EEV (EER) vs. rate EV (EBR), the paper's
+//!   §I motivating comparison;
+//! * `emd`       — Theorem-2 elapsed-time correction vs. plain mean
+//!   intervals, and the effect of the forwarding hysteresis;
+//! * `window`    — sliding-window length vs. estimator quality;
+//! * `cr-state`  — EER's full-matrix gossip vs. CR's community-local gossip
+//!   (control-byte overhead, the paper's §IV claim);
+//! * `lambda-one` — all quota protocols degraded to a single copy;
+//! * `buffer-policy` — drop-oldest vs least-remaining-value eviction under
+//!   squeezed (256 KB) buffers, the paper's future-work item 1;
+//! * `adaptive-lambda` — fixed vs EEV-adaptive quota, future-work item 3;
+//! * `detected-communities` — CR on ground-truth vs online-detected
+//!   communities, future-work item 2.
+
+use ce_core::{EerConfig, EmdMode};
+use dtn_bench::report::{write_csv, CommonArgs};
+use dtn_bench::{run_matrix, Protocol, ProtocolKind, RunSpec, Series, SweepConfig};
+use dtn_sim::MetricPoint;
+use std::path::Path;
+
+/// CR with ground-truth districts vs. CR with communities learned online by
+/// the distributed SIMPLE detector (the paper's future-work item 2).
+fn detected_communities(argv: Vec<String>) {
+    use ce_core::{detect_over_trace, detected_map, pairwise_agreement, CommunityMap, DetectorConfig};
+    use dtn_bench::scenario::ScenarioCache;
+    use dtn_sim::{MetricPoint as MP, SimConfig, SimStats, Simulation};
+    use std::sync::Arc;
+
+    let mut args = match CommonArgs::parse(argv.into_iter()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if args.node_counts == vec![40, 80, 120, 160, 200, 240] {
+        args.node_counts = vec![80, 160];
+    }
+    let cache = ScenarioCache::new();
+    println!("\nAblation: CR with ground-truth vs detected communities");
+    println!(
+        "{:<12}{:>6}{:>11}{:>9}{:>9}{:>9}{:>12}",
+        "variant", "N", "agreement", "deliv", "latency", "goodput", "ctrl MB"
+    );
+    let mut series: Vec<Series> = vec![
+        Series { label: "ground truth".into(), points: vec![] },
+        Series { label: "detected".into(), points: vec![] },
+    ];
+    for &n in &args.node_counts {
+        let mut truth_runs: Vec<SimStats> = vec![];
+        let mut det_runs: Vec<SimStats> = vec![];
+        let mut agreement_sum = 0.0;
+        for seed in 1..=u64::from(args.seeds) {
+            let ps = cache.get(n, seed);
+            let truth_map = Arc::new(CommunityMap::new(ps.scenario.communities.clone()));
+            let dets = detect_over_trace(&ps.scenario.trace, DetectorConfig::default());
+            let det_map = Arc::new(detected_map(&dets));
+            agreement_sum += pairwise_agreement(&truth_map, &det_map);
+            for (map, out) in [(&truth_map, &mut truth_runs), (&det_map, &mut det_runs)] {
+                let proto = Protocol::new(ProtocolKind::Cr).with_communities(Arc::clone(map));
+                let stats = Simulation::new(
+                    &ps.scenario.trace,
+                    ps.workload.as_ref().clone(),
+                    SimConfig::paper(seed),
+                    |id, nn| proto.make_router(id, nn),
+                )
+                .run();
+                out.push(stats);
+            }
+        }
+        let agreement = agreement_sum / f64::from(args.seeds);
+        for (label, runs) in [("ground truth", &truth_runs), ("detected", &det_runs)] {
+            let p = MP::from_runs(runs);
+            println!(
+                "{label:<12}{n:>6}{agreement:>11.3}{:>9.3}{:>9.1}{:>9.4}{:>12.2}",
+                p.delivery_ratio, p.latency, p.goodput, p.control_mb
+            );
+            let idx = usize::from(label == "detected");
+            series[idx].points.push((n, p));
+        }
+    }
+    let csv = Path::new("results/ablation_detected_communities.csv");
+    match write_csv(csv, &series) {
+        Ok(()) => eprintln!("\nwrote {}", csv.display()),
+        Err(e) => eprintln!("\ncsv write failed: {e}"),
+    }
+}
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("usage: ablation <alpha|ttl-aware|emd|window|cr-state|lambda-one|buffer-policy|adaptive-lambda|detected-communities> [flags]");
+        std::process::exit(2);
+    }
+    let which = argv.remove(0);
+    if which == "detected-communities" {
+        return detected_communities(argv);
+    }
+    let mut args = match CommonArgs::parse(argv.into_iter()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    // Ablations default to a single mid-sized point unless overridden.
+    if args.node_counts == vec![40, 80, 120, 160, 200, 240] {
+        args.node_counts = vec![80, 160];
+    }
+
+    let (title, variants): (&str, Vec<(String, Protocol)>) = match which.as_str() {
+        "alpha" => (
+            "EER sensitivity to alpha",
+            [0.1, 0.28, 0.5, 0.75, 1.0]
+                .iter()
+                .map(|&a| {
+                    (
+                        format!("alpha = {a}"),
+                        Protocol::new(ProtocolKind::Eer).with_alpha(a),
+                    )
+                })
+                .collect(),
+        ),
+        "ttl-aware" => (
+            "TTL-aware expected EV (EER) vs rate EV (EBR)",
+            vec![
+                ("EER (EEV(t, a*TTL))".into(), Protocol::new(ProtocolKind::Eer)),
+                ("EBR (rate EV)".into(), Protocol::new(ProtocolKind::Ebr)),
+            ],
+        ),
+        "emd" => (
+            "Theorem-2 EMD vs mean intervals; forwarding hysteresis",
+            vec![
+                (
+                    "T2 + hysteresis (default)".into(),
+                    Protocol::new(ProtocolKind::Eer),
+                ),
+                (
+                    "T2, no hysteresis (paper-literal)".into(),
+                    Protocol::new(ProtocolKind::Eer).with_eer_config(EerConfig {
+                        forward_hysteresis: 0.0,
+                        ..EerConfig::default()
+                    }),
+                ),
+                (
+                    "mean intervals (MEED-style)".into(),
+                    Protocol::new(ProtocolKind::Eer).with_eer_config(EerConfig {
+                        emd_mode: EmdMode::MeanInterval,
+                        ..EerConfig::default()
+                    }),
+                ),
+            ],
+        ),
+        "window" => (
+            "history sliding-window length",
+            [4usize, 8, 16, 32, 64]
+                .iter()
+                .map(|&w| {
+                    (
+                        format!("window = {w}"),
+                        Protocol::new(ProtocolKind::Eer).with_window(w),
+                    )
+                })
+                .collect(),
+        ),
+        "cr-state" => (
+            "routing-state gossip overhead: EER (full MI) vs CR (intra-community MI)",
+            vec![
+                ("EER".into(), Protocol::new(ProtocolKind::Eer)),
+                ("CR".into(), Protocol::new(ProtocolKind::Cr)),
+            ],
+        ),
+        "buffer-policy" => (
+            "buffer management under pressure (256 KB buffers): drop-oldest vs \
+             least-remaining-value (future-work extension)",
+            vec![
+                (
+                    "EER drop-oldest".into(),
+                    Protocol::new(ProtocolKind::Eer).with_eer_config(EerConfig::default()),
+                ),
+                (
+                    "EER least-remaining-value".into(),
+                    Protocol::new(ProtocolKind::Eer).with_eer_config(EerConfig {
+                        buffer_policy: ce_core::BufferPolicy::LeastRemainingValue,
+                        ..EerConfig::default()
+                    }),
+                ),
+                ("Epidemic (reference)".into(), Protocol::new(ProtocolKind::Epidemic)),
+            ],
+        ),
+        "adaptive-lambda" => (
+            "fixed quota vs EEV-adaptive quota (future-work extension)",
+            vec![
+                ("EER lambda = 10 (fixed)".into(), Protocol::new(ProtocolKind::Eer)),
+                (
+                    "EER lambda = EEV clamp [4, 16]".into(),
+                    Protocol::new(ProtocolKind::Eer).with_eer_config(EerConfig {
+                        adaptive_lambda: Some((4, 16)),
+                        ..EerConfig::default()
+                    }),
+                ),
+            ],
+        ),
+        "lambda-one" => (
+            "quota protocols at lambda = 1 (single copy)",
+            vec![
+                ("EER".into(), Protocol::new(ProtocolKind::Eer).with_lambda(1)),
+                ("CR".into(), Protocol::new(ProtocolKind::Cr).with_lambda(1)),
+                (
+                    "SprayAndWait".into(),
+                    Protocol::new(ProtocolKind::SprayAndWait).with_lambda(1),
+                ),
+                (
+                    "SprayAndFocus".into(),
+                    Protocol::new(ProtocolKind::SprayAndFocus).with_lambda(1),
+                ),
+            ],
+        ),
+        other => {
+            eprintln!("unknown ablation {other}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut specs = Vec::new();
+    for (label, proto) in &variants {
+        for &n in &args.node_counts {
+            specs.push(match which.as_str() {
+                // Buffer-policy runs squeeze the buffers so eviction happens.
+                "buffer-policy" => {
+                    RunSpec::new(label.clone(), n, proto.clone()).with_buffer(256 * 1024)
+                }
+                _ => RunSpec::new(label.clone(), n, proto.clone()),
+            });
+        }
+    }
+    let cfg = SweepConfig {
+        seeds: args.seeds,
+        ..SweepConfig::default()
+    };
+    eprintln!(
+        "ablation {which}: {} variants x {:?} nodes x {} seeds",
+        variants.len(),
+        args.node_counts,
+        args.seeds
+    );
+    let points = run_matrix(&specs, cfg);
+    let per = args.node_counts.len();
+
+    println!("\nAblation: {title}");
+    println!(
+        "{:<36}{:>6}{:>9}{:>9}{:>9}{:>10}{:>11}",
+        "variant", "N", "deliv", "latency", "goodput", "relayed", "ctrl MB"
+    );
+    let mut series = Vec::new();
+    for (vi, (label, _)) in variants.iter().enumerate() {
+        let mut pts: Vec<(u32, MetricPoint)> = Vec::new();
+        for (xi, &n) in args.node_counts.iter().enumerate() {
+            let p = points[vi * per + xi];
+            println!(
+                "{label:<36}{n:>6}{:>9.3}{:>9.1}{:>9.4}{:>10.0}{:>11.2}",
+                p.delivery_ratio, p.latency, p.goodput, p.relayed, p.control_mb
+            );
+            pts.push((n, p));
+        }
+        series.push(Series {
+            label: label.clone(),
+            points: pts,
+        });
+    }
+    let csv = Path::new("results").join(format!("ablation_{which}.csv"));
+    match write_csv(&csv, &series) {
+        Ok(()) => eprintln!("\nwrote {}", csv.display()),
+        Err(e) => eprintln!("\ncsv write failed: {e}"),
+    }
+}

@@ -1,0 +1,173 @@
+//! `dtnrun` — run any protocol on a generated scenario or an archived
+//! contact trace, with a full report (headline metrics, latency percentiles,
+//! delivery-progress curve).
+//!
+//! ```text
+//! cargo run --release -p dtn-bench --bin dtnrun -- \
+//!     --protocol eer [--nodes 40] [--seed 1] [--duration 10000] \
+//!     [--lambda 10] [--alpha 0.28] [--trace file.trace] [--buffer BYTES] \
+//!     [--progress-step 1000]
+//! ```
+//!
+//! With `--trace`, the contact process is loaded from the plain-text trace
+//! format (see `dtn_sim::trace`) instead of being generated — the path for
+//! replaying real-world contact datasets.
+
+use ce_core::CommunityMap;
+use dtn_bench::{PaperScenario, Protocol, ProtocolKind};
+use dtn_sim::report::{delivery_progress, latencies, percentile};
+use dtn_sim::{ContactTrace, SimConfig, Simulation, TrafficConfig};
+use std::sync::Arc;
+
+struct Args {
+    protocol: ProtocolKind,
+    nodes: u32,
+    seed: u64,
+    duration: f64,
+    lambda: u32,
+    alpha: Option<f64>,
+    trace: Option<String>,
+    buffer: Option<u64>,
+    progress_step: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        protocol: ProtocolKind::Eer,
+        nodes: 40,
+        seed: 1,
+        duration: 10_000.0,
+        lambda: 10,
+        alpha: None,
+        trace: None,
+        buffer: None,
+        progress_step: 1_000.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--protocol" => {
+                let v = val("--protocol")?;
+                out.protocol =
+                    ProtocolKind::parse(&v).ok_or(format!("unknown protocol {v}"))?;
+            }
+            "--nodes" => out.nodes = val("--nodes")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => out.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--duration" => {
+                out.duration = val("--duration")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--lambda" => out.lambda = val("--lambda")?.parse().map_err(|e| format!("{e}"))?,
+            "--alpha" => out.alpha = Some(val("--alpha")?.parse().map_err(|e| format!("{e}"))?),
+            "--trace" => out.trace = Some(val("--trace")?),
+            "--buffer" => out.buffer = Some(val("--buffer")?.parse().map_err(|e| format!("{e}"))?),
+            "--progress-step" => {
+                out.progress_step = val("--progress-step")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--help" | "-h" => return Err("see module docs (dtnrun.rs) for usage".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Obtain trace + communities + workload.
+    let (trace, communities): (ContactTrace, Vec<u32>) = match &args.trace {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let trace = ContactTrace::from_text(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(1);
+            });
+            // No ground truth in a raw trace: detect communities online.
+            let dets =
+                ce_core::detect_over_trace(&trace, ce_core::DetectorConfig::default());
+            let map = ce_core::detected_map(&dets);
+            let cids = (0..trace.n_nodes)
+                .map(|i| map.cid(dtn_sim::NodeId(i)))
+                .collect();
+            (trace, cids)
+        }
+        None => {
+            let ps = if (args.duration - 10_000.0).abs() < 1e-9 {
+                PaperScenario::build(args.nodes, args.seed)
+            } else {
+                PaperScenario::build_scaled(args.nodes, args.seed, args.duration)
+            };
+            (
+                ps.scenario.trace.clone(),
+                ps.scenario.communities.clone(),
+            )
+        }
+    };
+    let n = trace.n_nodes;
+    let duration = trace.duration;
+    let workload = TrafficConfig::paper(duration).generate(n, args.seed);
+    let created_at: Vec<f64> = workload.iter().map(|m| m.create_at.as_secs()).collect();
+
+    let ts = trace.stats();
+    println!(
+        "scenario: {n} nodes, {:.0} s, {} contacts (mean duration {:.2} s), {} messages",
+        duration,
+        ts.contacts,
+        ts.mean_duration,
+        workload.len()
+    );
+
+    let mut proto = Protocol::new(args.protocol).with_lambda(args.lambda);
+    if let Some(a) = args.alpha {
+        proto = proto.with_alpha(a);
+    }
+    proto = proto.with_communities(Arc::new(CommunityMap::new(communities)));
+
+    let mut cfg = SimConfig::paper(args.seed);
+    if let Some(b) = args.buffer {
+        cfg.buffer_capacity = b;
+    }
+    let t0 = std::time::Instant::now();
+    let stats = Simulation::new(&trace, workload, cfg, |id, nn| proto.make_router(id, nn)).run();
+    let wall = t0.elapsed();
+
+    println!("\n=== {} ===", args.protocol.name());
+    println!("delivery ratio   {:.4}", stats.delivery_ratio());
+    println!("latency (mean)   {:.1} s", stats.avg_latency());
+    let lats = latencies(&stats, &created_at);
+    for p in [50.0, 90.0, 99.0] {
+        if let Some(v) = percentile(lats.clone(), p) {
+            println!("latency (p{p:.0})    {v:.1} s");
+        }
+    }
+    println!("goodput          {:.4}", stats.goodput());
+    println!("overhead ratio   {:.2}", stats.overhead_ratio());
+    println!("relayed          {}", stats.relayed);
+    println!("aborted          {}", stats.aborted);
+    println!(
+        "drops            buffer {} / ttl {} / protocol {}",
+        stats.drops_buffer, stats.drops_ttl, stats.drops_protocol
+    );
+    println!(
+        "control traffic  {:.2} MB",
+        stats.control_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!("wall time        {wall:.2?}");
+
+    println!("\ndelivery progress (cumulative, every {:.0} s):", args.progress_step);
+    let prog = delivery_progress(&stats, duration, args.progress_step);
+    for (k, v) in prog.iter().enumerate() {
+        if k % 2 == 0 {
+            println!("  t={:>7.0}  delivered={v}", k as f64 * args.progress_step);
+        }
+    }
+}

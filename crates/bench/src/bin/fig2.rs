@@ -1,0 +1,68 @@
+//! Figure 2 — protocol comparison: EER, CR, EBR, MaxProp, Spray-and-Wait,
+//! Spray-and-Focus vs. number of nodes (λ = 10), three panels
+//! (delivery ratio / latency / goodput).
+//!
+//! ```text
+//! cargo run -p dtn-bench --release --bin fig2 -- [--full|--quick] [--seeds K]
+//! ```
+
+use dtn_bench::report::{print_series_table, settings_table, write_csv, CommonArgs};
+use dtn_bench::{run_matrix, Protocol, ProtocolKind, RunSpec, Series, SweepConfig};
+use std::path::Path;
+
+fn main() {
+    let args = match CommonArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if args.print_settings {
+        println!("{}", settings_table());
+        return;
+    }
+    let mut specs = Vec::new();
+    for kind in ProtocolKind::FIG2 {
+        for &n in &args.node_counts {
+            specs.push(RunSpec::new(kind.name().to_string(), n, Protocol::new(kind).with_lambda(10)));
+        }
+    }
+    let cfg = SweepConfig {
+        seeds: args.seeds,
+        ..SweepConfig::default()
+    };
+    eprintln!(
+        "fig2: {} protocols x {} node counts x {} seeds",
+        ProtocolKind::FIG2.len(),
+        args.node_counts.len(),
+        args.seeds
+    );
+    let points = run_matrix(&specs, cfg);
+    let mut series = Vec::new();
+    let per = args.node_counts.len();
+    for (pi, kind) in ProtocolKind::FIG2.iter().enumerate() {
+        series.push(Series {
+            label: kind.name().to_string(),
+            points: args
+                .node_counts
+                .iter()
+                .copied()
+                .zip(points[pi * per..(pi + 1) * per].iter().copied())
+                .collect(),
+        });
+    }
+    print!(
+        "{}",
+        print_series_table(
+            "Figure 2: performance comparison (lambda = 10)",
+            &args.node_counts,
+            &series
+        )
+    );
+    let csv = Path::new("results/fig2.csv");
+    match write_csv(csv, &series) {
+        Ok(()) => eprintln!("\nwrote {}", csv.display()),
+        Err(e) => eprintln!("\ncsv write failed: {e}"),
+    }
+}

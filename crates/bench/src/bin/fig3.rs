@@ -1,0 +1,70 @@
+//! Figure 3 — effect of the quota λ ∈ {6, 8, 10, 12} on EER, three panels
+//! (delivery ratio / latency / goodput) vs. number of nodes.
+//!
+//! ```text
+//! cargo run -p dtn-bench --release --bin fig3 -- [--full|--quick] [--seeds K]
+//! ```
+
+use dtn_bench::report::{print_series_table, settings_table, write_csv, CommonArgs};
+use dtn_bench::{run_matrix, Protocol, ProtocolKind, RunSpec, Series, SweepConfig};
+use std::path::Path;
+
+const LAMBDAS: [u32; 4] = [6, 8, 10, 12];
+
+fn main() {
+    let args = match CommonArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if args.print_settings {
+        println!("{}", settings_table());
+        return;
+    }
+    let mut specs = Vec::new();
+    for &lambda in &LAMBDAS {
+        for &n in &args.node_counts {
+            specs.push(RunSpec::new(format!("Lambda = {lambda}"), n, Protocol::new(ProtocolKind::Eer).with_lambda(lambda)));
+        }
+    }
+    let cfg = SweepConfig {
+        seeds: args.seeds,
+        ..SweepConfig::default()
+    };
+    eprintln!(
+        "fig3 (EER): {} lambdas x {} node counts x {} seeds",
+        LAMBDAS.len(),
+        args.node_counts.len(),
+        args.seeds
+    );
+    let points = run_matrix(&specs, cfg);
+    let per = args.node_counts.len();
+    let series: Vec<Series> = LAMBDAS
+        .iter()
+        .enumerate()
+        .map(|(li, lambda)| Series {
+            label: format!("Lambda = {lambda}"),
+            points: args
+                .node_counts
+                .iter()
+                .copied()
+                .zip(points[li * per..(li + 1) * per].iter().copied())
+                .collect(),
+        })
+        .collect();
+    print!(
+        "{}",
+        print_series_table(
+            "Figure 3: effects of lambda on EER",
+            &args.node_counts,
+            &series
+        )
+    );
+    let csv = Path::new("results/fig3.csv");
+    match write_csv(csv, &series) {
+        Ok(()) => eprintln!("\nwrote {}", csv.display()),
+        Err(e) => eprintln!("\ncsv write failed: {e}"),
+    }
+}

@@ -1,0 +1,71 @@
+//! One-shot sanity run: every protocol on a single paper scenario, with raw
+//! counters — the quickest way to eyeball that the stack behaves.
+//!
+//! ```text
+//! cargo run -p dtn-bench --release --bin smoke -- [n_nodes] [seed]
+//! ```
+
+use dtn_bench::{PaperScenario, Protocol, ProtocolKind};
+use dtn_sim::{SimConfig, Simulation};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let n: u32 = argv.next().and_then(|s| s.parse().ok()).unwrap_or(40);
+    let seed: u64 = argv.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let t0 = Instant::now();
+    let ps = PaperScenario::build(n, seed);
+    let ts = ps.scenario.trace.stats();
+    eprintln!(
+        "scenario n={n} seed={seed}: {} contacts (mean dur {:.2}s, mean intercontact {:.0}s), \
+         {} messages, built in {:?}",
+        ts.contacts,
+        ts.mean_duration,
+        ts.mean_intercontact,
+        ps.workload.len(),
+        t0.elapsed()
+    );
+
+    let communities = Arc::new(ce_core::CommunityMap::new(ps.scenario.communities.clone()));
+    let all = [
+        ProtocolKind::Eer,
+        ProtocolKind::Cr,
+        ProtocolKind::Ebr,
+        ProtocolKind::MaxProp,
+        ProtocolKind::SprayAndWait,
+        ProtocolKind::SprayAndFocus,
+        ProtocolKind::Epidemic,
+        ProtocolKind::Prophet,
+        ProtocolKind::Direct,
+        ProtocolKind::FirstContact,
+    ];
+    for kind in all {
+        let proto = Protocol::new(kind).with_communities(Arc::clone(&communities));
+        let t = Instant::now();
+        let stats = Simulation::new(
+            &ps.scenario.trace,
+            ps.workload.as_ref().clone(),
+            SimConfig::paper(seed),
+            |id, nn| proto.make_router(id, nn),
+        )
+        .run();
+        println!(
+            "{:<14} dr={:.3} lat={:>6.1} gp={:.4} relayed={:>6} dup={:>4} aborted={:>5} \
+             drops(buf/ttl/proto)={}/{}/{} ctrl={:>8}KB  [{:.2?}]",
+            kind.name(),
+            stats.delivery_ratio(),
+            stats.avg_latency(),
+            stats.goodput(),
+            stats.relayed,
+            stats.duplicate_deliveries,
+            stats.aborted,
+            stats.drops_buffer,
+            stats.drops_ttl,
+            stats.drops_protocol,
+            stats.control_bytes / 1024,
+            t.elapsed()
+        );
+    }
+}

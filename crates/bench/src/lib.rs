@@ -1,0 +1,26 @@
+//! # dtn-bench — the experiment harness
+//!
+//! Regenerates every figure of the ICPP'11 contact-expectation paper plus
+//! the ablations listed in DESIGN.md. The harness
+//!
+//! * builds (and memoises) one scenario per `(n_nodes, seed)`,
+//! * fans simulation runs out over worker threads (`std::thread::scope`),
+//!   reducing results in deterministic `(point, seed)` order,
+//! * prints the same series the paper plots and writes CSV files under
+//!   `results/`.
+//!
+//! Binaries: `fig2`, `fig3`, `fig4`, `ablation` (see `--help` of each),
+//! `smoke` (one-shot sanity run).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod protocols;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use protocols::{Protocol, ProtocolKind};
+pub use report::{print_series_table, write_csv, Series};
+pub use runner::{run_matrix, RunSpec, SweepConfig};
+pub use scenario::{PaperScenario, ScenarioCache};

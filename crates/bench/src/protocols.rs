@@ -1,0 +1,254 @@
+//! Protocol registry: maps names to router factories.
+
+use ce_core::{CommunityMap, Cr, CrConfig, Eer, EerConfig};
+use dtn_routing::{
+    DirectDelivery, Ebr, EbrConfig, Epidemic, FirstContact, MaxProp, Prophet, SprayAndFocus,
+    SprayAndWait,
+};
+use dtn_sim::{NodeId, Router};
+use std::sync::Arc;
+
+/// Which protocol family to instantiate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Paper's EER (quota λ).
+    Eer,
+    /// Paper's CR (quota λ).
+    Cr,
+    /// EBR baseline (quota λ).
+    Ebr,
+    /// MaxProp baseline.
+    MaxProp,
+    /// Spray-and-Wait baseline (quota λ).
+    SprayAndWait,
+    /// Spray-and-Focus baseline (quota λ).
+    SprayAndFocus,
+    /// Epidemic flooding.
+    Epidemic,
+    /// PRoPHET.
+    Prophet,
+    /// Direct delivery.
+    Direct,
+    /// First contact.
+    FirstContact,
+}
+
+impl ProtocolKind {
+    /// All protocols compared in the paper's Figure 2, in its legend order.
+    pub const FIG2: [ProtocolKind; 6] = [
+        ProtocolKind::Eer,
+        ProtocolKind::Cr,
+        ProtocolKind::Ebr,
+        ProtocolKind::MaxProp,
+        ProtocolKind::SprayAndWait,
+        ProtocolKind::SprayAndFocus,
+    ];
+
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Eer => "EER",
+            ProtocolKind::Cr => "CR",
+            ProtocolKind::Ebr => "EBR",
+            ProtocolKind::MaxProp => "MaxProp",
+            ProtocolKind::SprayAndWait => "SprayAndWait",
+            ProtocolKind::SprayAndFocus => "SprayAndFocus",
+            ProtocolKind::Epidemic => "Epidemic",
+            ProtocolKind::Prophet => "PRoPHET",
+            ProtocolKind::Direct => "Direct",
+            ProtocolKind::FirstContact => "FirstContact",
+        }
+    }
+
+    /// Parses a (case-insensitive) protocol name.
+    pub fn parse(s: &str) -> Option<Self> {
+        let k = match s.to_ascii_lowercase().as_str() {
+            "eer" => ProtocolKind::Eer,
+            "cr" => ProtocolKind::Cr,
+            "ebr" => ProtocolKind::Ebr,
+            "maxprop" => ProtocolKind::MaxProp,
+            "spraywait" | "sprayandwait" | "snw" => ProtocolKind::SprayAndWait,
+            "sprayfocus" | "sprayandfocus" | "snf" => ProtocolKind::SprayAndFocus,
+            "epidemic" => ProtocolKind::Epidemic,
+            "prophet" => ProtocolKind::Prophet,
+            "direct" => ProtocolKind::Direct,
+            "firstcontact" | "fc" => ProtocolKind::FirstContact,
+            _ => return None,
+        };
+        Some(k)
+    }
+}
+
+/// A fully specified protocol: kind + quota + (optional) parameter
+/// overrides.
+#[derive(Clone)]
+pub struct Protocol {
+    /// Protocol family.
+    pub kind: ProtocolKind,
+    /// Quota λ for quota protocols (ignored by others).
+    pub lambda: u32,
+    /// α override for EER/CR (`None` = paper default 0.28).
+    pub alpha: Option<f64>,
+    /// Sliding-window override for EER/CR.
+    pub window: Option<usize>,
+    /// Community ground truth (required by CR).
+    pub communities: Option<Arc<CommunityMap>>,
+    /// Full EER config override (wins over the individual fields).
+    pub eer_config: Option<EerConfig>,
+}
+
+impl Protocol {
+    /// A protocol with the paper's λ = 10 and default parameters.
+    pub fn new(kind: ProtocolKind) -> Self {
+        Protocol {
+            kind,
+            lambda: 10,
+            alpha: None,
+            window: None,
+            communities: None,
+            eer_config: None,
+        }
+    }
+
+    /// Overrides the entire EER configuration (EER only).
+    pub fn with_eer_config(mut self, cfg: EerConfig) -> Self {
+        self.eer_config = Some(cfg);
+        self
+    }
+
+    /// Sets the quota λ.
+    pub fn with_lambda(mut self, lambda: u32) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the α horizon parameter (EER/CR only).
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Sets the history-window length (EER/CR only).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Supplies the community map (CR only; ignored otherwise).
+    pub fn with_communities(mut self, map: Arc<CommunityMap>) -> Self {
+        self.communities = Some(map);
+        self
+    }
+
+    /// Builds the router for node `id` in a network of `n` nodes.
+    ///
+    /// # Panics
+    /// Panics if CR is requested without a community map.
+    pub fn make_router(&self, id: NodeId, n: u32) -> Box<dyn Router> {
+        match self.kind {
+            ProtocolKind::Eer => {
+                if let Some(cfg) = self.eer_config {
+                    return Box::new(Eer::with_config(id, n, cfg));
+                }
+                let mut cfg = EerConfig {
+                    lambda: self.lambda,
+                    ..EerConfig::default()
+                };
+                if let Some(a) = self.alpha {
+                    cfg.alpha = a;
+                }
+                if let Some(w) = self.window {
+                    cfg.window = w;
+                }
+                Box::new(Eer::with_config(id, n, cfg))
+            }
+            ProtocolKind::Cr => {
+                let map = self
+                    .communities
+                    .clone()
+                    .expect("CR needs a community map (Protocol::with_communities)");
+                let mut cfg = CrConfig {
+                    lambda: self.lambda,
+                    ..CrConfig::default()
+                };
+                if let Some(a) = self.alpha {
+                    cfg.alpha = a;
+                }
+                if let Some(w) = self.window {
+                    cfg.window = w;
+                }
+                Box::new(Cr::with_config(id, n, map, cfg))
+            }
+            ProtocolKind::Ebr => Box::new(Ebr::with_config(EbrConfig {
+                lambda: self.lambda,
+                ..EbrConfig::default()
+            })),
+            ProtocolKind::MaxProp => Box::new(MaxProp::new(id, n)),
+            ProtocolKind::SprayAndWait => Box::new(SprayAndWait::new(self.lambda)),
+            ProtocolKind::SprayAndFocus => Box::new(SprayAndFocus::new(self.lambda, n)),
+            ProtocolKind::Epidemic => Box::new(Epidemic::new()),
+            ProtocolKind::Prophet => Box::new(Prophet::new(id, n)),
+            ProtocolKind::Direct => Box::new(DirectDelivery::new()),
+            ProtocolKind::FirstContact => Box::new(FirstContact::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for kind in [
+            ProtocolKind::Eer,
+            ProtocolKind::Cr,
+            ProtocolKind::Ebr,
+            ProtocolKind::MaxProp,
+            ProtocolKind::SprayAndWait,
+            ProtocolKind::SprayAndFocus,
+            ProtocolKind::Epidemic,
+            ProtocolKind::Prophet,
+            ProtocolKind::Direct,
+            ProtocolKind::FirstContact,
+        ] {
+            assert_eq!(ProtocolKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ProtocolKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn factories_build_routers() {
+        let map = Arc::new(CommunityMap::new(vec![0, 0, 1, 1]));
+        for kind in ProtocolKind::FIG2 {
+            let p = Protocol::new(kind).with_communities(Arc::clone(&map));
+            let r = p.make_router(NodeId(0), 4);
+            assert!(!r.label().is_empty());
+            assert_eq!(r.initial_copies(&dummy_msg()), if matches!(
+                kind,
+                ProtocolKind::MaxProp
+            ) {
+                1
+            } else {
+                10
+            });
+        }
+    }
+
+    fn dummy_msg() -> dtn_sim::Message {
+        dtn_sim::Message {
+            id: dtn_sim::MessageId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size: 1,
+            created: dtn_sim::SimTime::ZERO,
+            ttl: 10.0,
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn cr_requires_communities() {
+        Protocol::new(ProtocolKind::Cr).make_router(NodeId(0), 4);
+    }
+}

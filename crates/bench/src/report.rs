@@ -1,0 +1,221 @@
+//! Result tables and CSV output.
+
+use dtn_sim::MetricPoint;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One plotted series: a label plus a point per x value.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, point)` pairs, in x order.
+    pub points: Vec<(u32, MetricPoint)>,
+}
+
+/// Renders the three panels of a paper figure (delivery ratio, latency,
+/// goodput) as aligned text tables, one row per series.
+pub fn print_series_table(title: &str, xs: &[u32], series: &[Series]) -> String {
+    let mut out = String::new();
+    for (panel, extract) in [
+        ("delivery ratio", 0usize),
+        ("latency (s)", 1),
+        ("goodput", 2),
+    ] {
+        let _ = writeln!(out, "\n{title} — {panel}");
+        let _ = write!(out, "{:<16}", "N");
+        for x in xs {
+            let _ = write!(out, "{x:>10}");
+        }
+        let _ = writeln!(out);
+        for s in series {
+            let _ = write!(out, "{:<16}", s.label);
+            for (_, p) in &s.points {
+                let v = match extract {
+                    0 => p.delivery_ratio,
+                    1 => p.latency,
+                    _ => p.goodput,
+                };
+                if extract == 1 {
+                    let _ = write!(out, "{v:>10.1}");
+                } else {
+                    let _ = write!(out, "{v:>10.4}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// Writes the series as CSV:
+/// `series,n_nodes,delivery_ratio,latency,goodput,runs`.
+pub fn write_csv(path: &Path, series: &[Series]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut out = String::from("series,n_nodes,delivery_ratio,latency,goodput,runs\n");
+    for s in series {
+        for (x, p) in &s.points {
+            let _ = writeln!(
+                out,
+                "{},{},{:.6},{:.3},{:.6},{}",
+                s.label, x, p.delivery_ratio, p.latency, p.goodput, p.runs
+            );
+        }
+    }
+    std::fs::write(path, out)
+}
+
+/// Parses common CLI flags shared by the figure binaries.
+#[derive(Clone, Debug)]
+pub struct CommonArgs {
+    /// Seeds per point.
+    pub seeds: u32,
+    /// Node counts to sweep.
+    pub node_counts: Vec<u32>,
+    /// Print the paper's settings table and exit.
+    pub print_settings: bool,
+}
+
+impl CommonArgs {
+    /// Parses `--full`, `--seeds K`, `--nodes a,b,c`, `--quick`,
+    /// `--print-settings` from `args`.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut out = CommonArgs {
+            seeds: 3,
+            node_counts: vec![40, 80, 120, 160, 200, 240],
+            print_settings: false,
+        };
+        let mut it = args.peekable();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => out.seeds = 10,
+                "--quick" => {
+                    out.seeds = 1;
+                    out.node_counts = vec![40, 120, 200];
+                }
+                "--seeds" => {
+                    let v = it.next().ok_or("--seeds needs a value")?;
+                    out.seeds = v.parse().map_err(|e| format!("--seeds: {e}"))?;
+                }
+                "--nodes" => {
+                    let v = it.next().ok_or("--nodes needs a value")?;
+                    out.node_counts = v
+                        .split(',')
+                        .map(|s| s.parse().map_err(|e| format!("--nodes: {e}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "--print-settings" => out.print_settings = true,
+                "--help" | "-h" => {
+                    return Err("usage: [--full|--quick] [--seeds K] \
+                                [--nodes a,b,c] [--print-settings]"
+                        .into())
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if out.seeds == 0 || out.node_counts.is_empty() {
+            return Err("need at least one seed and one node count".into());
+        }
+        Ok(out)
+    }
+}
+
+/// The paper's §V-A settings table, printed by every figure binary with
+/// `--print-settings`.
+pub fn settings_table() -> &'static str {
+    "Simulation settings (paper §V-A):\n\
+       mobility            vehicular map-driven (synthetic downtown, bus lines)\n\
+       node speed          2.7–13.9 m/s\n\
+       transmission speed  2 Mbit/s\n\
+       transmission range  10 m\n\
+       buffer space        1 MB per node\n\
+       message size        25 KB\n\
+       message interval    uniform 25–35 s\n\
+       TTL                 20 min\n\
+       alpha               0.28\n\
+       sim duration        10 000 s\n\
+       nodes               40..240 step 40\n\
+       lambda              10 (fig. 2) / 6–12 (figs. 3–4)\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> Vec<Series> {
+        vec![Series {
+            label: "EER".into(),
+            points: vec![
+                (40, MetricPoint {
+                    delivery_ratio: 0.5,
+                    latency: 400.0,
+                    goodput: 0.05,
+                    relayed: 100.0,
+                    control_mb: 1.0,
+                    runs: 3,
+                }),
+                (80, MetricPoint {
+                    delivery_ratio: 0.6,
+                    latency: 380.0,
+                    goodput: 0.04,
+                    relayed: 120.0,
+                    control_mb: 2.0,
+                    runs: 3,
+                }),
+            ],
+        }]
+    }
+
+    #[test]
+    fn table_contains_all_panels() {
+        let t = print_series_table("Fig. 2", &[40, 80], &sample_series());
+        assert!(t.contains("delivery ratio"));
+        assert!(t.contains("latency (s)"));
+        assert!(t.contains("goodput"));
+        assert!(t.contains("EER"));
+        assert!(t.contains("0.5000"));
+        assert!(t.contains("400.0"));
+    }
+
+    #[test]
+    fn csv_round_trip_format() {
+        let dir = std::env::temp_dir().join("dtn_bench_test_csv");
+        let path = dir.join("fig.csv");
+        write_csv(&path, &sample_series()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("series,n_nodes,"));
+        assert!(text.contains("EER,40,0.500000,400.000,0.050000,3"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn args_parse_defaults_and_flags() {
+        let d = CommonArgs::parse(std::iter::empty()).unwrap();
+        assert_eq!(d.seeds, 3);
+        assert_eq!(d.node_counts, vec![40, 80, 120, 160, 200, 240]);
+        let f = CommonArgs::parse(["--full".to_string()].into_iter()).unwrap();
+        assert_eq!(f.seeds, 10);
+        let q = CommonArgs::parse(["--quick".to_string()].into_iter()).unwrap();
+        assert_eq!(q.seeds, 1);
+        assert_eq!(q.node_counts.len(), 3);
+        let n = CommonArgs::parse(
+            ["--nodes".to_string(), "40,80".to_string(), "--seeds".to_string(), "5".to_string()]
+                .into_iter(),
+        )
+        .unwrap();
+        assert_eq!(n.node_counts, vec![40, 80]);
+        assert_eq!(n.seeds, 5);
+        assert!(CommonArgs::parse(["--bogus".to_string()].into_iter()).is_err());
+        assert!(CommonArgs::parse(["--seeds".to_string(), "0".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn settings_mention_paper_constants() {
+        let s = settings_table();
+        assert!(s.contains("2 Mbit/s"));
+        assert!(s.contains("10 m"));
+        assert!(s.contains("0.28"));
+    }
+}

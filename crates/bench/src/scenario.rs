@@ -1,0 +1,115 @@
+//! Paper-scenario construction and memoisation.
+
+use dtn_mobility::scenario::{Scenario, ScenarioConfig};
+use dtn_sim::{MessageSpec, TrafficConfig};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One fully built `(n_nodes, seed)` experiment input: the contact trace,
+/// community ground truth and message workload.
+#[derive(Clone)]
+pub struct PaperScenario {
+    /// The mobility/contact scenario.
+    pub scenario: Arc<Scenario>,
+    /// The message workload for this seed.
+    pub workload: Arc<Vec<MessageSpec>>,
+    /// Node count.
+    pub n_nodes: u32,
+    /// Seed used for mobility and traffic.
+    pub seed: u64,
+}
+
+impl PaperScenario {
+    /// Builds the §V-A scenario for `n_nodes` nodes and `seed`.
+    pub fn build(n_nodes: u32, seed: u64) -> Self {
+        let cfg = ScenarioConfig::paper(n_nodes);
+        let scenario = cfg.build(seed);
+        let workload = TrafficConfig::paper(cfg.duration).generate(n_nodes, seed);
+        PaperScenario {
+            scenario: Arc::new(scenario),
+            workload: Arc::new(workload),
+            n_nodes,
+            seed,
+        }
+    }
+
+    /// A reduced variant (shorter horizon) used by Criterion benches so a
+    /// bench iteration stays sub-second.
+    pub fn build_scaled(n_nodes: u32, seed: u64, duration: f64) -> Self {
+        let cfg = ScenarioConfig {
+            duration,
+            ..ScenarioConfig::paper(n_nodes)
+        };
+        let scenario = cfg.build(seed);
+        let workload = TrafficConfig::paper(duration).generate(n_nodes, seed);
+        PaperScenario {
+            scenario: Arc::new(scenario),
+            workload: Arc::new(workload),
+            n_nodes,
+            seed,
+        }
+    }
+}
+
+/// Thread-safe memo of built scenarios, so every protocol and λ value runs
+/// against the *identical* contact process for a given `(n, seed)`.
+#[derive(Default)]
+pub struct ScenarioCache {
+    map: Mutex<HashMap<(u32, u64), PaperScenario>>,
+}
+
+impl ScenarioCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the scenario for `(n_nodes, seed)`, building it on first use.
+    pub fn get(&self, n_nodes: u32, seed: u64) -> PaperScenario {
+        if let Some(s) = self.map.lock().unwrap().get(&(n_nodes, seed)) {
+            return s.clone();
+        }
+        let built = PaperScenario::build(n_nodes, seed);
+        self.map
+            .lock()
+            .unwrap()
+            .entry((n_nodes, seed))
+            .or_insert(built)
+            .clone()
+    }
+
+    /// Number of cached scenarios.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_reuses_scenarios() {
+        let cache = ScenarioCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get(8, 1);
+        let b = cache.get(8, 1);
+        assert_eq!(cache.len(), 1);
+        assert!(Arc::ptr_eq(&a.scenario, &b.scenario));
+        let c = cache.get(8, 2);
+        assert_eq!(cache.len(), 2);
+        assert!(!Arc::ptr_eq(&a.scenario, &c.scenario));
+    }
+
+    #[test]
+    fn scaled_scenario_is_shorter() {
+        let s = PaperScenario::build_scaled(8, 1, 500.0);
+        assert_eq!(s.scenario.trace.duration, 500.0);
+        assert!(s.workload.iter().all(|m| m.create_at.as_secs() < 500.0));
+    }
+}

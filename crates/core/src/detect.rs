@@ -1,0 +1,337 @@
+//! Distributed community detection — the paper's second future-work item
+//! ("we will design the distributed community construction method in the CR,
+//! which is more suitable for the online routing procedure").
+//!
+//! This module implements the SIMPLE distributed detection scheme of Hui,
+//! Yoneki, Chan & Crowcroft (the algorithm family the paper cites via
+//! BUBBLE): each node accumulates per-peer contact duration; peers whose
+//! cumulative contact time exceeds a threshold join the node's **familiar
+//! set**; the node's **local community** grows by admitting encountered
+//! nodes whose familiar set overlaps the community enough, and by merging
+//! with communities that overlap heavily.
+//!
+//! [`CommunityDetector`] is the per-node online state. After a warm-up
+//! period, [`detected_map`] aggregates the per-node views into a global
+//! [`CommunityMap`] usable by CR — letting the `detected-communities`
+//! ablation quantify how much CR loses when communities are learned instead
+//! of given.
+
+use crate::community::CommunityMap;
+use dtn_sim::{NodeId, SimTime};
+use std::collections::HashSet;
+
+/// Parameters of the SIMPLE detector.
+#[derive(Clone, Copy, Debug)]
+pub struct DetectorConfig {
+    /// Cumulative contact seconds before a peer becomes *familiar*.
+    pub familiar_threshold: f64,
+    /// Admission rule: admit peer `j` when
+    /// `|F_j ∩ C_i| > admit_fraction · |F_j|`.
+    pub admit_fraction: f64,
+    /// Merge rule: adopt the peer's community members when
+    /// `|C_j ∩ C_i| > merge_fraction · |C_j|`.
+    pub merge_fraction: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            familiar_threshold: 60.0,
+            admit_fraction: 0.5,
+            merge_fraction: 0.6,
+        }
+    }
+}
+
+/// Per-node online community-detection state.
+#[derive(Clone, Debug)]
+pub struct CommunityDetector {
+    me: NodeId,
+    cfg: DetectorConfig,
+    /// Cumulative contact seconds per peer.
+    contact_time: Vec<f64>,
+    /// Contact start time per peer, while a contact is open.
+    open_since: Vec<Option<SimTime>>,
+    /// The familiar set `F_i`.
+    familiar: HashSet<NodeId>,
+    /// The local community `C_i` (always contains `me`).
+    community: HashSet<NodeId>,
+}
+
+impl CommunityDetector {
+    /// Creates a detector for node `me` in a network of `n` nodes.
+    pub fn new(me: NodeId, n: u32, cfg: DetectorConfig) -> Self {
+        let mut community = HashSet::new();
+        community.insert(me);
+        CommunityDetector {
+            me,
+            cfg,
+            contact_time: vec![0.0; n as usize],
+            open_since: vec![None; n as usize],
+            familiar: HashSet::new(),
+            community,
+        }
+    }
+
+    /// The node this detector belongs to.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The familiar set `F_i`.
+    pub fn familiar(&self) -> &HashSet<NodeId> {
+        &self.familiar
+    }
+
+    /// The local community `C_i` (includes `me`).
+    pub fn community(&self) -> &HashSet<NodeId> {
+        &self.community
+    }
+
+    /// Records the start of a contact with `peer` and applies the
+    /// admission/merge rules against the peer's current state.
+    pub fn on_contact_start(&mut self, peer: &CommunityDetector, now: SimTime) {
+        self.open_since[peer.me.idx()] = Some(now);
+        // Admission: does the peer's familiar set overlap our community?
+        if !self.community.contains(&peer.me) && !peer.familiar.is_empty() {
+            let overlap = peer
+                .familiar
+                .iter()
+                .filter(|x| self.community.contains(x))
+                .count();
+            if overlap as f64 > self.cfg.admit_fraction * peer.familiar.len() as f64 {
+                self.community.insert(peer.me);
+            }
+        }
+        // Merge: adopt the peer's community wholesale on heavy overlap.
+        if self.community.contains(&peer.me) && !peer.community.is_empty() {
+            let overlap = peer
+                .community
+                .iter()
+                .filter(|x| self.community.contains(x))
+                .count();
+            if overlap as f64 > self.cfg.merge_fraction * peer.community.len() as f64 {
+                self.community.extend(peer.community.iter().copied());
+            }
+        }
+    }
+
+    /// Records the end of a contact with `peer`, accumulating its duration
+    /// and updating the familiar set.
+    pub fn on_contact_end(&mut self, peer: NodeId, now: SimTime) {
+        if let Some(start) = self.open_since[peer.idx()].take() {
+            self.contact_time[peer.idx()] += now.since(start);
+            if self.contact_time[peer.idx()] >= self.cfg.familiar_threshold {
+                if self.familiar.insert(peer) {
+                    // Familiar peers belong to the local community.
+                    self.community.insert(peer);
+                }
+            }
+        }
+    }
+
+    /// Cumulative contact seconds with `peer`.
+    pub fn contact_seconds(&self, peer: NodeId) -> f64 {
+        self.contact_time[peer.idx()]
+    }
+}
+
+/// Aggregates per-node detector views into a global [`CommunityMap`] by
+/// greedy agreement: nodes are processed in id order; each unassigned node
+/// founds a community from its local view, claiming every unassigned member.
+///
+/// Ties and asymmetric views are resolved in favour of the earlier founder,
+/// which keeps the procedure deterministic.
+pub fn detected_map(detectors: &[CommunityDetector]) -> CommunityMap {
+    let n = detectors.len();
+    let mut cid = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for i in 0..n {
+        if cid[i] != u32::MAX {
+            continue;
+        }
+        let c = next;
+        next += 1;
+        cid[i] = c;
+        for member in detectors[i].community() {
+            if cid[member.idx()] == u32::MAX {
+                cid[member.idx()] = c;
+            }
+        }
+    }
+    CommunityMap::new(cid)
+}
+
+/// Fraction of node pairs on whose community relation (same / different)
+/// two maps agree — the Rand index restricted to pairs.
+pub fn pairwise_agreement(a: &CommunityMap, b: &CommunityMap) -> f64 {
+    assert_eq!(a.n_nodes(), b.n_nodes());
+    let n = a.n_nodes();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0u64;
+    let mut total = 0u64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let x = NodeId(i as u32);
+            let y = NodeId(j as u32);
+            total += 1;
+            if a.same_community(x, y) == b.same_community(x, y) {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / total as f64
+}
+
+/// Runs the detectors over a contact trace (offline convenience used by the
+/// ablation harness and tests).
+pub fn detect_over_trace(
+    trace: &dtn_sim::ContactTrace,
+    cfg: DetectorConfig,
+) -> Vec<CommunityDetector> {
+    let n = trace.n_nodes;
+    let mut dets: Vec<CommunityDetector> =
+        (0..n).map(|i| CommunityDetector::new(NodeId(i), n, cfg)).collect();
+    // Replay contacts as (time, up/down, pair) events in time order.
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Up,
+        Down,
+    }
+    let mut events: Vec<(SimTime, Ev, dtn_sim::NodePair)> = Vec::new();
+    for c in &trace.contacts {
+        events.push((c.start, Ev::Up, c.pair));
+        events.push((c.end, Ev::Down, c.pair));
+    }
+    events.sort_by(|x, y| x.0.cmp(&y.0));
+    for (t, ev, pair) in events {
+        let (a, b) = (pair.a.idx(), pair.b.idx());
+        match ev {
+            Ev::Up => {
+                let (da, db) = split_two(&mut dets, a, b);
+                da.on_contact_start(db, t);
+                db.on_contact_start(da, t);
+            }
+            Ev::Down => {
+                dets[a].on_contact_end(NodeId(b as u32), t);
+                dets[b].on_contact_end(NodeId(a as u32), t);
+            }
+        }
+    }
+    dets
+}
+
+fn split_two<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert!(i != j);
+    if i < j {
+        let (lo, hi) = v.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::{Contact, ContactTrace};
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig {
+            familiar_threshold: 10.0,
+            admit_fraction: 0.5,
+            merge_fraction: 0.6,
+        }
+    }
+
+    #[test]
+    fn familiar_set_needs_cumulative_time() {
+        let mut a = CommunityDetector::new(NodeId(0), 3, cfg());
+        let b = CommunityDetector::new(NodeId(1), 3, cfg());
+        // Two short contacts (6 s each) cross the 10 s threshold together.
+        a.on_contact_start(&b, SimTime::secs(0.0));
+        a.on_contact_end(NodeId(1), SimTime::secs(6.0));
+        assert!(!a.familiar().contains(&NodeId(1)));
+        a.on_contact_start(&b, SimTime::secs(20.0));
+        a.on_contact_end(NodeId(1), SimTime::secs(26.0));
+        assert!(a.familiar().contains(&NodeId(1)));
+        assert!(a.community().contains(&NodeId(1)));
+        assert!((a.contact_seconds(NodeId(1)) - 12.0).abs() < 1e-9);
+    }
+
+    /// Two cliques that meet internally for long stretches and externally
+    /// only briefly should be detected as two communities.
+    fn two_clique_trace() -> ContactTrace {
+        let mut contacts = Vec::new();
+        // Clique {0,1,2} and clique {3,4,5}: long recurring internal
+        // contacts.
+        for rep in 0..10 {
+            let t = f64::from(rep) * 100.0;
+            for (x, y) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+                contacts.push(Contact::new(x, y, t + f64::from(x + y), t + f64::from(x + y) + 8.0));
+            }
+        }
+        // One brief cross contact.
+        contacts.push(Contact::new(2, 3, 995.0, 996.0));
+        ContactTrace::new(6, 1100.0, contacts)
+    }
+
+    #[test]
+    fn detects_two_cliques() {
+        let dets = detect_over_trace(&two_clique_trace(), cfg());
+        let map = detected_map(&dets);
+        let truth = CommunityMap::new(vec![0, 0, 0, 1, 1, 1]);
+        let agreement = pairwise_agreement(&map, &truth);
+        assert!(
+            agreement > 0.9,
+            "detected communities disagree with ground truth: {agreement}"
+        );
+        // Node 0 and 1 together, node 0 and 4 apart.
+        assert!(map.same_community(NodeId(0), NodeId(1)));
+        assert!(!map.same_community(NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn agreement_metric_bounds() {
+        let a = CommunityMap::new(vec![0, 0, 1, 1]);
+        let b = CommunityMap::new(vec![0, 0, 1, 1]);
+        assert_eq!(pairwise_agreement(&a, &b), 1.0);
+        let c = CommunityMap::new(vec![0, 1, 0, 1]);
+        let x = pairwise_agreement(&a, &c);
+        assert!((0.0..=1.0).contains(&x));
+        assert!(x < 1.0);
+        // Relabelling is free: same partition, different ids.
+        let d = CommunityMap::new(vec![1, 1, 0, 0]);
+        assert_eq!(pairwise_agreement(&a, &d), 1.0);
+    }
+
+    #[test]
+    fn detected_map_covers_every_node() {
+        let dets = detect_over_trace(&two_clique_trace(), cfg());
+        let map = detected_map(&dets);
+        assert_eq!(map.n_nodes(), 6);
+        let covered: usize = (0..map.n_communities())
+            .map(|c| map.members(c as u32).len())
+            .sum();
+        assert_eq!(covered, 6, "every node assigned exactly once");
+    }
+
+    /// On the real bus scenario, detection should recover most of the
+    /// district structure.
+    #[test]
+    fn recovers_district_structure_on_bus_scenario() {
+        use dtn_mobility::scenario::ScenarioConfig;
+        let scenario = ScenarioConfig::paper(32).sized(4000.0).build(3);
+        let dets = detect_over_trace(&scenario.trace, DetectorConfig::default());
+        let detected = detected_map(&dets);
+        let truth = CommunityMap::new(scenario.communities.clone());
+        let agreement = pairwise_agreement(&detected, &truth);
+        assert!(
+            agreement > 0.6,
+            "bus-district detection too weak: {agreement}"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! The meeting-interval matrix `MI` and its freshness-based gossip.
+//!
+//! Every EER node maintains an `n × n` matrix whose entry `I_ij` is the
+//! average meeting interval between nodes `i` and `j`, together with a
+//! last-update time per row. Row `i` is authoritative at node `i` (computed
+//! from its own history); all other rows arrive by gossip: when two nodes
+//! meet they exchange rows, each adopting the rows the other has fresher —
+//! the paper's footnote 1 ("only the rows with the fresher update time need
+//! to be exchanged ... which can reduce the routing information exchange
+//! overhead greatly").
+//!
+//! Unknown entries are `f64::INFINITY`; the diagonal is 0.
+
+use dtn_sim::NodeId;
+
+/// Meeting-interval matrix with per-row freshness stamps.
+#[derive(Clone, Debug)]
+pub struct MiMatrix {
+    n: usize,
+    /// Row-major `n × n`; `INFINITY` = unknown, diagonal = 0.
+    data: Vec<f64>,
+    /// Last update time per row; `-1` = never updated.
+    row_time: Vec<f64>,
+}
+
+impl MiMatrix {
+    /// Creates an all-unknown matrix for `n` nodes.
+    pub fn new(n: u32) -> Self {
+        let n = n as usize;
+        let mut data = vec![f64::INFINITY; n * n];
+        for i in 0..n {
+            data[i * n + i] = 0.0;
+        }
+        MiMatrix {
+            n,
+            data,
+            row_time: vec![-1.0; n],
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `I_ij`.
+    #[inline]
+    pub fn get(&self, i: NodeId, j: NodeId) -> f64 {
+        self.data[i.idx() * self.n + j.idx()]
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: NodeId) -> &[f64] {
+        &self.data[i.idx() * self.n..(i.idx() + 1) * self.n]
+    }
+
+    /// Freshness stamp of row `i` (`-1` = never updated).
+    #[inline]
+    pub fn row_time(&self, i: NodeId) -> f64 {
+        self.row_time[i.idx()]
+    }
+
+    /// Overwrites row `i` with `values` and stamps it with `time`.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != n`.
+    pub fn set_row(&mut self, i: NodeId, values: &[f64], time: f64) {
+        assert_eq!(values.len(), self.n);
+        self.data[i.idx() * self.n..(i.idx() + 1) * self.n].copy_from_slice(values);
+        self.data[i.idx() * self.n + i.idx()] = 0.0;
+        self.row_time[i.idx()] = time;
+    }
+
+    /// Updates a single entry of row `i` (stamping the row with `time`).
+    pub fn set_entry(&mut self, i: NodeId, j: NodeId, value: f64, time: f64) {
+        self.data[i.idx() * self.n + j.idx()] = value;
+        self.row_time[i.idx()] = self.row_time[i.idx()].max(time);
+    }
+
+    /// Adopts every row the `other` matrix has fresher. Returns the number
+    /// of rows copied (for control-overhead accounting).
+    pub fn merge_from(&mut self, other: &MiMatrix) -> usize {
+        assert_eq!(self.n, other.n);
+        let mut copied = 0;
+        for i in 0..self.n {
+            if other.row_time[i] > self.row_time[i] {
+                let lo = i * self.n;
+                let hi = lo + self.n;
+                self.data[lo..hi].copy_from_slice(&other.data[lo..hi]);
+                self.row_time[i] = other.row_time[i];
+                copied += 1;
+            }
+        }
+        copied
+    }
+
+    /// Whether two matrices hold identical data (for convergence tests).
+    pub fn same_data(&self, other: &MiMatrix) -> bool {
+        self.n == other.n
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a == b || (a.is_infinite() && b.is_infinite()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_unknown_with_zero_diagonal() {
+        let m = MiMatrix::new(3);
+        assert_eq!(m.get(NodeId(0), NodeId(0)), 0.0);
+        assert!(m.get(NodeId(0), NodeId(1)).is_infinite());
+        assert_eq!(m.row_time(NodeId(2)), -1.0);
+    }
+
+    #[test]
+    fn set_row_stamps_and_zeroes_diagonal() {
+        let mut m = MiMatrix::new(3);
+        m.set_row(NodeId(1), &[5.0, 99.0, 7.0], 10.0);
+        assert_eq!(m.get(NodeId(1), NodeId(0)), 5.0);
+        assert_eq!(m.get(NodeId(1), NodeId(1)), 0.0, "diagonal forced to 0");
+        assert_eq!(m.get(NodeId(1), NodeId(2)), 7.0);
+        assert_eq!(m.row_time(NodeId(1)), 10.0);
+    }
+
+    #[test]
+    fn merge_adopts_only_fresher_rows() {
+        let mut a = MiMatrix::new(3);
+        let mut b = MiMatrix::new(3);
+        a.set_row(NodeId(0), &[0.0, 10.0, 20.0], 5.0);
+        a.set_row(NodeId(2), &[1.0, 2.0, 0.0], 50.0);
+        b.set_row(NodeId(0), &[0.0, 11.0, 21.0], 9.0); // fresher
+        b.set_row(NodeId(2), &[9.0, 9.0, 0.0], 3.0); // staler
+        let copied = a.merge_from(&b);
+        assert_eq!(copied, 1);
+        assert_eq!(a.get(NodeId(0), NodeId(1)), 11.0, "fresher row adopted");
+        assert_eq!(a.get(NodeId(2), NodeId(0)), 1.0, "staler row kept");
+    }
+
+    #[test]
+    fn bidirectional_merge_converges() {
+        let mut a = MiMatrix::new(3);
+        let mut b = MiMatrix::new(3);
+        a.set_row(NodeId(0), &[0.0, 10.0, 20.0], 5.0);
+        b.set_row(NodeId(1), &[30.0, 0.0, 40.0], 7.0);
+        let a2 = a.clone();
+        a.merge_from(&b);
+        b.merge_from(&a2);
+        // After a second sync in either direction they are identical.
+        b.merge_from(&a);
+        assert!(a.same_data(&b));
+        assert_eq!(a.get(NodeId(1), NodeId(0)), 30.0);
+        assert_eq!(b.get(NodeId(0), NodeId(2)), 20.0);
+    }
+
+    #[test]
+    fn set_entry_bumps_row_time_monotonically() {
+        let mut m = MiMatrix::new(2);
+        m.set_entry(NodeId(0), NodeId(1), 42.0, 10.0);
+        assert_eq!(m.row_time(NodeId(0)), 10.0);
+        m.set_entry(NodeId(0), NodeId(1), 43.0, 5.0);
+        assert_eq!(m.row_time(NodeId(0)), 10.0, "older stamp must not regress");
+    }
+}

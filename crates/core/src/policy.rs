@@ -1,0 +1,117 @@
+//! Buffer-management policies — the paper's first future-work item
+//! ("extending the proposed routing protocols to be applicable to
+//! resource-constrained wireless networks by employing the buffer
+//! management").
+//!
+//! When a buffer must evict, the policy ranks victims. Beyond the ONE
+//! simulator's stock drop-oldest, we provide a contact-expectation-aware
+//! policy: evict the message least likely to still contribute a delivery —
+//! the one with the least residual lifetime, breaking ties towards messages
+//! whose replicas are widely spread already (high copy counts can afford
+//! the loss).
+
+use dtn_sim::{Buffer, Message, MessageId, SimTime};
+
+/// Victim-selection policy for buffer evictions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BufferPolicy {
+    /// Evict the oldest-received message first (ONE's default).
+    #[default]
+    OldestReceived,
+    /// Evict ascending by residual TTL, breaking ties towards higher copy
+    /// counts — keep the messages that still have time and need carriers.
+    LeastRemainingValue,
+}
+
+impl BufferPolicy {
+    /// Ranks eviction victims (first = evicted first), excluding `incoming`.
+    pub fn victims(self, buf: &Buffer, incoming: &Message, now: SimTime) -> Vec<MessageId> {
+        match self {
+            BufferPolicy::OldestReceived => {
+                let mut entries: Vec<(SimTime, MessageId)> = buf
+                    .iter()
+                    .filter(|e| e.msg.id != incoming.id)
+                    .map(|e| (e.received_at, e.msg.id))
+                    .collect();
+                entries.sort();
+                entries.into_iter().map(|(_, id)| id).collect()
+            }
+            BufferPolicy::LeastRemainingValue => {
+                let mut entries: Vec<(f64, std::cmp::Reverse<u32>, MessageId)> = buf
+                    .iter()
+                    .filter(|e| e.msg.id != incoming.id)
+                    .map(|e| {
+                        (
+                            e.msg.residual_ttl(now),
+                            std::cmp::Reverse(e.copies),
+                            e.msg.id,
+                        )
+                    })
+                    .collect();
+                entries.sort_by(|a, b| {
+                    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+                });
+                entries.into_iter().map(|(_, _, id)| id).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::{BufferEntry, NodeId};
+
+    fn entry(id: u32, created: f64, ttl: f64, copies: u32, received: f64) -> BufferEntry {
+        BufferEntry {
+            msg: Message {
+                id: MessageId(id),
+                src: NodeId(0),
+                dst: NodeId(1),
+                size: 10,
+                created: SimTime::secs(created),
+                ttl,
+            },
+            copies,
+            received_at: SimTime::secs(received),
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn oldest_received_orders_by_arrival() {
+        let mut buf = Buffer::new(1000);
+        buf.insert(entry(0, 0.0, 100.0, 1, 30.0)).unwrap();
+        buf.insert(entry(1, 0.0, 100.0, 1, 10.0)).unwrap();
+        buf.insert(entry(2, 0.0, 100.0, 1, 20.0)).unwrap();
+        let incoming = entry(9, 0.0, 100.0, 1, 0.0).msg;
+        let order = BufferPolicy::OldestReceived.victims(&buf, &incoming, SimTime::secs(40.0));
+        assert_eq!(order, vec![MessageId(1), MessageId(2), MessageId(0)]);
+    }
+
+    #[test]
+    fn least_remaining_value_prefers_expiring_and_spread() {
+        let mut buf = Buffer::new(1000);
+        buf.insert(entry(0, 0.0, 500.0, 1, 0.0)).unwrap(); // long life, 1 copy
+        buf.insert(entry(1, 0.0, 60.0, 1, 0.0)).unwrap(); // nearly dead
+        buf.insert(entry(2, 0.0, 500.0, 8, 0.0)).unwrap(); // long life, spread
+        let incoming = entry(9, 0.0, 100.0, 1, 0.0).msg;
+        let order =
+            BufferPolicy::LeastRemainingValue.victims(&buf, &incoming, SimTime::secs(50.0));
+        assert_eq!(
+            order,
+            vec![MessageId(1), MessageId(2), MessageId(0)],
+            "expiring first, then the widely-replicated one"
+        );
+    }
+
+    #[test]
+    fn incoming_message_never_selected() {
+        let mut buf = Buffer::new(1000);
+        buf.insert(entry(0, 0.0, 100.0, 1, 0.0)).unwrap();
+        let incoming = entry(0, 0.0, 100.0, 1, 0.0).msg; // same id
+        for p in [BufferPolicy::OldestReceived, BufferPolicy::LeastRemainingValue] {
+            assert!(p.victims(&buf, &incoming, SimTime::ZERO).is_empty());
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Planar geometry primitives.
+
+/// A point (or vector) in the plane, in metres.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate (metres).
+    pub x: f64,
+    /// Y coordinate (metres).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (cheaper for range tests).
+    #[inline]
+    pub fn dist_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
+    }
+}
+
+/// An axis-aligned bounding box.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from corners.
+    ///
+    /// # Panics
+    /// Panics if `max` is not ≥ `min` on both axes.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(max.x >= min.x && max.y >= min.y, "degenerate rect");
+        Rect { min, max }
+    }
+
+    /// Width in metres.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height in metres.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// The centre point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.dist_sq(b), 25.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point::new(0.0, 10.0);
+        let b = Point::new(10.0, 0.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn rect_contains_and_dims() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 5.0));
+        assert_eq!(r.width(), 10.0);
+        assert_eq!(r.height(), 5.0);
+        assert!(r.contains(Point::new(5.0, 2.5)));
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(!r.contains(Point::new(10.1, 2.0)));
+        assert_eq!(r.center(), Point::new(5.0, 2.5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rect_rejects_inverted() {
+        let _ = Rect::new(Point::new(1.0, 1.0), Point::new(0.0, 2.0));
+    }
+}

@@ -1,0 +1,284 @@
+//! Road graphs: the map that buses drive on.
+//!
+//! A [`RoadGraph`] is an undirected graph with vertices embedded in the plane.
+//! Edge weights are Euclidean lengths. Adjacency is stored in compact CSR-like
+//! form after construction for cache-friendly shortest-path queries.
+
+use crate::geometry::{Point, Rect};
+
+/// Index of a vertex in a [`RoadGraph`].
+pub type VertexId = u32;
+
+/// An undirected, planar-embedded road network.
+#[derive(Clone, Debug)]
+pub struct RoadGraph {
+    positions: Vec<Point>,
+    /// CSR offsets into `neighbors`, length `n_vertices + 1`.
+    offsets: Vec<u32>,
+    /// Flattened neighbor lists: `(neighbor, edge_length)`.
+    neighbors: Vec<(VertexId, f64)>,
+}
+
+/// Incremental builder for [`RoadGraph`].
+#[derive(Clone, Debug, Default)]
+pub struct RoadGraphBuilder {
+    positions: Vec<Point>,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl RoadGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a vertex at `p`, returning its id.
+    pub fn add_vertex(&mut self, p: Point) -> VertexId {
+        self.positions.push(p);
+        (self.positions.len() - 1) as VertexId
+    }
+
+    /// Adds an undirected edge `a — b`.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range vertices.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId) {
+        assert!(a != b, "self-loop");
+        assert!((a as usize) < self.positions.len() && (b as usize) < self.positions.len());
+        self.edges.push((a.min(b), a.max(b)));
+    }
+
+    /// Number of vertices added so far.
+    pub fn n_vertices(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Current edge list (normalised `a < b`).
+    pub fn edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// Removes edge `a — b` if present; returns whether it was removed.
+    pub fn remove_edge(&mut self, a: VertexId, b: VertexId) -> bool {
+        let key = (a.min(b), a.max(b));
+        if let Some(pos) = self.edges.iter().position(|&e| e == key) {
+            self.edges.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the graph (restricted to vertices that exist) is connected.
+    pub fn is_connected(&self) -> bool {
+        let n = self.positions.len();
+        if n <= 1 {
+            return true;
+        }
+        let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in &adj[v as usize] {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Finalises into a [`RoadGraph`], deduplicating edges.
+    pub fn build(mut self) -> RoadGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.positions.len();
+        let mut degree = vec![0u32; n];
+        for &(a, b) in &self.edges {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut neighbors = vec![(0u32, 0.0); *offsets.last().unwrap() as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for &(a, b) in &self.edges {
+            let len = self.positions[a as usize].dist(self.positions[b as usize]);
+            neighbors[cursor[a as usize] as usize] = (b, len);
+            cursor[a as usize] += 1;
+            neighbors[cursor[b as usize] as usize] = (a, len);
+            cursor[b as usize] += 1;
+        }
+        RoadGraph {
+            positions: self.positions,
+            offsets,
+            neighbors,
+        }
+    }
+}
+
+impl RoadGraph {
+    /// Number of vertices.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Position of vertex `v`.
+    #[inline]
+    pub fn position(&self, v: VertexId) -> Point {
+        self.positions[v as usize]
+    }
+
+    /// All vertex positions.
+    #[inline]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Neighbors of `v` with edge lengths.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, f64)] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// The bounding box of all vertices.
+    ///
+    /// # Panics
+    /// Panics on an empty graph.
+    pub fn bounds(&self) -> Rect {
+        assert!(!self.positions.is_empty(), "empty graph has no bounds");
+        let mut min = self.positions[0];
+        let mut max = self.positions[0];
+        for p in &self.positions {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        Rect::new(min, max)
+    }
+
+    /// The vertex nearest to `p`.
+    pub fn nearest_vertex(&self, p: Point) -> VertexId {
+        let mut best = 0u32;
+        let mut best_d = f64::INFINITY;
+        for (i, q) in self.positions.iter().enumerate() {
+            let d = p.dist_sq(*q);
+            if d < best_d {
+                best_d = d;
+                best = i as u32;
+            }
+        }
+        best
+    }
+
+    /// Sum of all edge lengths (total road length, metres).
+    pub fn total_length(&self) -> f64 {
+        self.neighbors.iter().map(|(_, l)| l).sum::<f64>() / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2×2 square with one diagonal.
+    fn square() -> RoadGraph {
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(1.0, 0.0));
+        let v2 = b.add_vertex(Point::new(1.0, 1.0));
+        let v3 = b.add_vertex(Point::new(0.0, 1.0));
+        b.add_edge(v0, v1);
+        b.add_edge(v1, v2);
+        b.add_edge(v2, v3);
+        b.add_edge(v3, v0);
+        b.add_edge(v0, v2);
+        b.build()
+    }
+
+    #[test]
+    fn build_counts_and_lengths() {
+        let g = square();
+        assert_eq!(g.n_vertices(), 4);
+        assert_eq!(g.n_edges(), 5);
+        assert!((g.total_length() - (4.0 + 2f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = square();
+        for v in 0..4u32 {
+            for &(w, len) in g.neighbors(v) {
+                assert!(
+                    g.neighbors(w).iter().any(|&(x, l)| x == v && l == len),
+                    "edge {v}->{w} not mirrored"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduped() {
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(1.0, 0.0));
+        b.add_edge(v0, v1);
+        b.add_edge(v1, v0);
+        let g = b.build();
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(1.0, 0.0));
+        let v2 = b.add_vertex(Point::new(2.0, 0.0));
+        b.add_edge(v0, v1);
+        assert!(!b.is_connected());
+        b.add_edge(v1, v2);
+        assert!(b.is_connected());
+        assert!(b.remove_edge(v1, v2));
+        assert!(!b.is_connected());
+        assert!(!b.remove_edge(v1, v2), "already removed");
+    }
+
+    #[test]
+    fn nearest_vertex_and_bounds() {
+        let g = square();
+        assert_eq!(g.nearest_vertex(Point::new(0.1, 0.1)), 0);
+        assert_eq!(g.nearest_vertex(Point::new(0.9, 0.95)), 2);
+        let b = g.bounds();
+        assert_eq!(b.min, Point::new(0.0, 0.0));
+        assert_eq!(b.max, Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let mut b = RoadGraphBuilder::new();
+        let v = b.add_vertex(Point::new(0.0, 0.0));
+        b.add_edge(v, v);
+    }
+}

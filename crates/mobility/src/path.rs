@@ -1,0 +1,172 @@
+//! Shortest paths on road graphs.
+
+use crate::geometry::Point;
+use crate::graph::{RoadGraph, VertexId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total-ordered f64 key for the Dijkstra heap.
+#[derive(PartialEq)]
+struct Key(f64);
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Reusable Dijkstra state, so repeated route computations don't reallocate.
+#[derive(Debug, Default)]
+pub struct PathFinder {
+    dist: Vec<f64>,
+    prev: Vec<u32>,
+    visited: Vec<bool>,
+}
+
+impl PathFinder {
+    /// Creates a path finder (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shortest path from `from` to `to` as a vertex sequence (inclusive of
+    /// both endpoints), or `None` if unreachable. `from == to` yields a
+    /// single-vertex path.
+    pub fn shortest_path(
+        &mut self,
+        g: &RoadGraph,
+        from: VertexId,
+        to: VertexId,
+    ) -> Option<Vec<VertexId>> {
+        let n = g.n_vertices();
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.prev.clear();
+        self.prev.resize(n, u32::MAX);
+        self.visited.clear();
+        self.visited.resize(n, false);
+
+        let mut heap: BinaryHeap<Reverse<(Key, u32)>> = BinaryHeap::new();
+        self.dist[from as usize] = 0.0;
+        heap.push(Reverse((Key(0.0), from)));
+        while let Some(Reverse((Key(d), v))) = heap.pop() {
+            if self.visited[v as usize] {
+                continue;
+            }
+            self.visited[v as usize] = true;
+            if v == to {
+                break;
+            }
+            for &(w, len) in g.neighbors(v) {
+                let nd = d + len;
+                if nd < self.dist[w as usize] {
+                    self.dist[w as usize] = nd;
+                    self.prev[w as usize] = v;
+                    heap.push(Reverse((Key(nd), w)));
+                }
+            }
+        }
+        if !self.visited[to as usize] {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut v = to;
+        while v != from {
+            v = self.prev[v as usize];
+            path.push(v);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Length (metres) of the last computed path's destination, useful after
+    /// [`PathFinder::shortest_path`].
+    pub fn distance_to(&self, v: VertexId) -> f64 {
+        self.dist.get(v as usize).copied().unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Converts a vertex path to a polyline of points.
+pub fn path_polyline(g: &RoadGraph, path: &[VertexId]) -> Vec<Point> {
+    path.iter().map(|&v| g.position(v)).collect()
+}
+
+/// Total length of a polyline in metres.
+pub fn polyline_length(points: &[Point]) -> f64 {
+    points.windows(2).map(|w| w[0].dist(w[1])).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadGraphBuilder;
+
+    /// Line graph 0 - 1 - 2 - 3 with unit spacing plus shortcut 0 - 3 of
+    /// length 10 (detour), so the line is shortest.
+    fn line() -> RoadGraph {
+        let mut b = RoadGraphBuilder::new();
+        for i in 0..4 {
+            b.add_vertex(Point::new(i as f64, 0.0));
+        }
+        let far = b.add_vertex(Point::new(1.5, 10.0));
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.add_edge(0, far);
+        b.add_edge(far, 3);
+        b.build()
+    }
+
+    #[test]
+    fn shortest_path_prefers_line() {
+        let g = line();
+        let mut pf = PathFinder::new();
+        let p = pf.shortest_path(&g, 0, 3).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3]);
+        assert!((pf.distance_to(3) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_to_self() {
+        let g = line();
+        let mut pf = PathFinder::new();
+        assert_eq!(pf.shortest_path(&g, 2, 2).unwrap(), vec![2]);
+        assert_eq!(pf.distance_to(2), 0.0);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = RoadGraphBuilder::new();
+        b.add_vertex(Point::new(0.0, 0.0));
+        b.add_vertex(Point::new(1.0, 0.0));
+        let g = b.build();
+        let mut pf = PathFinder::new();
+        assert!(pf.shortest_path(&g, 0, 1).is_none());
+    }
+
+    #[test]
+    fn polyline_helpers() {
+        let g = line();
+        let mut pf = PathFinder::new();
+        let p = pf.shortest_path(&g, 0, 3).unwrap();
+        let poly = path_polyline(&g, &p);
+        assert_eq!(poly.len(), 4);
+        assert!((polyline_length(&poly) - 3.0).abs() < 1e-12);
+    }
+
+    /// The finder is reusable without state leaking between queries.
+    #[test]
+    fn finder_reuse() {
+        let g = line();
+        let mut pf = PathFinder::new();
+        let p1 = pf.shortest_path(&g, 0, 3).unwrap();
+        let p2 = pf.shortest_path(&g, 3, 0).unwrap();
+        assert_eq!(p1, vec![0, 1, 2, 3]);
+        assert_eq!(p2, vec![3, 2, 1, 0]);
+    }
+}

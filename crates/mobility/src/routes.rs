@@ -1,0 +1,281 @@
+//! Bus-line (map-route) mobility.
+//!
+//! A [`BusRoute`] is a closed loop over the road graph built by joining a few
+//! anchor intersections ("stops") with shortest paths. Buses walk the loop
+//! forever: per-leg speeds are drawn uniformly from the configured range and
+//! buses pause briefly at stops — the vehicular map-route model of the ONE
+//! simulator that the paper's evaluation uses.
+
+use crate::geometry::Point;
+use crate::graph::{RoadGraph, VertexId};
+use crate::path::{path_polyline, PathFinder};
+use crate::trajectory::Trajectory;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Speed/pause parameters of the bus movement.
+#[derive(Clone, Copy, Debug)]
+pub struct BusConfig {
+    /// Minimum speed in m/s (paper: 2.7).
+    pub speed_min: f64,
+    /// Maximum speed in m/s (paper: 13.9).
+    pub speed_max: f64,
+    /// Maximum pause at a stop in seconds (uniform in `[0, max]`).
+    pub stop_pause_max: f64,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            speed_min: 2.7,
+            speed_max: 13.9,
+            stop_pause_max: 10.0,
+        }
+    }
+}
+
+/// A closed bus line over the road graph.
+#[derive(Clone, Debug)]
+pub struct BusRoute {
+    /// The stop vertices the loop visits.
+    pub anchors: Vec<VertexId>,
+    /// Closed polyline (`poly[0] == poly[last]`).
+    poly: Vec<Point>,
+    /// `stop[i]` is true when `poly[i]` is an anchor (bus stop).
+    stop: Vec<bool>,
+    /// Cumulative arc length: `cum[i]` = distance from `poly[0]` to `poly[i]`.
+    cum: Vec<f64>,
+}
+
+impl BusRoute {
+    /// Builds a route visiting `anchors` in order (then back to the first),
+    /// following shortest paths on `g`.
+    ///
+    /// Returns `None` if any consecutive pair is unreachable or the loop has
+    /// zero length.
+    pub fn new(g: &RoadGraph, anchors: Vec<VertexId>, pf: &mut PathFinder) -> Option<Self> {
+        assert!(anchors.len() >= 2, "a route needs at least two stops");
+        let mut poly: Vec<Point> = Vec::new();
+        let mut stop: Vec<bool> = Vec::new();
+        let n = anchors.len();
+        for i in 0..n {
+            let from = anchors[i];
+            let to = anchors[(i + 1) % n];
+            let path = pf.shortest_path(g, from, to)?;
+            let pts = path_polyline(g, &path);
+            // Skip the first point of each leg except the very first: it
+            // duplicates the previous leg's endpoint.
+            let skip = usize::from(i > 0);
+            for (j, p) in pts.iter().enumerate().skip(skip) {
+                poly.push(*p);
+                stop.push(j == 0 || (j == pts.len() - 1 && i == n - 1));
+            }
+        }
+        // First point is an anchor too.
+        if let Some(s) = stop.first_mut() {
+            *s = true;
+        }
+        let mut cum = Vec::with_capacity(poly.len());
+        let mut acc = 0.0;
+        cum.push(0.0);
+        for w in poly.windows(2) {
+            acc += w[0].dist(w[1]);
+            cum.push(acc);
+        }
+        if acc <= 0.0 {
+            return None;
+        }
+        Some(BusRoute {
+            anchors,
+            poly,
+            stop,
+            cum,
+        })
+    }
+
+    /// Loop length in metres.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        *self.cum.last().unwrap()
+    }
+
+    /// The closed polyline.
+    pub fn polyline(&self) -> &[Point] {
+        &self.poly
+    }
+
+    /// The point at arc distance `d` (mod loop length) from the start, and
+    /// the index of the segment containing it.
+    fn at_distance(&self, d: f64) -> (usize, Point) {
+        let len = self.length();
+        let d = d.rem_euclid(len);
+        // Find segment i with cum[i] <= d < cum[i+1].
+        let i = match self.cum.binary_search_by(|c| c.total_cmp(&d)) {
+            Ok(i) => i.min(self.poly.len() - 2),
+            Err(i) => i - 1,
+        };
+        let seg_len = self.cum[i + 1] - self.cum[i];
+        let frac = if seg_len > 0.0 {
+            (d - self.cum[i]) / seg_len
+        } else {
+            0.0
+        };
+        (i, self.poly[i].lerp(self.poly[i + 1], frac))
+    }
+
+    /// Generates the trajectory of one bus on this route.
+    ///
+    /// The bus starts at arc offset `offset_frac` (in `[0,1)`) along the
+    /// loop and drives until at least `duration` seconds of movement are
+    /// covered. Per-leg speeds and stop pauses are drawn from `cfg` using
+    /// `rng`.
+    pub fn bus_trajectory(
+        &self,
+        offset_frac: f64,
+        duration: f64,
+        cfg: &BusConfig,
+        rng: &mut SmallRng,
+    ) -> Trajectory {
+        assert!((0.0..1.0).contains(&offset_frac));
+        assert!(cfg.speed_min > 0.0 && cfg.speed_max >= cfg.speed_min);
+        let (mut seg, start_pt) = self.at_distance(offset_frac * self.length());
+        let mut pts: Vec<(f64, Point)> = Vec::new();
+        let mut t = 0.0;
+        let mut cur = start_pt;
+        pts.push((t, cur));
+        // `seg` is the segment we are currently on; we first finish it, then
+        // walk whole segments cyclically.
+        let last_seg = self.poly.len() - 1; // number of segments
+        let mut speed = rng.gen_range(cfg.speed_min..=cfg.speed_max);
+        while t < duration {
+            let next_vertex = (seg + 1) % last_seg.max(1);
+            let target = self.poly[seg + 1];
+            let dist = cur.dist(target);
+            if dist > 0.0 {
+                t += dist / speed;
+                pts.push((t, target));
+            }
+            cur = target;
+            // Stop pause and fresh leg speed at bus stops.
+            let vertex_idx = seg + 1;
+            if self.stop[vertex_idx] && cfg.stop_pause_max > 0.0 {
+                let pause = rng.gen_range(0.0..=cfg.stop_pause_max);
+                if pause > 0.0 {
+                    t += pause;
+                    pts.push((t, cur));
+                }
+                speed = rng.gen_range(cfg.speed_min..=cfg.speed_max);
+            }
+            // Advance; wrap from the duplicate closing vertex back to 0.
+            seg = if vertex_idx >= last_seg { 0 } else { next_vertex };
+            if seg == 0 {
+                cur = self.poly[0];
+            }
+        }
+        Trajectory::new(pts)
+    }
+}
+
+/// Picks `k` distinct random elements of `pool` (order randomised).
+pub(crate) fn sample_distinct(pool: &[VertexId], k: usize, rng: &mut SmallRng) -> Vec<VertexId> {
+    assert!(k <= pool.len(), "not enough vertices to sample from");
+    let mut idx: Vec<usize> = (0..pool.len()).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..idx.len());
+        idx.swap(i, j);
+    }
+    idx[..k].iter().map(|&i| pool[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapgen::MapConfig;
+    use rand::SeedableRng;
+
+    fn setup() -> (RoadGraph, BusRoute) {
+        let g = MapConfig::tiny().generate(3);
+        let mut pf = PathFinder::new();
+        let route = BusRoute::new(&g, vec![0, 5, 10, 3], &mut pf).expect("route");
+        (g, route)
+    }
+
+    #[test]
+    fn route_is_closed_loop() {
+        let (_, r) = setup();
+        let poly = r.polyline();
+        assert!(poly.len() >= 4);
+        assert_eq!(poly[0], poly[poly.len() - 1], "loop must close");
+        assert!(r.length() > 0.0);
+    }
+
+    #[test]
+    fn at_distance_wraps() {
+        let (_, r) = setup();
+        let (_, p0) = r.at_distance(0.0);
+        let (_, p_wrap) = r.at_distance(r.length());
+        assert!(p0.dist(p_wrap) < 1e-9);
+        let (_, p_mod) = r.at_distance(r.length() * 2.5);
+        let (_, p_half) = r.at_distance(r.length() * 0.5);
+        assert!(p_mod.dist(p_half) < 1e-9);
+    }
+
+    #[test]
+    fn trajectory_covers_duration_and_respects_speed() {
+        let (_, r) = setup();
+        let cfg = BusConfig::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let traj = r.bus_trajectory(0.25, 500.0, &cfg, &mut rng);
+        assert!(traj.end_time() >= 500.0);
+        let vmax = traj.max_speed();
+        assert!(vmax <= cfg.speed_max + 1e-9, "max speed {vmax}");
+        assert!(vmax >= cfg.speed_min - 1e-9);
+    }
+
+    #[test]
+    fn trajectory_points_stay_on_map_bounds() {
+        let (g, r) = setup();
+        let bounds = g.bounds();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let traj = r.bus_trajectory(0.0, 300.0, &BusConfig::default(), &mut rng);
+        for &(_, p) in traj.points() {
+            assert!(
+                bounds.contains(p),
+                "trajectory left the map at {p:?} (bounds {bounds:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn different_offsets_start_apart() {
+        let (_, r) = setup();
+        let mut rng1 = SmallRng::seed_from_u64(3);
+        let mut rng2 = SmallRng::seed_from_u64(3);
+        let t1 = r.bus_trajectory(0.0, 100.0, &BusConfig::default(), &mut rng1);
+        let t2 = r.bus_trajectory(0.5, 100.0, &BusConfig::default(), &mut rng2);
+        assert!(t1.position_at(0.0).dist(t2.position_at(0.0)) > 1.0);
+    }
+
+    #[test]
+    fn sample_distinct_has_no_duplicates() {
+        let pool: Vec<u32> = (0..20).collect();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = sample_distinct(&pool, 8, &mut rng);
+        assert_eq!(s.len(), 8);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn unreachable_route_returns_none() {
+        use crate::graph::RoadGraphBuilder;
+        let mut b = RoadGraphBuilder::new();
+        b.add_vertex(Point::new(0.0, 0.0));
+        b.add_vertex(Point::new(1.0, 0.0));
+        let g = b.build();
+        let mut pf = PathFinder::new();
+        assert!(BusRoute::new(&g, vec![0, 1], &mut pf).is_none());
+    }
+}

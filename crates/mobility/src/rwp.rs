@@ -1,0 +1,96 @@
+//! Random-waypoint mobility.
+//!
+//! Not used by the paper's evaluation (which is map-driven) but a standard
+//! baseline model, useful for unit tests and for exercising the protocols on
+//! a memoryless contact process.
+
+use crate::geometry::{Point, Rect};
+use crate::trajectory::Trajectory;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Random-waypoint parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RwpConfig {
+    /// Movement area.
+    pub area: Rect,
+    /// Minimum speed (m/s).
+    pub speed_min: f64,
+    /// Maximum speed (m/s).
+    pub speed_max: f64,
+    /// Maximum pause at each waypoint (uniform in `[0, max]`).
+    pub pause_max: f64,
+}
+
+impl RwpConfig {
+    /// A convenient square area of side `side` metres with the paper's
+    /// speed range.
+    pub fn square(side: f64) -> Self {
+        RwpConfig {
+            area: Rect::new(Point::new(0.0, 0.0), Point::new(side, side)),
+            speed_min: 2.7,
+            speed_max: 13.9,
+            pause_max: 10.0,
+        }
+    }
+
+    /// Generates one node's trajectory covering at least `duration` seconds.
+    pub fn trajectory(&self, duration: f64, rng: &mut SmallRng) -> Trajectory {
+        assert!(self.speed_min > 0.0 && self.speed_max >= self.speed_min);
+        let rand_point = |rng: &mut SmallRng| {
+            Point::new(
+                rng.gen_range(self.area.min.x..=self.area.max.x),
+                rng.gen_range(self.area.min.y..=self.area.max.y),
+            )
+        };
+        let mut pts: Vec<(f64, Point)> = Vec::new();
+        let mut t = 0.0;
+        let mut cur = rand_point(rng);
+        pts.push((t, cur));
+        while t < duration {
+            let next = rand_point(rng);
+            let dist = cur.dist(next);
+            if dist > 0.0 {
+                let v = rng.gen_range(self.speed_min..=self.speed_max);
+                t += dist / v;
+                pts.push((t, next));
+            }
+            cur = next;
+            if self.pause_max > 0.0 {
+                let pause = rng.gen_range(0.0..=self.pause_max);
+                if pause > 0.0 {
+                    t += pause;
+                    pts.push((t, cur));
+                }
+            }
+        }
+        Trajectory::new(pts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stays_in_area_and_covers_duration() {
+        let cfg = RwpConfig::square(1000.0);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let t = cfg.trajectory(500.0, &mut rng);
+        assert!(t.end_time() >= 500.0);
+        for &(_, p) in t.points() {
+            assert!(cfg.area.contains(p));
+        }
+        let v = t.max_speed();
+        assert!(v <= cfg.speed_max + 1e-9 && v >= cfg.speed_min - 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_rng_seed() {
+        let cfg = RwpConfig::square(100.0);
+        let t1 = cfg.trajectory(100.0, &mut SmallRng::seed_from_u64(1));
+        let t2 = cfg.trajectory(100.0, &mut SmallRng::seed_from_u64(1));
+        assert_eq!(t1.points(), t2.points());
+    }
+}

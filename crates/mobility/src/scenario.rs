@@ -1,0 +1,268 @@
+//! Scenario builders: map + bus lines + buses ⇒ contact trace + communities.
+//!
+//! [`ScenarioConfig`] reproduces the paper's evaluation setting: buses on a
+//! downtown road network. With `districts > 1`, bus lines are clustered into
+//! geographic districts — each line's buses form a *community* with high
+//! intra-community contact frequency, which is exactly the structure the CR
+//! protocol exploits. A configurable fraction of "express" lines crosses
+//! districts so inter-community transfer opportunities exist.
+
+use crate::contacts::{generate_trace, ContactGenConfig};
+use crate::graph::{RoadGraph, VertexId};
+use crate::mapgen::MapConfig;
+use crate::path::PathFinder;
+use crate::routes::{sample_distinct, BusConfig, BusRoute};
+use crate::trajectory::Trajectory;
+use dtn_sim::ContactTrace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Full scenario parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioConfig {
+    /// Number of buses (network nodes).
+    pub n_nodes: u32,
+    /// Simulation horizon in seconds (paper: 10 000).
+    pub duration: f64,
+    /// Map generator parameters.
+    pub map: MapConfig,
+    /// Bus speed/pause parameters.
+    pub bus: BusConfig,
+    /// Contact detection parameters (range 10 m in the paper).
+    pub contact: ContactGenConfig,
+    /// Number of geographic districts (= communities); 1 disables community
+    /// structure.
+    pub districts: u32,
+    /// Fraction of bus lines whose stops span the whole map.
+    pub express_fraction: f64,
+    /// Number of bus lines. Fixed independently of `n_nodes`, like a real
+    /// city: growing the fleet adds buses to existing lines, which *densifies*
+    /// contacts (the paper's delivery ratio rises with N for this reason).
+    pub n_routes: u32,
+    /// Stops per bus line.
+    pub stops_per_route: u32,
+}
+
+impl ScenarioConfig {
+    /// The paper's §V-A setting for `n` nodes: downtown map, 10 000 s,
+    /// 10 m range, speeds 2.7–13.9 m/s, with 4 districts.
+    pub fn paper(n_nodes: u32) -> Self {
+        ScenarioConfig {
+            n_nodes,
+            duration: 10_000.0,
+            map: MapConfig::helsinki_downtown(),
+            bus: BusConfig::default(),
+            contact: ContactGenConfig::default(),
+            districts: 4,
+            express_fraction: 0.25,
+            n_routes: 12,
+            stops_per_route: 5,
+        }
+    }
+
+    /// A small/fast variant for tests: fewer nodes, shorter horizon.
+    pub fn small(n_nodes: u32, duration: f64) -> Self {
+        ScenarioConfig {
+            n_nodes,
+            duration,
+            map: MapConfig::tiny(),
+            bus: BusConfig::default(),
+            contact: ContactGenConfig::default(),
+            districts: 2,
+            express_fraction: 0.25,
+            n_routes: 2,
+            stops_per_route: 3,
+        }
+    }
+
+    /// Returns a copy with a different simulation horizon (seconds).
+    pub fn sized(mut self, duration: f64) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Builds the scenario deterministically from `seed`.
+    pub fn build(&self, seed: u64) -> Scenario {
+        assert!(self.n_nodes >= 2);
+        assert!(self.districts >= 1);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x7363_656e_u64);
+        let graph = self.map.generate(seed);
+        let district_of = district_assignment(&graph, self.districts);
+
+        // Vertex pools per district.
+        let mut pools: Vec<Vec<VertexId>> = vec![Vec::new(); self.districts as usize];
+        for (v, &d) in district_of.iter().enumerate() {
+            pools[d as usize].push(v as VertexId);
+        }
+        let all: Vec<VertexId> = (0..graph.n_vertices() as u32).collect();
+
+        let n_routes = self.n_routes.min(self.n_nodes).max(1);
+        let mut pf = PathFinder::new();
+        let mut routes: Vec<(BusRoute, u32)> = Vec::with_capacity(n_routes as usize);
+        for r in 0..n_routes {
+            let home = r % self.districts;
+            let express = self.districts > 1 && rng.gen::<f64>() < self.express_fraction;
+            let pool: &[VertexId] = if express || pools[home as usize].len()
+                < self.stops_per_route as usize
+            {
+                &all
+            } else {
+                &pools[home as usize]
+            };
+            // Retry a few times in the (unlikely) case of a degenerate loop.
+            let route = loop {
+                let anchors =
+                    sample_distinct(pool, self.stops_per_route as usize, &mut rng);
+                if let Some(route) = BusRoute::new(&graph, anchors, &mut pf) {
+                    break route;
+                }
+            };
+            routes.push((route, home));
+        }
+
+        let mut trajectories = Vec::with_capacity(self.n_nodes as usize);
+        let mut communities = Vec::with_capacity(self.n_nodes as usize);
+        for k in 0..self.n_nodes {
+            let ri = (k % n_routes) as usize;
+            let (route, home) = &routes[ri];
+            let on_route = k / n_routes; // index of this bus on its line
+            let buses_on_line = buses_on_route(self.n_nodes, n_routes, ri as u32);
+            let offset = (f64::from(on_route) + rng.gen_range(0.0..0.5))
+                / f64::from(buses_on_line.max(1));
+            let mut bus_rng = SmallRng::seed_from_u64(seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(u64::from(k)));
+            trajectories.push(route.bus_trajectory(
+                offset.min(0.999),
+                self.duration,
+                &self.bus,
+                &mut bus_rng,
+            ));
+            communities.push(*home);
+        }
+
+        let trace = generate_trace(&trajectories, self.duration, self.contact);
+        Scenario {
+            trace,
+            communities,
+            n_communities: self.districts,
+            graph,
+            trajectories,
+        }
+    }
+}
+
+/// Number of buses line `ri` receives under round-robin assignment.
+fn buses_on_route(n_nodes: u32, n_routes: u32, ri: u32) -> u32 {
+    n_nodes / n_routes + u32::from(ri < n_nodes % n_routes)
+}
+
+/// Assigns each map vertex to a vertical-band district.
+fn district_assignment(g: &RoadGraph, districts: u32) -> Vec<u32> {
+    if districts <= 1 {
+        return vec![0; g.n_vertices()];
+    }
+    let bounds = g.bounds();
+    let band = bounds.width() / f64::from(districts);
+    g.positions()
+        .iter()
+        .map(|p| {
+            let d = ((p.x - bounds.min.x) / band).floor() as i64;
+            d.clamp(0, i64::from(districts) - 1) as u32
+        })
+        .collect()
+}
+
+/// A built scenario: the contact trace plus community ground truth.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The contact trace the engine replays.
+    pub trace: ContactTrace,
+    /// Community id of each node (the home district of its bus line).
+    pub communities: Vec<u32>,
+    /// Number of communities.
+    pub n_communities: u32,
+    /// The road graph (retained for inspection/visualisation).
+    pub graph: RoadGraph,
+    /// Node trajectories (retained for inspection/visualisation).
+    pub trajectories: Vec<Trajectory>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_builds_and_validates() {
+        let cfg = ScenarioConfig {
+            duration: 1000.0,
+            ..ScenarioConfig::paper(40)
+        };
+        let s = cfg.build(1);
+        assert_eq!(s.trace.n_nodes, 40);
+        assert_eq!(s.communities.len(), 40);
+        assert!(s.trace.validate().is_ok());
+        assert!(
+            !s.trace.contacts.is_empty(),
+            "buses on a downtown map must meet within 1000 s"
+        );
+        // All four districts populated.
+        let mut seen = vec![false; 4];
+        for &c in &s.communities {
+            seen[c as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "communities {:?}", s.communities);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ScenarioConfig::small(8, 300.0);
+        let s1 = cfg.build(7);
+        let s2 = cfg.build(7);
+        assert_eq!(s1.trace.contacts, s2.trace.contacts);
+        assert_eq!(s1.communities, s2.communities);
+        let s3 = cfg.build(8);
+        // Extremely unlikely to match exactly.
+        assert_ne!(s1.trace.contacts, s3.trace.contacts);
+    }
+
+    #[test]
+    fn single_district_means_one_community() {
+        let cfg = ScenarioConfig {
+            districts: 1,
+            ..ScenarioConfig::small(6, 200.0)
+        };
+        let s = cfg.build(3);
+        assert!(s.communities.iter().all(|&c| c == 0));
+        assert_eq!(s.n_communities, 1);
+    }
+
+    #[test]
+    fn intra_community_contacts_dominate() {
+        // The community structure must actually show in the contact process:
+        // same-community pairs should meet far more often than cross pairs
+        // (per-pair normalised).
+        let cfg = ScenarioConfig {
+            duration: 2000.0,
+            ..ScenarioConfig::paper(48)
+        };
+        let s = cfg.build(11);
+        let mut intra = 0u64;
+        let mut inter = 0u64;
+        for c in &s.trace.contacts {
+            if s.communities[c.pair.a.idx()] == s.communities[c.pair.b.idx()] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 0);
+        // Same-community pairs are ~1/4 of all pairs; if contacts were
+        // community-blind, intra ≈ total/4. Require clear skew.
+        let total = intra + inter;
+        assert!(
+            intra * 2 > total,
+            "intra {intra} inter {inter}: community structure too weak"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Shortest-path map-based movement (SPMBM) — the ONE simulator's default
+//! model for pedestrians and cars: pick a random destination intersection,
+//! walk there along the shortest street path at a random speed, optionally
+//! pause, repeat.
+//!
+//! Not used by the paper's bus evaluation (which is route-driven) but part
+//! of the substrate so scenarios can mix vehicle classes.
+
+use crate::graph::{RoadGraph, VertexId};
+use crate::path::{path_polyline, PathFinder};
+use crate::trajectory::Trajectory;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// SPMBM parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SpmbmConfig {
+    /// Minimum leg speed (m/s).
+    pub speed_min: f64,
+    /// Maximum leg speed (m/s).
+    pub speed_max: f64,
+    /// Maximum pause at each destination (uniform in `[0, max]`).
+    pub pause_max: f64,
+}
+
+impl Default for SpmbmConfig {
+    fn default() -> Self {
+        SpmbmConfig {
+            speed_min: 0.5,
+            speed_max: 1.5, // pedestrian speeds, per the ONE's defaults
+            pause_max: 120.0,
+        }
+    }
+}
+
+impl SpmbmConfig {
+    /// Generates one node's trajectory on `g`, starting at a random vertex,
+    /// covering at least `duration` seconds.
+    ///
+    /// # Panics
+    /// Panics on an empty graph or non-positive speeds.
+    pub fn trajectory(
+        &self,
+        g: &RoadGraph,
+        duration: f64,
+        rng: &mut SmallRng,
+    ) -> Trajectory {
+        assert!(g.n_vertices() > 0, "empty map");
+        assert!(self.speed_min > 0.0 && self.speed_max >= self.speed_min);
+        let mut pf = PathFinder::new();
+        let mut at: VertexId = rng.gen_range(0..g.n_vertices() as u32);
+        let mut t = 0.0;
+        let mut pts = vec![(t, g.position(at))];
+        while t < duration {
+            let mut dest: VertexId = rng.gen_range(0..g.n_vertices() as u32);
+            // Skip unreachable or trivial destinations (maps are connected,
+            // so this is just the `dest == at` case in practice).
+            let path = loop {
+                if dest != at {
+                    if let Some(p) = pf.shortest_path(g, at, dest) {
+                        break p;
+                    }
+                }
+                dest = rng.gen_range(0..g.n_vertices() as u32);
+            };
+            let speed = rng.gen_range(self.speed_min..=self.speed_max);
+            for w in path_polyline(g, &path).windows(2) {
+                let d = w[0].dist(w[1]);
+                if d > 0.0 {
+                    t += d / speed;
+                    pts.push((t, w[1]));
+                }
+            }
+            at = dest;
+            if self.pause_max > 0.0 {
+                let pause = rng.gen_range(0.0..=self.pause_max);
+                if pause > 0.0 {
+                    t += pause;
+                    pts.push((t, g.position(at)));
+                }
+            }
+        }
+        Trajectory::new(pts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapgen::MapConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walks_stay_on_map_and_cover_duration() {
+        let g = MapConfig::tiny().generate(2);
+        let bounds = g.bounds();
+        let cfg = SpmbmConfig::default();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let traj = cfg.trajectory(&g, 600.0, &mut rng);
+        assert!(traj.end_time() >= 600.0);
+        for &(_, p) in traj.points() {
+            assert!(bounds.contains(p), "left the map at {p:?}");
+        }
+        let v = traj.max_speed();
+        assert!(v <= cfg.speed_max + 1e-9);
+        assert!(v >= cfg.speed_min - 1e-9);
+    }
+
+    #[test]
+    fn breakpoints_are_vertices_or_pauses() {
+        // Every breakpoint (after the start) coincides with a map vertex —
+        // SPMBM never cuts corners.
+        let g = MapConfig::tiny().generate(7);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let traj = SpmbmConfig::default().trajectory(&g, 300.0, &mut rng);
+        for &(_, p) in traj.points() {
+            let nearest = g.position(g.nearest_vertex(p));
+            assert!(
+                nearest.dist(p) < 1e-6,
+                "breakpoint {p:?} is not a map vertex"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = MapConfig::tiny().generate(1);
+        let a = SpmbmConfig::default().trajectory(&g, 200.0, &mut SmallRng::seed_from_u64(5));
+        let b = SpmbmConfig::default().trajectory(&g, 200.0, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(a.points(), b.points());
+    }
+}

@@ -1,0 +1,184 @@
+//! SVG rendering of maps, bus routes and node positions — dependency-free
+//! scenario visualisation for debugging and documentation.
+//!
+//! ```no_run
+//! use dtn_mobility::scenario::ScenarioConfig;
+//! use dtn_mobility::svg::SvgScene;
+//!
+//! let s = ScenarioConfig::paper(40).sized(1000.0).build(1);
+//! let svg = SvgScene::new(&s.graph)
+//!     .with_trajectory_points(&s.trajectories, 500.0, &s.communities)
+//!     .render();
+//! std::fs::write("city.svg", svg).unwrap();
+//! ```
+
+use crate::geometry::Point;
+use crate::graph::RoadGraph;
+use crate::routes::BusRoute;
+use crate::trajectory::Trajectory;
+use std::fmt::Write as _;
+
+/// Community colour palette (cycled).
+const PALETTE: [&str; 8] = [
+    "#e41a1c", "#377eb8", "#4daf4a", "#984ea3", "#ff7f00", "#a65628", "#f781bf", "#17becf",
+];
+
+/// A scene under construction: the road graph plus overlays.
+pub struct SvgScene<'a> {
+    graph: &'a RoadGraph,
+    routes: Vec<(&'a BusRoute, usize)>,
+    nodes: Vec<(Point, usize)>,
+    scale: f64,
+    margin: f64,
+}
+
+impl<'a> SvgScene<'a> {
+    /// Starts a scene from a road graph.
+    pub fn new(graph: &'a RoadGraph) -> Self {
+        SvgScene {
+            graph,
+            routes: Vec::new(),
+            nodes: Vec::new(),
+            scale: 0.25,
+            margin: 20.0,
+        }
+    }
+
+    /// Overlays a bus route in the palette colour `color_idx`.
+    pub fn with_route(mut self, route: &'a BusRoute, color_idx: usize) -> Self {
+        self.routes.push((route, color_idx));
+        self
+    }
+
+    /// Overlays node positions sampled from `trajectories` at time `t`,
+    /// coloured by `communities` (one id per node).
+    pub fn with_trajectory_points(
+        mut self,
+        trajectories: &[Trajectory],
+        t: f64,
+        communities: &[u32],
+    ) -> Self {
+        for (i, traj) in trajectories.iter().enumerate() {
+            let cid = communities.get(i).copied().unwrap_or(0) as usize;
+            self.nodes.push((traj.position_at(t), cid));
+        }
+        self
+    }
+
+    /// Output scale in pixels per metre (default 0.25).
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0);
+        self.scale = scale;
+        self
+    }
+
+    fn tx(&self, p: Point, min: Point) -> (f64, f64) {
+        (
+            (p.x - min.x) * self.scale + self.margin,
+            (p.y - min.y) * self.scale + self.margin,
+        )
+    }
+
+    /// Renders the scene to an SVG string.
+    pub fn render(&self) -> String {
+        let bounds = self.graph.bounds();
+        let w = bounds.width() * self.scale + 2.0 * self.margin;
+        let h = bounds.height() * self.scale + 2.0 * self.margin;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"#
+        );
+        let _ = writeln!(out, r##"<rect width="100%" height="100%" fill="#fafafa"/>"##);
+
+        // Streets.
+        for v in 0..self.graph.n_vertices() as u32 {
+            let (x1, y1) = self.tx(self.graph.position(v), bounds.min);
+            for &(u, _) in self.graph.neighbors(v) {
+                if u < v {
+                    continue; // draw each edge once
+                }
+                let (x2, y2) = self.tx(self.graph.position(u), bounds.min);
+                let _ = writeln!(
+                    out,
+                    r##"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="#bbb" stroke-width="2"/>"##
+                );
+            }
+        }
+        // Routes.
+        for (route, color_idx) in &self.routes {
+            let color = PALETTE[color_idx % PALETTE.len()];
+            let mut d = String::new();
+            for (i, p) in route.polyline().iter().enumerate() {
+                let (x, y) = self.tx(*p, bounds.min);
+                let _ = write!(d, "{}{x:.1},{y:.1} ", if i == 0 { "M" } else { "L" });
+            }
+            let _ = writeln!(
+                out,
+                r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="1.5" opacity="0.7"/>"#
+            );
+        }
+        // Nodes.
+        for (p, cid) in &self.nodes {
+            let color = PALETTE[cid % PALETTE.len()];
+            let (x, y) = self.tx(*p, bounds.min);
+            let _ = writeln!(
+                out,
+                r##"<circle cx="{x:.1}" cy="{y:.1}" r="3.5" fill="{color}" stroke="#333" stroke-width="0.6"/>"##
+            );
+        }
+        let _ = writeln!(out, "</svg>");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapgen::MapConfig;
+    use crate::path::PathFinder;
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let g = MapConfig::tiny().generate(1);
+        let svg = SvgScene::new(&g).render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One line per street edge plus the background rect.
+        assert_eq!(svg.matches("<line").count(), g.n_edges());
+    }
+
+    #[test]
+    fn overlays_routes_and_nodes() {
+        let g = MapConfig::tiny().generate(2);
+        let mut pf = PathFinder::new();
+        let route = BusRoute::new(&g, vec![0, 5, 10], &mut pf).unwrap();
+        let trajs = vec![Trajectory::stationary(g.position(3))];
+        let svg = SvgScene::new(&g)
+            .with_route(&route, 1)
+            .with_trajectory_points(&trajs, 0.0, &[2])
+            .render();
+        assert_eq!(svg.matches("<path").count(), 1);
+        assert_eq!(svg.matches("<circle").count(), 1);
+        assert!(svg.contains(PALETTE[1]), "route colour present");
+        assert!(svg.contains(PALETTE[2]), "community colour present");
+    }
+
+    #[test]
+    fn scale_changes_canvas_size() {
+        let g = MapConfig::tiny().generate(1);
+        let small = SvgScene::new(&g).with_scale(0.1).render();
+        let large = SvgScene::new(&g).with_scale(1.0).render();
+        let width = |s: &str| {
+            s.split("width=\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+                .parse::<f64>()
+                .unwrap()
+        };
+        assert!(width(&large) > width(&small));
+    }
+}

@@ -1,0 +1,288 @@
+//! Per-node message buffers with byte-capacity accounting.
+//!
+//! Buffers hold at most a few tens of messages in the paper's scenarios
+//! (1 MB capacity, 25 KB messages), so storage is a plain `Vec` with linear
+//! lookups — cache-friendly and allocation-light.
+
+use crate::ids::{MessageId, NodeId};
+use crate::message::Message;
+use crate::time::SimTime;
+
+/// A buffered message together with its per-node routing metadata.
+#[derive(Clone, Copy, Debug)]
+pub struct BufferEntry {
+    /// The message itself.
+    pub msg: Message,
+    /// Quota-routing copy count: how many logical replicas this node holds.
+    /// Always ≥ 1 while the entry is buffered.
+    pub copies: u32,
+    /// When this node obtained the message (creation or reception time).
+    pub received_at: SimTime,
+    /// Number of hops the message has taken to reach this node (0 at source).
+    pub hops: u32,
+}
+
+/// Why a message left a buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// TTL expired.
+    Expired,
+    /// Evicted to make room for an incoming message.
+    BufferFull,
+    /// Forwarded away: the node relinquished custody (not counted as a drop
+    /// in statistics).
+    ForwardedAway,
+    /// Removed by the protocol (e.g. MaxProp ack purge).
+    Protocol,
+}
+
+/// A byte-capacity-bounded message store.
+#[derive(Clone, Debug)]
+pub struct Buffer {
+    capacity: u64,
+    used: u64,
+    entries: Vec<BufferEntry>,
+}
+
+impl Buffer {
+    /// Creates an empty buffer with `capacity` bytes of space.
+    pub fn new(capacity: u64) -> Self {
+        Buffer {
+            capacity,
+            used: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently occupied.
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still free.
+    #[inline]
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Number of buffered messages.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer holds no messages.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the buffer holds message `id`.
+    #[inline]
+    pub fn contains(&self, id: MessageId) -> bool {
+        self.entries.iter().any(|e| e.msg.id == id)
+    }
+
+    /// The entry for `id`, if buffered.
+    #[inline]
+    pub fn get(&self, id: MessageId) -> Option<&BufferEntry> {
+        self.entries.iter().find(|e| e.msg.id == id)
+    }
+
+    /// Mutable entry for `id`, if buffered.
+    #[inline]
+    pub fn get_mut(&mut self, id: MessageId) -> Option<&mut BufferEntry> {
+        self.entries.iter_mut().find(|e| e.msg.id == id)
+    }
+
+    /// Iterates over buffered entries in insertion order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = &BufferEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterates mutably over buffered entries in insertion order.
+    #[inline]
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut BufferEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// The ids of all buffered messages, in insertion order.
+    pub fn ids(&self) -> Vec<MessageId> {
+        self.entries.iter().map(|e| e.msg.id).collect()
+    }
+
+    /// Whether an entry of `size` bytes would fit right now.
+    #[inline]
+    pub fn fits(&self, size: u32) -> bool {
+        u64::from(size) <= self.free()
+    }
+
+    /// Inserts an entry.
+    ///
+    /// Returns `Err(entry)` without modifying the buffer when there is not
+    /// enough free space or the message is already buffered (duplicate
+    /// insertion is a protocol error the engine guards against).
+    pub fn insert(&mut self, entry: BufferEntry) -> Result<(), BufferEntry> {
+        if !self.fits(entry.msg.size) || self.contains(entry.msg.id) {
+            return Err(entry);
+        }
+        debug_assert!(entry.copies >= 1);
+        self.used += u64::from(entry.msg.size);
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Removes and returns the entry for `id`.
+    pub fn remove(&mut self, id: MessageId) -> Option<BufferEntry> {
+        let pos = self.entries.iter().position(|e| e.msg.id == id)?;
+        let entry = self.entries.remove(pos);
+        self.used -= u64::from(entry.msg.size);
+        Some(entry)
+    }
+
+    /// Removes every expired message, invoking `on_drop` for each.
+    pub fn sweep_expired(&mut self, now: SimTime, mut on_drop: impl FnMut(&BufferEntry)) {
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.entries[i].msg.expired(now) {
+                let entry = self.entries.remove(i);
+                self.used -= u64::from(entry.msg.size);
+                on_drop(&entry);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Ids of messages buffered here but absent from `peer` — the classic
+    /// epidemic "summary vector" difference, oldest first.
+    pub fn summary_diff(&self, peer: &Buffer) -> Vec<MessageId> {
+        self.entries
+            .iter()
+            .filter(|e| !peer.contains(e.msg.id))
+            .map(|e| e.msg.id)
+            .collect()
+    }
+
+    /// Ids of messages destined to `dst` and buffered here, oldest first.
+    pub fn destined_to(&self, dst: NodeId) -> Vec<MessageId> {
+        self.entries
+            .iter()
+            .filter(|e| e.msg.dst == dst)
+            .map(|e| e.msg.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn msg(id: u32, size: u32, created: f64, ttl: f64) -> Message {
+        Message {
+            id: MessageId(id),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size,
+            created: SimTime::secs(created),
+            ttl,
+        }
+    }
+
+    fn entry(id: u32, size: u32) -> BufferEntry {
+        BufferEntry {
+            msg: msg(id, size, 0.0, 100.0),
+            copies: 1,
+            received_at: SimTime::ZERO,
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn insert_and_capacity_accounting() {
+        let mut b = Buffer::new(100);
+        assert!(b.insert(entry(0, 60)).is_ok());
+        assert_eq!(b.used(), 60);
+        assert_eq!(b.free(), 40);
+        assert!(b.insert(entry(1, 50)).is_err(), "over capacity");
+        assert!(b.insert(entry(1, 40)).is_ok());
+        assert_eq!(b.free(), 0);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut b = Buffer::new(1000);
+        assert!(b.insert(entry(3, 10)).is_ok());
+        assert!(b.insert(entry(3, 10)).is_err());
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.used(), 10);
+    }
+
+    #[test]
+    fn remove_restores_space() {
+        let mut b = Buffer::new(100);
+        b.insert(entry(0, 70)).unwrap();
+        assert!(b.remove(MessageId(9)).is_none());
+        let e = b.remove(MessageId(0)).unwrap();
+        assert_eq!(e.msg.id, MessageId(0));
+        assert_eq!(b.used(), 0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn sweep_drops_only_expired() {
+        let mut b = Buffer::new(1000);
+        b.insert(BufferEntry {
+            msg: msg(0, 10, 0.0, 50.0),
+            copies: 1,
+            received_at: SimTime::ZERO,
+            hops: 0,
+        })
+        .unwrap();
+        b.insert(BufferEntry {
+            msg: msg(1, 10, 0.0, 500.0),
+            copies: 1,
+            received_at: SimTime::ZERO,
+            hops: 0,
+        })
+        .unwrap();
+        let mut dropped = vec![];
+        b.sweep_expired(SimTime::secs(100.0), |e| dropped.push(e.msg.id));
+        assert_eq!(dropped, vec![MessageId(0)]);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.used(), 10);
+        assert!(b.contains(MessageId(1)));
+    }
+
+    #[test]
+    fn summary_diff_lists_missing() {
+        let mut a = Buffer::new(1000);
+        let mut b = Buffer::new(1000);
+        a.insert(entry(0, 10)).unwrap();
+        a.insert(entry(1, 10)).unwrap();
+        b.insert(entry(1, 10)).unwrap();
+        assert_eq!(a.summary_diff(&b), vec![MessageId(0)]);
+        assert!(b.summary_diff(&a).is_empty());
+    }
+
+    #[test]
+    fn destined_to_filters() {
+        let mut b = Buffer::new(1000);
+        let mut e = entry(0, 10);
+        e.msg.dst = NodeId(5);
+        b.insert(e).unwrap();
+        b.insert(entry(1, 10)).unwrap();
+        assert_eq!(b.destined_to(NodeId(5)), vec![MessageId(0)]);
+        assert_eq!(b.destined_to(NodeId(1)), vec![MessageId(1)]);
+    }
+}

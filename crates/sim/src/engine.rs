@@ -1,0 +1,689 @@
+//! The discrete-event protocol engine.
+//!
+//! A [`Simulation`] replays a [`ContactTrace`] against a routing protocol:
+//! contacts come up and down, routers exchange control state and propose
+//! transfers, the engine models link bandwidth, buffer occupancy, TTL expiry
+//! and transfer aborts, and a [`SimStats`] is produced at the end.
+//!
+//! The engine is deterministic: all randomness lives in the trace/workload
+//! generators and in router-private RNGs seeded from [`SimConfig::seed`].
+
+use crate::buffer::{Buffer, BufferEntry, DropReason};
+use crate::event::{EventKind, EventQueue};
+use crate::ids::{MessageId, NodeId, NodePair};
+use crate::message::{Message, MessageSpec};
+use crate::router::{pair_mut, ContactCtx, NodeCtx, Router, TransferAction, TransferPlan};
+use crate::stats::SimStats;
+use crate::time::SimTime;
+use crate::trace::ContactTrace;
+use std::collections::{HashMap, HashSet};
+
+/// Static configuration of a simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Link bandwidth in bytes per second (paper: 2 Mbit/s = 250 000 B/s).
+    pub bandwidth_bps: f64,
+    /// Fixed per-transfer setup latency in seconds (0 in the paper's model).
+    pub link_setup: f64,
+    /// Buffer capacity per node in bytes (paper: 1 MB).
+    pub buffer_capacity: u64,
+    /// Interval between TTL sweeps in seconds.
+    pub ttl_sweep: f64,
+    /// Seed available to routers needing private randomness.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper(0)
+    }
+}
+
+impl SimConfig {
+    /// The ICPP'11 settings: 2 Mbit/s links, 1 MB buffers.
+    pub fn paper(seed: u64) -> Self {
+        SimConfig {
+            bandwidth_bps: 2_000_000.0 / 8.0,
+            link_setup: 0.0,
+            buffer_capacity: 1024 * 1024,
+            ttl_sweep: 5.0,
+            seed,
+        }
+    }
+}
+
+/// One direction of an active link.
+#[derive(Debug, Default)]
+struct DirState {
+    /// Message and action currently in flight, if any.
+    in_flight: Option<(MessageId, TransferAction)>,
+    /// Messages already sent in this direction during this contact.
+    sent: HashSet<MessageId>,
+}
+
+/// An active contact between two nodes.
+#[derive(Debug)]
+struct LinkState {
+    epoch: u32,
+    /// `dirs[0]`: `pair.a → pair.b`; `dirs[1]`: `pair.b → pair.a`.
+    dirs: [DirState; 2],
+}
+
+impl LinkState {
+    fn dir_index(pair: NodePair, from: NodeId) -> usize {
+        if from == pair.a {
+            0
+        } else {
+            1
+        }
+    }
+}
+
+/// A full simulation run over one trace, workload and protocol.
+pub struct Simulation {
+    cfg: SimConfig,
+    n_nodes: u32,
+    duration: f64,
+    workload: Vec<MessageSpec>,
+    buffers: Vec<Buffer>,
+    routers: Vec<Box<dyn Router>>,
+    links: HashMap<NodePair, LinkState>,
+    /// Active links per node (small vectors; membership scanned linearly).
+    active: Vec<Vec<NodePair>>,
+    events: EventQueue,
+    stats: SimStats,
+    now: SimTime,
+    next_epoch: u32,
+    /// Scratch for purge requests, reused across callbacks.
+    purge_scratch: Vec<MessageId>,
+    finished: bool,
+    started: bool,
+}
+
+impl Simulation {
+    /// Builds a simulation. `factory` creates the router for each node and
+    /// receives `(node, n_nodes)`.
+    ///
+    /// # Panics
+    /// Panics if the trace fails validation.
+    pub fn new(
+        trace: &ContactTrace,
+        workload: Vec<MessageSpec>,
+        cfg: SimConfig,
+        mut factory: impl FnMut(NodeId, u32) -> Box<dyn Router>,
+    ) -> Self {
+        trace
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid contact trace: {e:?}"));
+        let n = trace.n_nodes;
+        let mut events = EventQueue::new();
+        for c in &trace.contacts {
+            events.push(c.start, EventKind::ContactUp {
+                pair: c.pair,
+                until: c.end,
+            });
+            events.push(c.end, EventKind::ContactDown { pair: c.pair });
+        }
+        for (i, spec) in workload.iter().enumerate() {
+            debug_assert!(spec.src.0 < n && spec.dst.0 < n && spec.src != spec.dst);
+            events.push(spec.create_at, EventKind::MessageCreate {
+                spec_idx: i as u32,
+            });
+        }
+        if cfg.ttl_sweep > 0.0 {
+            events.push(SimTime::secs(cfg.ttl_sweep), EventKind::TtlSweep);
+        }
+        events.push(SimTime::secs(trace.duration), EventKind::End);
+
+        let buffers = (0..n).map(|_| Buffer::new(cfg.buffer_capacity)).collect();
+        let routers: Vec<Box<dyn Router>> =
+            (0..n).map(|i| factory(NodeId(i), n)).collect();
+        for (i, r) in routers.iter().enumerate() {
+            if let Some(dt) = r.tick_interval() {
+                assert!(dt > 0.0, "tick interval must be positive");
+                events.push(SimTime::secs(dt), EventKind::RouterTick {
+                    node: NodeId(i as u32),
+                });
+            }
+        }
+
+        let stats = SimStats::new(workload.len());
+        Simulation {
+            cfg,
+            n_nodes: n,
+            duration: trace.duration,
+            workload,
+            buffers,
+            routers,
+            links: HashMap::new(),
+            active: vec![Vec::new(); n as usize],
+            events,
+            stats,
+            now: SimTime::ZERO,
+            next_epoch: 0,
+            purge_scratch: Vec::new(),
+            finished: false,
+            started: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> u32 {
+        self.n_nodes
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The statistics collected so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Read access to a node's buffer (for tests and inspection).
+    pub fn buffer(&self, node: NodeId) -> &Buffer {
+        &self.buffers[node.idx()]
+    }
+
+    /// Read access to a node's router (for tests and inspection).
+    pub fn router(&self, node: NodeId) -> &dyn Router {
+        self.routers[node.idx()].as_ref()
+    }
+
+    /// Runs to completion and returns the collected statistics.
+    pub fn run(mut self) -> SimStats {
+        self.run_to_end();
+        self.stats
+    }
+
+    /// Runs to completion in place, so routers and buffers remain
+    /// inspectable afterwards (used by tests and examples).
+    pub fn run_to_end(&mut self) -> &SimStats {
+        if !self.started {
+            self.start();
+            self.started = true;
+        }
+        while self.step() {}
+        &self.stats
+    }
+
+    /// Invokes `on_start` on every router.
+    fn start(&mut self) {
+        for i in 0..self.n_nodes as usize {
+            let mut purge = std::mem::take(&mut self.purge_scratch);
+            {
+                let mut ctx = NodeCtx {
+                    now: self.now,
+                    me: NodeId(i as u32),
+                    buf: &self.buffers[i],
+                    stats: &mut self.stats,
+                    purge: &mut purge,
+                };
+                self.routers[i].on_start(&mut ctx);
+            }
+            self.apply_purges(NodeId(i as u32), &mut purge);
+            self.purge_scratch = purge;
+        }
+    }
+
+    /// Processes one event; returns `false` once the simulation ended.
+    fn step(&mut self) -> bool {
+        if self.finished {
+            return false;
+        }
+        let Some((t, kind)) = self.events.pop() else {
+            self.finished = true;
+            return false;
+        };
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        match kind {
+            EventKind::ContactUp { pair, until } => self.handle_contact_up(pair, until),
+            EventKind::ContactDown { pair } => self.handle_contact_down(pair),
+            EventKind::MessageCreate { spec_idx } => self.handle_create(spec_idx),
+            EventKind::TransferDone {
+                pair,
+                from,
+                msg,
+                epoch,
+            } => self.handle_transfer_done(pair, from, msg, epoch),
+            EventKind::TtlSweep => self.handle_ttl_sweep(),
+            EventKind::RouterTick { node } => self.handle_tick(node),
+            EventKind::End => {
+                self.finished = true;
+                return false;
+            }
+        }
+        true
+    }
+
+    fn handle_contact_up(&mut self, pair: NodePair, _until: SimTime) {
+        if self.links.contains_key(&pair) {
+            debug_assert!(false, "duplicate ContactUp for {pair:?}");
+            return;
+        }
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        self.links.insert(pair, LinkState {
+            epoch,
+            dirs: [DirState::default(), DirState::default()],
+        });
+        self.active[pair.a.idx()].push(pair);
+        self.active[pair.b.idx()].push(pair);
+
+        // Control-plane handshake, both directions.
+        for (me, peer) in [(pair.a, pair.b), (pair.b, pair.a)] {
+            let mut purge = std::mem::take(&mut self.purge_scratch);
+            {
+                let (me_r, peer_r) = pair_mut(&mut self.routers, me.idx(), peer.idx());
+                let empty = HashSet::new();
+                let mut ctx = ContactCtx {
+                    now: self.now,
+                    me,
+                    peer,
+                    buf: &self.buffers[me.idx()],
+                    peer_buf: &self.buffers[peer.idx()],
+                    stats: &mut self.stats,
+                    sent: &empty,
+                    purge: &mut purge,
+                };
+                me_r.on_contact_up(&mut ctx, peer_r.as_mut());
+            }
+            self.apply_purges(me, &mut purge);
+            self.purge_scratch = purge;
+        }
+
+        self.try_fill(pair, pair.a);
+        self.try_fill(pair, pair.b);
+    }
+
+    fn handle_contact_down(&mut self, pair: NodePair) {
+        let Some(link) = self.links.remove(&pair) else {
+            return;
+        };
+        for dir in &link.dirs {
+            if dir.in_flight.is_some() {
+                self.stats.aborted += 1;
+            }
+        }
+        self.active[pair.a.idx()].retain(|p| *p != pair);
+        self.active[pair.b.idx()].retain(|p| *p != pair);
+        for (me, peer) in [(pair.a, pair.b), (pair.b, pair.a)] {
+            let mut purge = std::mem::take(&mut self.purge_scratch);
+            {
+                let mut ctx = NodeCtx {
+                    now: self.now,
+                    me,
+                    buf: &self.buffers[me.idx()],
+                    stats: &mut self.stats,
+                    purge: &mut purge,
+                };
+                self.routers[me.idx()].on_contact_down(&mut ctx, peer);
+            }
+            self.apply_purges(me, &mut purge);
+            self.purge_scratch = purge;
+        }
+    }
+
+    fn handle_create(&mut self, spec_idx: u32) {
+        let spec = self.workload[spec_idx as usize];
+        let msg = Message {
+            id: MessageId(spec_idx),
+            src: spec.src,
+            dst: spec.dst,
+            size: spec.size,
+            created: spec.create_at,
+            ttl: spec.ttl,
+        };
+        self.stats.created += 1;
+        let src = spec.src.idx();
+        let copies = self.routers[src].initial_copies(&msg).max(1);
+        if !self.make_room(spec.src, &msg) {
+            self.stats.drops_buffer += 1;
+            return;
+        }
+        let entry = BufferEntry {
+            msg,
+            copies,
+            received_at: self.now,
+            hops: 0,
+        };
+        self.buffers[src]
+            .insert(entry)
+            .expect("room was just made");
+        let mut purge = std::mem::take(&mut self.purge_scratch);
+        {
+            let mut ctx = NodeCtx {
+                now: self.now,
+                me: spec.src,
+                buf: &self.buffers[src],
+                stats: &mut self.stats,
+                purge: &mut purge,
+            };
+            self.routers[src].on_message_created(&mut ctx, msg.id);
+        }
+        self.apply_purges(spec.src, &mut purge);
+        self.purge_scratch = purge;
+        self.kick_node(spec.src);
+    }
+
+    fn handle_transfer_done(&mut self, pair: NodePair, from: NodeId, msg_id: MessageId, epoch: u32) {
+        let Some(link) = self.links.get_mut(&pair) else {
+            return; // link went down; abort already counted
+        };
+        if link.epoch != epoch {
+            return; // stale event from a previous contact of this pair
+        }
+        let di = LinkState::dir_index(pair, from);
+        let Some((in_msg, action)) = link.dirs[di].in_flight.take() else {
+            debug_assert!(false, "TransferDone with no in-flight transfer");
+            return;
+        };
+        debug_assert_eq!(in_msg, msg_id);
+        let to = pair.other(from);
+
+        // The sender may have lost the message mid-flight (TTL sweep), or it
+        // may have expired while on the air: the transfer is wasted.
+        let sender_has = self.buffers[from.idx()].contains(msg_id);
+        let expired = self.buffers[from.idx()]
+            .get(msg_id)
+            .map(|e| e.msg.expired(self.now))
+            .unwrap_or(true);
+        if !sender_has || expired {
+            self.stats.aborted += 1;
+            self.try_fill(pair, from);
+            return;
+        }
+
+        self.stats.relayed += 1;
+        let entry = *self.buffers[from.idx()].get(msg_id).expect("checked above");
+        let msg = entry.msg;
+
+        if to == msg.dst {
+            let first = self
+                .stats
+                .record_arrival(msg.id, msg.created, self.now, entry.hops + 1);
+            self.apply_sender_action(from, msg_id, action);
+            self.notify_sent(from, &msg, action, to, true);
+            let mut purge = std::mem::take(&mut self.purge_scratch);
+            {
+                let mut ctx = NodeCtx {
+                    now: self.now,
+                    me: to,
+                    buf: &self.buffers[to.idx()],
+                    stats: &mut self.stats,
+                    purge: &mut purge,
+                };
+                self.routers[to.idx()].on_delivery_received(&mut ctx, &msg, from, first);
+            }
+            self.apply_purges(to, &mut purge);
+            self.purge_scratch = purge;
+        } else if self.buffers[to.idx()].contains(msg_id) {
+            // The receiver obtained the message from a third party while this
+            // transfer was in flight; treat as a wasted relay.
+        } else if !self.make_room(to, &msg) {
+            self.stats.refused += 1;
+        } else {
+            let give = match action {
+                TransferAction::Forward => entry.copies,
+                TransferAction::Split { give } => give.min(entry.copies).max(1),
+                TransferAction::Copy => 1,
+            };
+            let new_entry = BufferEntry {
+                msg,
+                copies: give,
+                received_at: self.now,
+                hops: entry.hops + 1,
+            };
+            self.buffers[to.idx()]
+                .insert(new_entry)
+                .expect("room was just made");
+            self.apply_sender_action(from, msg_id, action);
+            self.notify_sent(from, &msg, action, to, false);
+            let mut purge = std::mem::take(&mut self.purge_scratch);
+            {
+                let mut ctx = NodeCtx {
+                    now: self.now,
+                    me: to,
+                    buf: &self.buffers[to.idx()],
+                    stats: &mut self.stats,
+                    purge: &mut purge,
+                };
+                self.routers[to.idx()].on_received(&mut ctx, &new_entry, from);
+            }
+            self.apply_purges(to, &mut purge);
+            self.purge_scratch = purge;
+            self.kick_node(to);
+        }
+
+        self.try_fill(pair, from);
+    }
+
+    fn handle_ttl_sweep(&mut self) {
+        for i in 0..self.n_nodes as usize {
+            let node = NodeId(i as u32);
+            // Collect expired first to keep borrows simple.
+            let expired: Vec<BufferEntry> = self.buffers[i]
+                .iter()
+                .filter(|e| e.msg.expired(self.now))
+                .copied()
+                .collect();
+            for e in expired {
+                self.buffers[i].remove(e.msg.id);
+                self.stats.drops_ttl += 1;
+                self.notify_dropped(node, &e.msg, DropReason::Expired);
+            }
+        }
+        let next = self.now + self.cfg.ttl_sweep;
+        if next.as_secs() < self.duration {
+            self.events.push(next, EventKind::TtlSweep);
+        }
+    }
+
+    fn handle_tick(&mut self, node: NodeId) {
+        let i = node.idx();
+        let mut purge = std::mem::take(&mut self.purge_scratch);
+        {
+            let mut ctx = NodeCtx {
+                now: self.now,
+                me: node,
+                buf: &self.buffers[i],
+                stats: &mut self.stats,
+                purge: &mut purge,
+            };
+            self.routers[i].on_tick(&mut ctx);
+        }
+        self.apply_purges(node, &mut purge);
+        self.purge_scratch = purge;
+        if let Some(dt) = self.routers[i].tick_interval() {
+            let next = self.now + dt;
+            if next.as_secs() < self.duration {
+                self.events.push(next, EventKind::RouterTick { node });
+            }
+        }
+        self.kick_node(node);
+    }
+
+    /// Applies the sender-side effect of a completed transfer.
+    fn apply_sender_action(&mut self, from: NodeId, msg: MessageId, action: TransferAction) {
+        let buf = &mut self.buffers[from.idx()];
+        match action {
+            TransferAction::Forward => {
+                buf.remove(msg);
+            }
+            TransferAction::Split { give } => {
+                let remove = {
+                    let entry = buf.get_mut(msg).expect("sender entry present");
+                    entry.copies = entry.copies.saturating_sub(give);
+                    entry.copies == 0
+                };
+                if remove {
+                    buf.remove(msg);
+                }
+            }
+            TransferAction::Copy => {}
+        }
+    }
+
+    fn notify_sent(
+        &mut self,
+        from: NodeId,
+        msg: &Message,
+        action: TransferAction,
+        to: NodeId,
+        delivered: bool,
+    ) {
+        let mut purge = std::mem::take(&mut self.purge_scratch);
+        {
+            let mut ctx = NodeCtx {
+                now: self.now,
+                me: from,
+                buf: &self.buffers[from.idx()],
+                stats: &mut self.stats,
+                purge: &mut purge,
+            };
+            self.routers[from.idx()].on_sent(&mut ctx, msg, action, to, delivered);
+        }
+        self.apply_purges(from, &mut purge);
+        self.purge_scratch = purge;
+    }
+
+    fn notify_dropped(&mut self, node: NodeId, msg: &Message, reason: DropReason) {
+        let mut purge = std::mem::take(&mut self.purge_scratch);
+        {
+            let mut ctx = NodeCtx {
+                now: self.now,
+                me: node,
+                buf: &self.buffers[node.idx()],
+                stats: &mut self.stats,
+                purge: &mut purge,
+            };
+            self.routers[node.idx()].on_dropped(&mut ctx, msg, reason);
+        }
+        self.apply_purges(node, &mut purge);
+        self.purge_scratch = purge;
+    }
+
+    /// Applies router purge requests against `node`'s buffer.
+    fn apply_purges(&mut self, node: NodeId, purge: &mut Vec<MessageId>) {
+        while let Some(id) = purge.pop() {
+            if let Some(entry) = self.buffers[node.idx()].remove(id) {
+                self.stats.drops_protocol += 1;
+                self.notify_dropped(node, &entry.msg, DropReason::Protocol);
+            }
+        }
+    }
+
+    /// Evicts messages (per the router's policy) until `incoming` fits at
+    /// `node`. Returns `false` if room cannot be made.
+    fn make_room(&mut self, node: NodeId, incoming: &Message) -> bool {
+        let i = node.idx();
+        if u64::from(incoming.size) > self.buffers[i].capacity() {
+            return false;
+        }
+        if self.buffers[i].fits(incoming.size) {
+            return true;
+        }
+        let victims = self.routers[i].select_drops(&self.buffers[i], incoming, self.now);
+        for v in victims {
+            if self.buffers[i].fits(incoming.size) {
+                break;
+            }
+            if let Some(entry) = self.buffers[i].remove(v) {
+                self.stats.drops_buffer += 1;
+                self.notify_dropped(node, &entry.msg, DropReason::BufferFull);
+            }
+        }
+        self.buffers[i].fits(incoming.size)
+    }
+
+    /// Re-offers work on every active link of `node`.
+    fn kick_node(&mut self, node: NodeId) {
+        let pairs = self.active[node.idx()].clone();
+        for pair in pairs {
+            self.try_fill(pair, node);
+        }
+    }
+
+    /// If direction `from → other(from)` of `pair` is idle, asks the router
+    /// for a plan and starts the transfer.
+    fn try_fill(&mut self, pair: NodePair, from: NodeId) {
+        let Some(link) = self.links.get(&pair) else {
+            return;
+        };
+        let di = LinkState::dir_index(pair, from);
+        if link.dirs[di].in_flight.is_some() {
+            return;
+        }
+        let to = pair.other(from);
+        let epoch = link.epoch;
+
+        let plan = {
+            let mut purge = std::mem::take(&mut self.purge_scratch);
+            let plan = {
+                let link = self.links.get(&pair).expect("link checked above");
+                let mut ctx = ContactCtx {
+                    now: self.now,
+                    me: from,
+                    peer: to,
+                    buf: &self.buffers[from.idx()],
+                    peer_buf: &self.buffers[to.idx()],
+                    stats: &mut self.stats,
+                    sent: &link.dirs[di].sent,
+                    purge: &mut purge,
+                };
+                self.routers[from.idx()].pick_transfer(&mut ctx)
+            };
+            self.apply_purges(from, &mut purge);
+            self.purge_scratch = purge;
+            plan
+        };
+        let Some(plan) = plan else {
+            return;
+        };
+        if !self.validate_plan(pair, from, to, &plan) {
+            debug_assert!(false, "router {} proposed invalid plan {plan:?}", self
+                .routers[from.idx()]
+                .label());
+            return;
+        }
+        let size = self.buffers[from.idx()]
+            .get(plan.msg)
+            .expect("validated")
+            .msg
+            .size;
+        let duration = self.cfg.link_setup + f64::from(size) / self.cfg.bandwidth_bps;
+        let link = self.links.get_mut(&pair).expect("still active");
+        let di = LinkState::dir_index(pair, from);
+        link.dirs[di].in_flight = Some((plan.msg, plan.action));
+        link.dirs[di].sent.insert(plan.msg);
+        self.events.push(self.now + duration, EventKind::TransferDone {
+            pair,
+            from,
+            msg: plan.msg,
+            epoch,
+        });
+    }
+
+    fn validate_plan(&self, pair: NodePair, from: NodeId, to: NodeId, plan: &TransferPlan) -> bool {
+        let Some(entry) = self.buffers[from.idx()].get(plan.msg) else {
+            return false;
+        };
+        let link = &self.links[&pair];
+        let di = LinkState::dir_index(pair, from);
+        if link.dirs[di].sent.contains(&plan.msg) {
+            return false;
+        }
+        // Offering a message the peer already buffers is useless (delivery to
+        // the destination is always allowed: destinations do not buffer).
+        if to != entry.msg.dst && self.buffers[to.idx()].contains(plan.msg) {
+            return false;
+        }
+        match plan.action {
+            TransferAction::Split { give } => give >= 1 && give <= entry.copies,
+            _ => true,
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The deterministic discrete-event queue.
+//!
+//! Events are ordered by time, with a monotone sequence number breaking ties
+//! so that equal-time events pop in scheduling (FIFO) order. This makes runs
+//! bit-for-bit reproducible regardless of heap internals or platform.
+
+use crate::ids::{MessageId, NodeId, NodePair};
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What can happen in the simulated world.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// A contact between two nodes begins; it will end at `until`.
+    ContactUp {
+        /// The node pair coming into contact.
+        pair: NodePair,
+        /// When the contact will end.
+        until: SimTime,
+    },
+    /// The contact between two nodes ends.
+    ContactDown {
+        /// The node pair losing contact.
+        pair: NodePair,
+    },
+    /// The workload creates message number `spec_idx`.
+    MessageCreate {
+        /// Index into the workload's spec list (also the message id).
+        spec_idx: u32,
+    },
+    /// An in-flight transfer completes. `epoch` guards against the link
+    /// having gone down (and possibly up again) in the meantime.
+    TransferDone {
+        /// The link carrying the transfer.
+        pair: NodePair,
+        /// Sender of the transfer.
+        from: NodeId,
+        /// The message in flight.
+        msg: MessageId,
+        /// Link epoch at transfer start.
+        epoch: u32,
+    },
+    /// Periodic buffer sweep removing expired messages.
+    TtlSweep,
+    /// Periodic per-node router tick (e.g. EBR's window update).
+    RouterTick {
+        /// The node whose router ticks.
+        node: NodeId,
+    },
+    /// End of simulation.
+    End,
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A time-ordered, FIFO-tie-broken event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { time, seq, kind }));
+    }
+
+    /// Pops the earliest event, FIFO among equal times.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        self.heap.pop().map(|Reverse(s)| (s.time, s.kind))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::secs(5.0), EventKind::TtlSweep);
+        q.push(SimTime::secs(1.0), EventKind::End);
+        q.push(SimTime::secs(3.0), EventKind::MessageCreate { spec_idx: 0 });
+        assert_eq!(q.pop().unwrap().0, SimTime::secs(1.0));
+        assert_eq!(q.pop().unwrap().0, SimTime::secs(3.0));
+        assert_eq!(q.pop().unwrap().0, SimTime::secs(5.0));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(SimTime::secs(7.0), EventKind::MessageCreate { spec_idx: i });
+        }
+        for i in 0..100u32 {
+            match q.pop().unwrap().1 {
+                EventKind::MessageCreate { spec_idx } => assert_eq!(spec_idx, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::secs(2.0), EventKind::End);
+        assert_eq!(q.peek_time(), Some(SimTime::secs(2.0)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,138 @@
+//! Dense integer identifiers for nodes and messages.
+//!
+//! Both identifiers are dense `u32` indices: `NodeId(k)` is the `k`-th node of
+//! the scenario and `MessageId(k)` the `k`-th generated message, so both can
+//! index flat vectors without hashing.
+
+use std::fmt;
+
+/// Identifier of a node (a bus / mobile device) in the network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a message, dense in creation order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageId(pub u32);
+
+impl MessageId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// An unordered node pair, normalised so `a < b`.
+///
+/// Used as the key for links and contact bookkeeping.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodePair {
+    /// The smaller node id.
+    pub a: NodeId,
+    /// The larger node id.
+    pub b: NodeId,
+}
+
+impl NodePair {
+    /// Builds a normalised pair from two distinct node ids.
+    ///
+    /// # Panics
+    /// Panics if `x == y`.
+    #[inline]
+    pub fn new(x: NodeId, y: NodeId) -> Self {
+        assert!(x != y, "a node cannot form a pair with itself");
+        if x.0 < y.0 {
+            NodePair { a: x, b: y }
+        } else {
+            NodePair { a: y, b: x }
+        }
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    /// Debug-panics if `x` is not an endpoint of the pair.
+    #[inline]
+    pub fn other(self, x: NodeId) -> NodeId {
+        debug_assert!(x == self.a || x == self.b);
+        if x == self.a {
+            self.b
+        } else {
+            self.a
+        }
+    }
+
+    /// Whether `x` is one of the two endpoints.
+    #[inline]
+    pub fn contains(self, x: NodeId) -> bool {
+        x == self.a || x == self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_normalises() {
+        let p = NodePair::new(NodeId(7), NodeId(3));
+        assert_eq!(p.a, NodeId(3));
+        assert_eq!(p.b, NodeId(7));
+        assert_eq!(p, NodePair::new(NodeId(3), NodeId(7)));
+    }
+
+    #[test]
+    fn pair_other_and_contains() {
+        let p = NodePair::new(NodeId(1), NodeId(2));
+        assert_eq!(p.other(NodeId(1)), NodeId(2));
+        assert_eq!(p.other(NodeId(2)), NodeId(1));
+        assert!(p.contains(NodeId(1)));
+        assert!(!p.contains(NodeId(9)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_pair_rejected() {
+        let _ = NodePair::new(NodeId(4), NodeId(4));
+    }
+
+    #[test]
+    fn ids_index() {
+        assert_eq!(NodeId(5).idx(), 5);
+        assert_eq!(MessageId(9).idx(), 9);
+        assert_eq!(format!("{}", NodeId(2)), "n2");
+        assert_eq!(format!("{}", MessageId(3)), "m3");
+    }
+}

@@ -1,0 +1,97 @@
+//! Post-run report helpers: delivery-progress curves and latency
+//! distributions, in the spirit of the ONE simulator's report modules.
+//!
+//! These operate on the per-message delivery times collected in
+//! [`SimStats::delivered_at`], so they cost nothing during the run.
+
+use crate::stats::SimStats;
+
+/// Cumulative deliveries sampled at fixed intervals: entry `k` is the number
+/// of messages delivered by time `k * step`.
+pub fn delivery_progress(stats: &SimStats, duration: f64, step: f64) -> Vec<u64> {
+    assert!(step > 0.0 && duration >= 0.0);
+    let buckets = (duration / step).ceil() as usize + 1;
+    let mut out = vec![0u64; buckets];
+    for t in stats.delivered_at.iter().flatten() {
+        let idx = (t.as_secs() / step).ceil() as usize;
+        if idx < buckets {
+            out[idx] += 1;
+        }
+    }
+    // Prefix-sum to make it cumulative.
+    for i in 1..buckets {
+        out[i] += out[i - 1];
+    }
+    out
+}
+
+/// Latency percentiles (p in `[0, 100]`) over delivered messages, from the
+/// recorded per-message delivery times. Returns `None` when nothing was
+/// delivered or creation times are unavailable to the caller.
+///
+/// Latencies must be provided by the caller (delivery time − creation time);
+/// this helper just ranks them.
+pub fn percentile(mut latencies: Vec<f64>, p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p));
+    if latencies.is_empty() {
+        return None;
+    }
+    latencies.sort_by(f64::total_cmp);
+    let rank = (p / 100.0 * (latencies.len() - 1) as f64).round() as usize;
+    Some(latencies[rank])
+}
+
+/// Extracts per-message latencies given the workload's creation times.
+pub fn latencies(stats: &SimStats, created_at: &[f64]) -> Vec<f64> {
+    stats
+        .delivered_at
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.map(|t| t.as_secs() - created_at[i]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MessageId;
+    use crate::time::SimTime;
+
+    fn stats_with_deliveries(times: &[Option<f64>]) -> SimStats {
+        let mut s = SimStats::new(times.len());
+        for (i, t) in times.iter().enumerate() {
+            if let Some(t) = t {
+                s.record_arrival(MessageId(i as u32), SimTime::ZERO, SimTime::secs(*t), 1);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn progress_is_cumulative_and_monotone() {
+        let s = stats_with_deliveries(&[Some(10.0), Some(25.0), None, Some(95.0)]);
+        let prog = delivery_progress(&s, 100.0, 10.0);
+        assert_eq!(prog.len(), 11);
+        assert_eq!(prog[0], 0);
+        assert_eq!(prog[1], 1, "delivery at exactly 10 lands in bucket 1");
+        assert_eq!(prog[3], 2);
+        assert_eq!(*prog.last().unwrap(), 3);
+        assert!(prog.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn percentiles_rank_correctly() {
+        let lats = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(lats.clone(), 0.0), Some(1.0));
+        assert_eq!(percentile(lats.clone(), 50.0), Some(3.0));
+        assert_eq!(percentile(lats.clone(), 100.0), Some(5.0));
+        assert_eq!(percentile(vec![], 50.0), None);
+    }
+
+    #[test]
+    fn latencies_subtract_creation_times() {
+        let s = stats_with_deliveries(&[Some(10.0), None, Some(30.0)]);
+        let lats = latencies(&s, &[2.0, 0.0, 25.0]);
+        assert_eq!(lats, vec![8.0, 5.0]);
+    }
+}

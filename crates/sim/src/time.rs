@@ -1,0 +1,160 @@
+//! Simulation time.
+//!
+//! Time is a monotone, finite `f64` number of seconds since the start of the
+//! simulation. A newtype keeps it from being confused with durations or other
+//! scalar quantities, and provides the total ordering the event queue needs.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since the simulation epoch.
+///
+/// `SimTime` is totally ordered (via [`f64::total_cmp`]); constructors
+/// debug-assert that the value is finite so `NaN` never enters the event
+/// queue.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The simulation epoch, `t = 0`.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time from a number of seconds since the epoch.
+    ///
+    /// # Panics
+    /// Debug-panics if `secs` is not finite.
+    #[inline]
+    pub fn secs(secs: f64) -> Self {
+        debug_assert!(secs.is_finite(), "SimTime must be finite, got {secs}");
+        SimTime(secs)
+    }
+
+    /// Seconds since the simulation epoch.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// `max(self - other, 0)` in seconds; the elapsed time since `other`.
+    #[inline]
+    pub fn since(self, other: SimTime) -> f64 {
+        (self.0 - other.0).max(0.0)
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::secs(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_numeric() {
+        let a = SimTime::secs(1.0);
+        let b = SimTime::secs(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(SimTime::ZERO, SimTime::secs(0.0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::secs(10.0) + 5.0;
+        assert_eq!(t.as_secs(), 15.0);
+        assert_eq!(t - SimTime::secs(3.0), 12.0);
+        assert_eq!(SimTime::secs(3.0).since(t), 0.0, "since() clamps at zero");
+        assert_eq!(t.since(SimTime::secs(3.0)), 12.0);
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut t = SimTime::ZERO;
+        t += 2.5;
+        t += 2.5;
+        assert_eq!(t.as_secs(), 5.0);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(format!("{}", SimTime::secs(1.23456)), "1.235");
+        assert_eq!(format!("{:?}", SimTime::secs(2.0)), "2.000s");
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn nan_rejected_in_debug() {
+        let _ = SimTime::secs(f64::NAN);
+    }
+}

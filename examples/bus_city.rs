@@ -1,0 +1,75 @@
+//! Bus city: build the paper's vehicular scenario end-to-end and compare
+//! EER against Spray-and-Wait and Epidemic on the very same contact trace.
+//!
+//! ```text
+//! cargo run --release --example bus_city -- [n_nodes] [duration_s]
+//! ```
+
+use cen_dtn::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(40);
+    let duration: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4000.0);
+
+    println!("building a downtown bus scenario: {n} buses, {duration:.0} s ...");
+    let cfg = ScenarioConfig::paper(n).sized(duration);
+    let scenario = cfg.build(42);
+    let ts = scenario.trace.stats();
+    println!(
+        "  map: {} intersections, {:.1} km of streets",
+        scenario.graph.n_vertices(),
+        scenario.graph.total_length() / 1000.0
+    );
+    println!(
+        "  contacts: {} ({} distinct pairs, mean duration {:.2} s, mean \
+         inter-contact {:.0} s)\n",
+        ts.contacts, ts.distinct_pairs, ts.mean_duration, ts.mean_intercontact
+    );
+
+    let workload = TrafficConfig::paper(duration).generate(n, 42);
+    println!("  workload: {} messages (25 KB, TTL 20 min)\n", workload.len());
+
+    type Factory = Box<dyn FnMut(NodeId, u32) -> Box<dyn Router>>;
+    let cases: Vec<(&str, Factory)> = vec![
+        (
+            "EER (lambda=10)",
+            Box::new(|id, nn| Box::new(Eer::new(id, nn, 10)) as Box<dyn Router>),
+        ),
+        (
+            "SprayAndWait",
+            Box::new(|_, _| Box::new(SprayAndWait::new(10)) as Box<dyn Router>),
+        ),
+        (
+            "Epidemic",
+            Box::new(|_, _| Box::new(Epidemic::new()) as Box<dyn Router>),
+        ),
+    ];
+    println!(
+        "{:<16}{:>10}{:>12}{:>10}{:>10}",
+        "protocol", "delivery", "latency(s)", "goodput", "relays"
+    );
+    for (name, mut factory) in cases {
+        let stats = Simulation::new(
+            &scenario.trace,
+            workload.clone(),
+            SimConfig::paper(42),
+            |id, nn| factory(id, nn),
+        )
+        .run();
+        println!(
+            "{:<16}{:>10.3}{:>12.1}{:>10.4}{:>10}",
+            name,
+            stats.delivery_ratio(),
+            stats.avg_latency(),
+            stats.goodput(),
+            stats.relayed
+        );
+    }
+    println!(
+        "\nAll three ran on the identical contact trace; differences are purely\n\
+         protocol behaviour. EER's contact-expectation edge over blind spraying\n\
+         grows with scenario size — try `-- 120 8000` — while it keeps relaying\n\
+         far less than Epidemic."
+    );
+}

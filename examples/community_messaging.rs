@@ -1,0 +1,70 @@
+//! Community messaging: demonstrate CR's claim — community-local routing
+//! state buys almost the same delivery at a fraction of the control-plane
+//! overhead of EER's full-matrix gossip.
+//!
+//! ```text
+//! cargo run --release --example community_messaging
+//! ```
+
+use cen_dtn::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let n = 48;
+    let duration = 4000.0;
+    let cfg = ScenarioConfig::paper(n).sized(duration);
+    let scenario = cfg.build(7);
+    let workload = TrafficConfig::paper(duration).generate(n, 7);
+
+    // Community sizes from the scenario's ground truth.
+    let mut sizes = vec![0u32; scenario.n_communities as usize];
+    for &c in &scenario.communities {
+        sizes[c as usize] += 1;
+    }
+    println!(
+        "{} buses in {} communities (sizes {:?}), {} messages\n",
+        n,
+        scenario.n_communities,
+        sizes,
+        workload.len()
+    );
+
+    let map = Arc::new(CommunityMap::new(scenario.communities.clone()));
+
+    // EER: full n×n meeting-interval matrix gossip.
+    let eer = Simulation::new(
+        &scenario.trace,
+        workload.clone(),
+        SimConfig::paper(7),
+        |id, nn| Box::new(Eer::new(id, nn, 10)),
+    )
+    .run();
+    // CR: intra-community matrices plus community-level expectations.
+    let cr = Simulation::new(
+        &scenario.trace,
+        workload.clone(),
+        SimConfig::paper(7),
+        cr_factory(Arc::clone(&map), 10),
+    )
+    .run();
+
+    println!(
+        "{:<6}{:>10}{:>12}{:>10}{:>16}",
+        "proto", "delivery", "latency(s)", "goodput", "control (MB)"
+    );
+    for (name, s) in [("EER", &eer), ("CR", &cr)] {
+        println!(
+            "{:<6}{:>10.3}{:>12.1}{:>10.4}{:>16.2}",
+            name,
+            s.delivery_ratio(),
+            s.avg_latency(),
+            s.goodput(),
+            s.control_bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+    let ratio = eer.control_bytes as f64 / cr.control_bytes.max(1) as f64;
+    println!(
+        "\nCR exchanged {ratio:.1}x less control data than EER — the §IV claim\n\
+         (\"high delivery ratio with less information exchange overhead\")."
+    );
+}

@@ -1,0 +1,89 @@
+//! Protocol shootout: every router in the workspace — the paper's two, the
+//! four protocols it compares against, and four extra baselines — on one
+//! identical scenario, ranked by delivery ratio.
+//!
+//! ```text
+//! cargo run --release --example protocol_shootout -- [n_nodes] [duration_s]
+//! ```
+
+use cen_dtn::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(40);
+    let duration: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4000.0);
+
+    let scenario = ScenarioConfig::paper(n).sized(duration).build(5);
+    let workload = TrafficConfig::paper(duration).generate(n, 5);
+    let map = Arc::new(CommunityMap::new(scenario.communities.clone()));
+    println!(
+        "shootout: {n} nodes, {duration:.0} s, {} contacts, {} messages\n",
+        scenario.trace.contacts.len(),
+        workload.len()
+    );
+
+    type Factory = Box<dyn FnMut(NodeId, u32) -> Box<dyn Router>>;
+    let map2 = Arc::clone(&map);
+    let cases: Vec<(&str, Factory)> = vec![
+        ("EER", Box::new(|id, nn| Box::new(Eer::new(id, nn, 10)) as Box<dyn Router>)),
+        ("CR", Box::new(cr_factory(map2, 10))),
+        ("EBR", Box::new(|_, _| Box::new(Ebr::new(10)) as Box<dyn Router>)),
+        ("MaxProp", Box::new(|id, nn| Box::new(MaxProp::new(id, nn)) as Box<dyn Router>)),
+        (
+            "SprayAndWait",
+            Box::new(|_, _| Box::new(SprayAndWait::new(10)) as Box<dyn Router>),
+        ),
+        (
+            "SprayAndFocus",
+            Box::new(|_, nn| Box::new(SprayAndFocus::new(10, nn)) as Box<dyn Router>),
+        ),
+        ("Epidemic", Box::new(|_, _| Box::new(Epidemic::new()) as Box<dyn Router>)),
+        ("PRoPHET", Box::new(|id, nn| Box::new(Prophet::new(id, nn)) as Box<dyn Router>)),
+        (
+            "FirstContact",
+            Box::new(|_, _| Box::new(FirstContact::new()) as Box<dyn Router>),
+        ),
+        (
+            "Direct",
+            Box::new(|_, _| Box::new(DirectDelivery::new()) as Box<dyn Router>),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, mut factory) in cases {
+        let stats = Simulation::new(
+            &scenario.trace,
+            workload.clone(),
+            SimConfig::paper(5),
+            |id, nn| factory(id, nn),
+        )
+        .run();
+        rows.push((
+            name,
+            stats.delivery_ratio(),
+            stats.avg_latency(),
+            stats.goodput(),
+            stats.relayed,
+            stats.avg_hops(),
+        ));
+    }
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    println!(
+        "{:<4}{:<16}{:>10}{:>12}{:>10}{:>9}{:>7}",
+        "#", "protocol", "delivery", "latency(s)", "goodput", "relays", "hops"
+    );
+    for (i, (name, dr, lat, gp, relays, hops)) in rows.iter().enumerate() {
+        println!(
+            "{:<4}{:<16}{:>10.3}{:>12.1}{:>10.4}{:>9}{:>7.2}",
+            i + 1,
+            name,
+            dr,
+            lat,
+            gp,
+            relays,
+            hops
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Quickstart: the paper's Figure-1 motivating example, hand-built.
+//!
+//! Six nodes A–F in three communities. Node A wants to reach node D before
+//! the TTL expires; the only path in time is A→E→F→D, while the "best
+//! effort" first contact (A→B) is a dead end. We run First-Contact (which
+//! takes the dead end) and EER (whose contact expectation learns better)
+//! over a trace where the pattern repeats, and print the outcome.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cen_dtn::prelude::*;
+
+// Node roles from Figure 1.
+const A: u32 = 0;
+const B: u32 = 1;
+const C: u32 = 2;
+const D: u32 = 3;
+const E: u32 = 4;
+const F: u32 = 5;
+
+/// Builds the recurring Figure-1 contact schedule: every `period` seconds,
+/// A meets B (dead end), then A meets E, E meets F, F meets D.
+fn figure1_trace(repeats: u32, period: f64) -> ContactTrace {
+    let mut contacts = Vec::new();
+    for k in 0..repeats {
+        let t = f64::from(k) * period;
+        contacts.push(Contact::new(A, B, t + 10.0, t + 14.0)); // the trap
+        contacts.push(Contact::new(B, C, t + 20.0, t + 24.0)); // B only meets C
+        contacts.push(Contact::new(A, E, t + 30.0, t + 34.0));
+        contacts.push(Contact::new(E, F, t + 50.0, t + 54.0));
+        contacts.push(Contact::new(F, D, t + 70.0, t + 74.0));
+    }
+    ContactTrace::new(6, f64::from(repeats) * period, contacts)
+}
+
+fn main() {
+    let period = 100.0;
+    let repeats = 40;
+    let trace = figure1_trace(repeats, period);
+    println!(
+        "Figure-1 style trace: {} contacts over {:.0} s\n",
+        trace.contacts.len(),
+        trace.duration
+    );
+
+    // One message per cycle (after a warm-up) from A to D, tight TTL: it
+    // must take the A→E→F→D chain within its own cycle.
+    let mut workload = Vec::new();
+    for k in 10..repeats - 1 {
+        workload.push(MessageSpec {
+            create_at: SimTime::secs(f64::from(k) * period + 1.0),
+            src: NodeId(A),
+            dst: NodeId(D),
+            size: 10_000,
+            ttl: 150.0,
+        });
+    }
+
+    type Factory = Box<dyn FnMut(NodeId, u32) -> Box<dyn Router>>;
+    let cases: Vec<(&str, Factory)> = vec![
+        (
+            "FirstContact",
+            Box::new(|_, _| Box::new(FirstContact::new()) as Box<dyn Router>),
+        ),
+        (
+            "EER (lambda=2)",
+            Box::new(|id, n| {
+                // The toy schedule is perfectly periodic, so the anti-thrash
+                // hysteresis tuned for noisy city traces can be tightened.
+                let cfg = EerConfig {
+                    lambda: 2,
+                    forward_hysteresis: 30.0,
+                    ..EerConfig::default()
+                };
+                Box::new(Eer::with_config(id, n, cfg)) as Box<dyn Router>
+            }),
+        ),
+    ];
+    for (name, mut factory) in cases {
+        let stats = Simulation::new(&trace, workload.clone(), SimConfig::paper(0), |id, n| {
+            factory(id, n)
+        })
+        .run();
+        println!(
+            "{name:<15} delivered {:>2}/{:<2} ({:>5.1} %), mean latency {:>6.1} s, \
+             goodput {:.3}",
+            stats.delivered,
+            stats.created,
+            100.0 * stats.delivery_ratio(),
+            stats.avg_latency(),
+            stats.goodput()
+        );
+    }
+
+    println!(
+        "\nEER's contact histories learn that E (not B) leads towards D: after a\n\
+         few cycles its MEMD for the A->E->F->D chain beats the dead-end branch,\n\
+         which is exactly the paper's Figure-1 motivation."
+    );
+}

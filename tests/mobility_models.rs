@@ -1,0 +1,111 @@
+//! Integration: the protocols run over every mobility model in the
+//! substrate (bus lines, random waypoint, SPMBM), not just the paper's bus
+//! scenario — the contact-trace abstraction makes them interchangeable.
+
+use cen_dtn::prelude::*;
+use dtn_mobility::spmbm::SpmbmConfig;
+use dtn_mobility::{generate_trace, MapConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn run_epidemic(trace: &ContactTrace, seed: u64) -> SimStats {
+    let wl = TrafficConfig {
+        interval_min: 15.0,
+        interval_max: 25.0,
+        msg_size: 10_000,
+        ttl: 600.0,
+        start: 0.0,
+        end: trace.duration,
+    }
+    .generate(trace.n_nodes, seed);
+    Simulation::new(trace, wl, SimConfig::paper(seed), |_, _| {
+        Box::new(Epidemic::new())
+    })
+    .run()
+}
+
+#[test]
+fn random_waypoint_feeds_the_engine() {
+    let cfg = RwpConfig::square(500.0);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let trajs: Vec<Trajectory> = (0..16).map(|_| cfg.trajectory(2_000.0, &mut rng)).collect();
+    let trace = generate_trace(
+        &trajs,
+        2_000.0,
+        ContactGenConfig {
+            range: 30.0,
+            dt: 0.5,
+        },
+    );
+    assert!(trace.validate().is_ok());
+    assert!(
+        !trace.contacts.is_empty(),
+        "16 walkers in 500 m with 30 m radios must meet"
+    );
+    let stats = run_epidemic(&trace, 3);
+    assert!(stats.created > 0);
+    assert!(
+        stats.delivery_ratio() > 0.3,
+        "epidemic on dense RWP should deliver plenty, got {}",
+        stats.delivery_ratio()
+    );
+}
+
+#[test]
+fn spmbm_feeds_the_engine() {
+    let g = MapConfig::tiny().generate(6);
+    let cfg = SpmbmConfig {
+        speed_min: 2.0,
+        speed_max: 6.0,
+        pause_max: 20.0,
+    };
+    let mut rng = SmallRng::seed_from_u64(8);
+    let trajs: Vec<Trajectory> = (0..14)
+        .map(|_| cfg.trajectory(&g, 2_000.0, &mut rng))
+        .collect();
+    let trace = generate_trace(
+        &trajs,
+        2_000.0,
+        ContactGenConfig {
+            range: 25.0,
+            dt: 0.5,
+        },
+    );
+    assert!(trace.validate().is_ok());
+    assert!(!trace.contacts.is_empty());
+    let stats = run_epidemic(&trace, 8);
+    assert!(stats.delivery_ratio() > 0.2, "{}", stats.delivery_ratio());
+}
+
+/// EER runs on non-bus mobility too: the estimators make no assumptions
+/// about the underlying movement process.
+#[test]
+fn eer_on_random_waypoint() {
+    let cfg = RwpConfig::square(400.0);
+    let mut rng = SmallRng::seed_from_u64(11);
+    let trajs: Vec<Trajectory> = (0..12).map(|_| cfg.trajectory(2_500.0, &mut rng)).collect();
+    let trace = generate_trace(
+        &trajs,
+        2_500.0,
+        ContactGenConfig {
+            range: 30.0,
+            dt: 0.5,
+        },
+    );
+    let wl = TrafficConfig {
+        interval_min: 20.0,
+        interval_max: 30.0,
+        msg_size: 10_000,
+        ttl: 800.0,
+        start: 200.0, // warm-up so histories exist
+        end: 2_500.0,
+    }
+    .generate(12, 11);
+    let stats = Simulation::new(&trace, wl, SimConfig::paper(11), |id, n| {
+        Box::new(Eer::new(id, n, 6))
+    })
+    .run();
+    assert!(stats.created > 0);
+    assert!(stats.delivered > 0, "EER must deliver on RWP");
+    assert!(stats.relayed as f64 <= 12.0 * stats.created as f64);
+}

@@ -1,0 +1,138 @@
+//! Property-based integration tests: random-but-valid traces and workloads
+//! must never break engine invariants, for any protocol family.
+
+use cen_dtn::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a valid trace plus a workload fitted to it.
+fn scenario_strategy() -> impl Strategy<Value = (ContactTrace, Vec<MessageSpec>)> {
+    trace_strategy().prop_flat_map(|trace| {
+        let n = trace.n_nodes;
+        let horizon = trace.duration;
+        (Just(trace), workload_strategy(n, horizon))
+    })
+}
+
+/// Strategy: a valid contact trace over `n` nodes. Per-pair contacts are
+/// built from positive gaps and durations, so they can't overlap.
+fn trace_strategy() -> impl Strategy<Value = ContactTrace> {
+    (3u32..10, proptest::collection::vec((any::<u16>(), any::<u16>(), 1u16..200, 1u16..60), 1..60))
+        .prop_map(|(n, raw)| {
+            use std::collections::HashMap;
+            let mut cursor: HashMap<(u32, u32), f64> = HashMap::new();
+            let mut contacts = Vec::new();
+            for (xa, xb, gap, dur) in raw {
+                let a = u32::from(xa) % n;
+                let b = u32::from(xb) % n;
+                if a == b {
+                    continue;
+                }
+                let key = (a.min(b), a.max(b));
+                let start = cursor.get(&key).copied().unwrap_or(0.0) + f64::from(gap);
+                let end = start + f64::from(dur);
+                cursor.insert(key, end);
+                contacts.push(Contact::new(key.0, key.1, start, end));
+            }
+            let horizon = contacts
+                .iter()
+                .map(|c| c.end.as_secs())
+                .fold(0.0, f64::max)
+                + 10.0;
+            ContactTrace::new(n, horizon, contacts)
+        })
+}
+
+/// Strategy: a workload over `n` nodes within `horizon`.
+fn workload_strategy(n: u32, horizon: f64) -> impl Strategy<Value = Vec<MessageSpec>> {
+    proptest::collection::vec((any::<u16>(), any::<u16>(), 0u16..1000, 1u32..5000), 0..20)
+        .prop_map(move |raw| {
+            raw.into_iter()
+                .filter_map(|(xs, xd, tfrac, ttl)| {
+                    let src = u32::from(xs) % n;
+                    let dst = u32::from(xd) % n;
+                    if src == dst {
+                        return None;
+                    }
+                    Some(MessageSpec {
+                        create_at: SimTime::secs(horizon * f64::from(tfrac) / 1000.0),
+                        src: NodeId(src),
+                        dst: NodeId(dst),
+                        size: 1000,
+                        ttl: f64::from(ttl),
+                    })
+                })
+                .collect()
+        })
+}
+
+fn check_invariants(label: &str, stats: &SimStats) {
+    assert!(stats.delivered <= stats.created, "{label}: delivered > created");
+    assert!(stats.delivered <= stats.relayed, "{label}: delivered > relayed");
+    let dr = stats.delivery_ratio();
+    assert!((0.0..=1.0).contains(&dr), "{label}: dr {dr}");
+    let gp = stats.goodput();
+    assert!((0.0..=1.0).contains(&gp), "{label}: gp {gp}");
+    assert!(stats.latency_sum >= 0.0, "{label}: negative latency");
+    assert!(
+        stats.avg_hops() >= if stats.delivered > 0 { 1.0 } else { 0.0 },
+        "{label}: delivered messages need ≥ 1 hop"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The engine upholds its invariants for every protocol family on
+    /// arbitrary valid traces.
+    #[test]
+    fn engine_invariants_hold_for_all_protocols(
+        (trace, workload) in scenario_strategy(),
+        seedish in 0u16..1000,
+    ) {
+        prop_assert!(trace.validate().is_ok());
+
+        type Factory = Box<dyn FnMut(NodeId, u32) -> Box<dyn Router>>;
+        let cases: Vec<(&str, Factory)> = vec![
+            ("epidemic", Box::new(|_, _| Box::new(Epidemic::new()) as Box<dyn Router>)),
+            ("spray", Box::new(|_, _| Box::new(SprayAndWait::new(4)) as Box<dyn Router>)),
+            ("eer", Box::new(|id, nn| Box::new(Eer::new(id, nn, 4)) as Box<dyn Router>)),
+            ("maxprop", Box::new(|id, nn| Box::new(MaxProp::new(id, nn)) as Box<dyn Router>)),
+            ("prophet", Box::new(|id, nn| Box::new(Prophet::new(id, nn)) as Box<dyn Router>)),
+        ];
+        for (label, mut factory) in cases {
+            let stats = Simulation::new(
+                &trace,
+                workload.clone(),
+                SimConfig::paper(u64::from(seedish)),
+                |id, nn| factory(id, nn),
+            )
+            .run();
+            check_invariants(label, &stats);
+        }
+    }
+
+    /// Direct delivery is the goodput optimum: every relay is a delivery.
+    #[test]
+    fn direct_delivery_goodput_is_one((trace, workload) in scenario_strategy()) {
+        let stats = Simulation::new(&trace, workload, SimConfig::paper(0), |_, _| {
+            Box::new(DirectDelivery::new())
+        })
+        .run();
+        prop_assert_eq!(stats.relayed, stats.delivered + stats.duplicate_deliveries);
+    }
+
+    /// Epidemic delivery dominates single-copy spray on the same trace.
+    #[test]
+    fn epidemic_dominates_wait_phase((trace, workload) in scenario_strategy()) {
+        let flood = Simulation::new(&trace, workload.clone(), SimConfig::paper(0), |_, _| {
+            Box::new(Epidemic::new())
+        })
+        .run();
+        let single = Simulation::new(&trace, workload, SimConfig::paper(0), |_, _| {
+            Box::new(SprayAndWait::new(1))
+        })
+        .run();
+        // λ=1 spray == direct delivery; flooding reaches at least as many.
+        prop_assert!(flood.delivered >= single.delivered);
+    }
+}
