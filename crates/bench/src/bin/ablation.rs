@@ -28,12 +28,12 @@ use dtn_sim::MetricPoint;
 use std::path::Path;
 
 /// CR with ground-truth districts vs. CR with communities learned online by
-/// the distributed SIMPLE detector (the paper's future-work item 2).
+/// the distributed SIMPLE detector (the paper's future-work item 2). Both
+/// variants run through the shared runner as a plain sweep matrix — only the
+/// [`CommunitySource`] differs.
 fn detected_communities(argv: Vec<String>) {
-    use ce_core::{detect_over_trace, detected_map, pairwise_agreement, CommunityMap, DetectorConfig};
-    use dtn_bench::scenario::ScenarioCache;
-    use dtn_sim::{MetricPoint as MP, SimConfig, SimStats, Simulation};
-    use std::sync::Arc;
+    use ce_core::{pairwise_agreement, CommunityMap};
+    use dtn_bench::{run_matrix_with, CommunitySource, ScenarioCache};
 
     let mut args = match CommonArgs::parse(argv.into_iter()) {
         Ok(a) => a,
@@ -45,48 +45,64 @@ fn detected_communities(argv: Vec<String>) {
     if args.node_counts == vec![40, 80, 120, 160, 200, 240] {
         args.node_counts = vec![80, 160];
     }
+    let variants = [
+        ("ground truth", CommunitySource::GroundTruth),
+        ("detected", CommunitySource::Detected),
+    ];
     let cache = ScenarioCache::new();
+    let mut specs = Vec::new();
+    for (label, source) in &variants {
+        for &n in &args.node_counts {
+            specs.push(
+                RunSpec::new(*label, n, Protocol::new(ProtocolKind::Cr))
+                    .with_communities(source.clone()),
+            );
+        }
+    }
+    let cfg = SweepConfig {
+        seeds: args.seeds,
+        ..SweepConfig::default()
+    };
+    let points = run_matrix_with(&cache, &specs, cfg);
+
+    // Truth-vs-detected agreement per node count, from the same cached
+    // scenarios — and the same memoised detection passes — the sweep ran on.
+    let agreements: Vec<f64> = args
+        .node_counts
+        .iter()
+        .map(|&n| {
+            (1..=u64::from(args.seeds))
+                .map(|seed| {
+                    let ps = cache.get(n, seed);
+                    let truth = CommunityMap::new(ps.scenario.communities.clone());
+                    pairwise_agreement(&truth, &cache.detected_communities(&ps))
+                })
+                .sum::<f64>()
+                / f64::from(args.seeds)
+        })
+        .collect();
+
     println!("\nAblation: CR with ground-truth vs detected communities");
     println!(
         "{:<12}{:>6}{:>11}{:>9}{:>9}{:>9}{:>12}",
         "variant", "N", "agreement", "deliv", "latency", "goodput", "ctrl MB"
     );
-    let mut series: Vec<Series> = vec![
-        Series { label: "ground truth".into(), points: vec![] },
-        Series { label: "detected".into(), points: vec![] },
-    ];
-    for &n in &args.node_counts {
-        let mut truth_runs: Vec<SimStats> = vec![];
-        let mut det_runs: Vec<SimStats> = vec![];
-        let mut agreement_sum = 0.0;
-        for seed in 1..=u64::from(args.seeds) {
-            let ps = cache.get(n, seed);
-            let truth_map = Arc::new(CommunityMap::new(ps.scenario.communities.clone()));
-            let dets = detect_over_trace(&ps.scenario.trace, DetectorConfig::default());
-            let det_map = Arc::new(detected_map(&dets));
-            agreement_sum += pairwise_agreement(&truth_map, &det_map);
-            for (map, out) in [(&truth_map, &mut truth_runs), (&det_map, &mut det_runs)] {
-                let proto = Protocol::new(ProtocolKind::Cr).with_communities(Arc::clone(map));
-                let stats = Simulation::new(
-                    &ps.scenario.trace,
-                    ps.workload.as_ref().clone(),
-                    SimConfig::paper(seed),
-                    |id, nn| proto.make_router(id, nn),
-                )
-                .run();
-                out.push(stats);
-            }
-        }
-        let agreement = agreement_sum / f64::from(args.seeds);
-        for (label, runs) in [("ground truth", &truth_runs), ("detected", &det_runs)] {
-            let p = MP::from_runs(runs);
+    let per = args.node_counts.len();
+    let mut series: Vec<Series> = Vec::new();
+    for (vi, (label, _)) in variants.iter().enumerate() {
+        let mut pts = Vec::new();
+        for (xi, (&n, &agreement)) in args.node_counts.iter().zip(&agreements).enumerate() {
+            let p = points[vi * per + xi];
             println!(
                 "{label:<12}{n:>6}{agreement:>11.3}{:>9.3}{:>9.1}{:>9.4}{:>12.2}",
                 p.delivery_ratio, p.latency, p.goodput, p.control_mb
             );
-            let idx = usize::from(label == "detected");
-            series[idx].points.push((n, p));
+            pts.push((n, p));
         }
+        series.push(Series {
+            label: (*label).into(),
+            points: pts,
+        });
     }
     let csv = Path::new("results/ablation_detected_communities.csv");
     match write_csv(csv, &series) {
@@ -133,7 +149,10 @@ fn main() {
         "ttl-aware" => (
             "TTL-aware expected EV (EER) vs rate EV (EBR)",
             vec![
-                ("EER (EEV(t, a*TTL))".into(), Protocol::new(ProtocolKind::Eer)),
+                (
+                    "EER (EEV(t, a*TTL))".into(),
+                    Protocol::new(ProtocolKind::Eer),
+                ),
                 ("EBR (rate EV)".into(), Protocol::new(ProtocolKind::Ebr)),
             ],
         ),
@@ -194,13 +213,19 @@ fn main() {
                         ..EerConfig::default()
                     }),
                 ),
-                ("Epidemic (reference)".into(), Protocol::new(ProtocolKind::Epidemic)),
+                (
+                    "Epidemic (reference)".into(),
+                    Protocol::new(ProtocolKind::Epidemic),
+                ),
             ],
         ),
         "adaptive-lambda" => (
             "fixed quota vs EEV-adaptive quota (future-work extension)",
             vec![
-                ("EER lambda = 10 (fixed)".into(), Protocol::new(ProtocolKind::Eer)),
+                (
+                    "EER lambda = 10 (fixed)".into(),
+                    Protocol::new(ProtocolKind::Eer),
+                ),
                 (
                     "EER lambda = EEV clamp [4, 16]".into(),
                     Protocol::new(ProtocolKind::Eer).with_eer_config(EerConfig {
@@ -213,7 +238,10 @@ fn main() {
         "lambda-one" => (
             "quota protocols at lambda = 1 (single copy)",
             vec![
-                ("EER".into(), Protocol::new(ProtocolKind::Eer).with_lambda(1)),
+                (
+                    "EER".into(),
+                    Protocol::new(ProtocolKind::Eer).with_lambda(1),
+                ),
                 ("CR".into(), Protocol::new(ProtocolKind::Cr).with_lambda(1)),
                 (
                     "SprayAndWait".into(),

@@ -3,7 +3,7 @@
 //! delivery-progress curve).
 //!
 //! ```text
-//! cargo run --release -p dtn-bench --bin dtnrun -- \
+//! cargo run --release -p bench --bin dtnrun -- \
 //!     --protocol eer [--nodes 40] [--seed 1] [--duration 10000] \
 //!     [--lambda 10] [--alpha 0.28] [--trace file.trace] [--buffer BYTES] \
 //!     [--progress-step 1000]
@@ -11,19 +11,19 @@
 //!
 //! With `--trace`, the contact process is loaded from the plain-text trace
 //! format (see `dtn_sim::trace`) instead of being generated — the path for
-//! replaying real-world contact datasets.
+//! replaying real-world contact datasets. Either way the run goes through
+//! the shared runner layer (`RunSpec → SimStats`).
 
-use ce_core::CommunityMap;
-use dtn_bench::{PaperScenario, Protocol, ProtocolKind};
+use dtn_bench::{run_on, PaperScenario, Protocol, ProtocolKind, RunSpec, ScenarioCache};
 use dtn_sim::report::{delivery_progress, latencies, percentile};
-use dtn_sim::{ContactTrace, SimConfig, Simulation, TrafficConfig};
-use std::sync::Arc;
+use dtn_sim::ContactTrace;
 
 struct Args {
     protocol: ProtocolKind,
     nodes: u32,
     seed: u64,
-    duration: f64,
+    /// `None` = the paper's 10 000 s horizon; only valid without `--trace`.
+    duration: Option<f64>,
     lambda: u32,
     alpha: Option<f64>,
     trace: Option<String>,
@@ -36,7 +36,7 @@ fn parse_args() -> Result<Args, String> {
         protocol: ProtocolKind::Eer,
         nodes: 40,
         seed: 1,
-        duration: 10_000.0,
+        duration: None,
         lambda: 10,
         alpha: None,
         trace: None,
@@ -49,20 +49,21 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--protocol" => {
                 let v = val("--protocol")?;
-                out.protocol =
-                    ProtocolKind::parse(&v).ok_or(format!("unknown protocol {v}"))?;
+                out.protocol = ProtocolKind::parse(&v).ok_or(format!("unknown protocol {v}"))?;
             }
             "--nodes" => out.nodes = val("--nodes")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => out.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--duration" => {
-                out.duration = val("--duration")?.parse().map_err(|e| format!("{e}"))?
+                out.duration = Some(val("--duration")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--lambda" => out.lambda = val("--lambda")?.parse().map_err(|e| format!("{e}"))?,
             "--alpha" => out.alpha = Some(val("--alpha")?.parse().map_err(|e| format!("{e}"))?),
             "--trace" => out.trace = Some(val("--trace")?),
             "--buffer" => out.buffer = Some(val("--buffer")?.parse().map_err(|e| format!("{e}"))?),
             "--progress-step" => {
-                out.progress_step = val("--progress-step")?.parse().map_err(|e| format!("{e}"))?
+                out.progress_step = val("--progress-step")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
             }
             "--help" | "-h" => return Err("see module docs (dtnrun.rs) for usage".into()),
             other => return Err(format!("unknown flag {other}")),
@@ -80,9 +81,14 @@ fn main() {
         }
     };
 
-    // Obtain trace + communities + workload.
-    let (trace, communities): (ContactTrace, Vec<u32>) = match &args.trace {
+    // Obtain the experiment input: a replayed trace, or the generated paper
+    // scenario (memoised through the shared cache either way).
+    let ps: PaperScenario = match &args.trace {
         Some(path) => {
+            if args.duration.is_some() {
+                eprintln!("--duration cannot be combined with --trace: a replayed trace runs at its recorded horizon");
+                std::process::exit(2);
+            }
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
                 eprintln!("cannot read {path}: {e}");
                 std::process::exit(1);
@@ -91,53 +97,37 @@ fn main() {
                 eprintln!("cannot parse {path}: {e}");
                 std::process::exit(1);
             });
-            // No ground truth in a raw trace: detect communities online.
-            let dets =
-                ce_core::detect_over_trace(&trace, ce_core::DetectorConfig::default());
-            let map = ce_core::detected_map(&dets);
-            let cids = (0..trace.n_nodes)
-                .map(|i| map.cid(dtn_sim::NodeId(i)))
-                .collect();
-            (trace, cids)
+            // No ground truth in a raw trace: communities are detected online
+            // by `from_trace`.
+            PaperScenario::from_trace(trace, args.seed)
         }
-        None => {
-            let ps = if (args.duration - 10_000.0).abs() < 1e-9 {
-                PaperScenario::build(args.nodes, args.seed)
-            } else {
-                PaperScenario::build_scaled(args.nodes, args.seed, args.duration)
-            };
-            (
-                ps.scenario.trace.clone(),
-                ps.scenario.communities.clone(),
-            )
-        }
+        None => ScenarioCache::new().get_with_duration(args.nodes, args.seed, args.duration),
     };
-    let n = trace.n_nodes;
-    let duration = trace.duration;
-    let workload = TrafficConfig::paper(duration).generate(n, args.seed);
-    let created_at: Vec<f64> = workload.iter().map(|m| m.create_at.as_secs()).collect();
+    let n = ps.n_nodes;
+    let duration = ps.scenario.trace.duration;
+    let created_at: Vec<f64> = ps.workload.iter().map(|m| m.create_at.as_secs()).collect();
 
-    let ts = trace.stats();
+    let ts = ps.scenario.trace.stats();
     println!(
         "scenario: {n} nodes, {:.0} s, {} contacts (mean duration {:.2} s), {} messages",
         duration,
         ts.contacts,
         ts.mean_duration,
-        workload.len()
+        ps.workload.len()
     );
 
     let mut proto = Protocol::new(args.protocol).with_lambda(args.lambda);
     if let Some(a) = args.alpha {
         proto = proto.with_alpha(a);
     }
-    proto = proto.with_communities(Arc::new(CommunityMap::new(communities)));
 
-    let mut cfg = SimConfig::paper(args.seed);
+    let mut spec = RunSpec::new(args.protocol.name(), n, proto);
     if let Some(b) = args.buffer {
-        cfg.buffer_capacity = b;
+        spec = spec.with_buffer(b);
     }
+
     let t0 = std::time::Instant::now();
-    let stats = Simulation::new(&trace, workload, cfg, |id, nn| proto.make_router(id, nn)).run();
+    let stats = run_on(&ps, &spec, args.seed);
     let wall = t0.elapsed();
 
     println!("\n=== {} ===", args.protocol.name());
@@ -163,7 +153,10 @@ fn main() {
     );
     println!("wall time        {wall:.2?}");
 
-    println!("\ndelivery progress (cumulative, every {:.0} s):", args.progress_step);
+    println!(
+        "\ndelivery progress (cumulative, every {:.0} s):",
+        args.progress_step
+    );
     let prog = delivery_progress(&stats, duration, args.progress_step);
     for (k, v) in prog.iter().enumerate() {
         if k % 2 == 0 {

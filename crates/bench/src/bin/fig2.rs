@@ -25,7 +25,11 @@ fn main() {
     let mut specs = Vec::new();
     for kind in ProtocolKind::FIG2 {
         for &n in &args.node_counts {
-            specs.push(RunSpec::new(kind.name().to_string(), n, Protocol::new(kind).with_lambda(10)));
+            specs.push(RunSpec::new(
+                kind.name().to_string(),
+                n,
+                Protocol::new(kind).with_lambda(10),
+            ));
         }
     }
     let cfg = SweepConfig {

@@ -26,7 +26,11 @@ fn main() {
     let mut specs = Vec::new();
     for &lambda in &LAMBDAS {
         for &n in &args.node_counts {
-            specs.push(RunSpec::new(format!("Lambda = {lambda}"), n, Protocol::new(ProtocolKind::Cr).with_lambda(lambda)));
+            specs.push(RunSpec::new(
+                format!("Lambda = {lambda}"),
+                n,
+                Protocol::new(ProtocolKind::Cr).with_lambda(lambda),
+            ));
         }
     }
     let cfg = SweepConfig {

@@ -2,12 +2,10 @@
 //! counters — the quickest way to eyeball that the stack behaves.
 //!
 //! ```text
-//! cargo run -p dtn-bench --release --bin smoke -- [n_nodes] [seed]
+//! cargo run -p bench --release --bin smoke -- [n_nodes] [seed]
 //! ```
 
-use dtn_bench::{PaperScenario, Protocol, ProtocolKind};
-use dtn_sim::{SimConfig, Simulation};
-use std::sync::Arc;
+use dtn_bench::{run_spec, Protocol, ProtocolKind, RunSpec, ScenarioCache};
 use std::time::Instant;
 
 fn main() {
@@ -16,7 +14,8 @@ fn main() {
     let seed: u64 = argv.next().and_then(|s| s.parse().ok()).unwrap_or(1);
 
     let t0 = Instant::now();
-    let ps = PaperScenario::build(n, seed);
+    let cache = ScenarioCache::new();
+    let ps = cache.get(n, seed);
     let ts = ps.scenario.trace.stats();
     eprintln!(
         "scenario n={n} seed={seed}: {} contacts (mean dur {:.2}s, mean intercontact {:.0}s), \
@@ -28,7 +27,6 @@ fn main() {
         t0.elapsed()
     );
 
-    let communities = Arc::new(ce_core::CommunityMap::new(ps.scenario.communities.clone()));
     let all = [
         ProtocolKind::Eer,
         ProtocolKind::Cr,
@@ -42,15 +40,9 @@ fn main() {
         ProtocolKind::FirstContact,
     ];
     for kind in all {
-        let proto = Protocol::new(kind).with_communities(Arc::clone(&communities));
+        let spec = RunSpec::new(kind.name(), n, Protocol::new(kind));
         let t = Instant::now();
-        let stats = Simulation::new(
-            &ps.scenario.trace,
-            ps.workload.as_ref().clone(),
-            SimConfig::paper(seed),
-            |id, nn| proto.make_router(id, nn),
-        )
-        .run();
+        let stats = run_spec(&cache, &spec, seed);
         println!(
             "{:<14} dr={:.3} lat={:>6.1} gp={:.4} relayed={:>6} dup={:>4} aborted={:>5} \
              drops(buf/ttl/proto)={}/{}/{} ctrl={:>8}KB  [{:.2?}]",

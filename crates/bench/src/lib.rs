@@ -10,7 +10,9 @@
 //!   `results/`.
 //!
 //! Binaries: `fig2`, `fig3`, `fig4`, `ablation` (see `--help` of each),
-//! `smoke` (one-shot sanity run).
+//! `smoke` (one-shot sanity run), `dtnrun` (single-run report / trace
+//! replay). All of them execute simulations through the [`runner`] layer's
+//! `RunSpec → SimStats` primitive ([`runner::run_spec`] / [`runner::run_on`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -22,5 +24,7 @@ pub mod scenario;
 
 pub use protocols::{Protocol, ProtocolKind};
 pub use report::{print_series_table, write_csv, Series};
-pub use runner::{run_matrix, RunSpec, SweepConfig};
+pub use runner::{
+    run_matrix, run_matrix_with, run_on, run_spec, CommunitySource, RunSpec, SweepConfig,
+};
 pub use scenario::{PaperScenario, ScenarioCache};

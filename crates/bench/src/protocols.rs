@@ -224,14 +224,14 @@ mod tests {
             let p = Protocol::new(kind).with_communities(Arc::clone(&map));
             let r = p.make_router(NodeId(0), 4);
             assert!(!r.label().is_empty());
-            assert_eq!(r.initial_copies(&dummy_msg()), if matches!(
-                kind,
-                ProtocolKind::MaxProp
-            ) {
-                1
-            } else {
-                10
-            });
+            assert_eq!(
+                r.initial_copies(&dummy_msg()),
+                if matches!(kind, ProtocolKind::MaxProp) {
+                    1
+                } else {
+                    10
+                }
+            );
         }
     }
 

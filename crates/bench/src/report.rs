@@ -148,22 +148,28 @@ mod tests {
         vec![Series {
             label: "EER".into(),
             points: vec![
-                (40, MetricPoint {
-                    delivery_ratio: 0.5,
-                    latency: 400.0,
-                    goodput: 0.05,
-                    relayed: 100.0,
-                    control_mb: 1.0,
-                    runs: 3,
-                }),
-                (80, MetricPoint {
-                    delivery_ratio: 0.6,
-                    latency: 380.0,
-                    goodput: 0.04,
-                    relayed: 120.0,
-                    control_mb: 2.0,
-                    runs: 3,
-                }),
+                (
+                    40,
+                    MetricPoint {
+                        delivery_ratio: 0.5,
+                        latency: 400.0,
+                        goodput: 0.05,
+                        relayed: 100.0,
+                        control_mb: 1.0,
+                        runs: 3,
+                    },
+                ),
+                (
+                    80,
+                    MetricPoint {
+                        delivery_ratio: 0.6,
+                        latency: 380.0,
+                        goodput: 0.04,
+                        relayed: 120.0,
+                        control_mb: 2.0,
+                        runs: 3,
+                    },
+                ),
             ],
         }]
     }
@@ -201,8 +207,13 @@ mod tests {
         assert_eq!(q.seeds, 1);
         assert_eq!(q.node_counts.len(), 3);
         let n = CommonArgs::parse(
-            ["--nodes".to_string(), "40,80".to_string(), "--seeds".to_string(), "5".to_string()]
-                .into_iter(),
+            [
+                "--nodes".to_string(),
+                "40,80".to_string(),
+                "--seeds".to_string(),
+                "5".to_string(),
+            ]
+            .into_iter(),
         )
         .unwrap();
         assert_eq!(n.node_counts, vec![40, 80]);

@@ -1,16 +1,49 @@
-//! Parallel sweep runner.
+//! The single execution layer every binary, bench and test drives
+//! simulations through.
 //!
-//! A sweep is a matrix of `(point, seed)` runs. Runs are independent, so the
-//! runner fans them out over worker threads with `std::thread::scope` and a
-//! shared atomic work index, then reduces per-point results in deterministic
-//! order (results are keyed, not raced).
+//! The primitive is `RunSpec → SimStats`: [`run_spec`] resolves the spec's
+//! scenario through a shared [`ScenarioCache`] and executes one deterministic
+//! `(spec, seed)` cell; [`run_on`] is the same execution against an
+//! explicitly supplied scenario (trace replay, pre-built inputs). A sweep is
+//! a matrix of such cells: [`run_matrix`] fans them out over worker threads
+//! with `std::thread::scope` and a shared atomic work index, then reduces
+//! per-point results in deterministic order (results are keyed, not raced),
+//! so the thread count never changes the output.
 
 use crate::protocols::Protocol;
-use crate::scenario::ScenarioCache;
-use ce_core::CommunityMap;
+use crate::scenario::{PaperScenario, ScenarioCache};
+use ce_core::{detect_over_trace, detected_map, CommunityMap, DetectorConfig};
 use dtn_sim::{MetricPoint, SimConfig, SimStats, Simulation};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Where a run's community map (needed by CR) comes from.
+#[derive(Clone, Default)]
+pub enum CommunitySource {
+    /// The scenario's ground truth (each bus line's home district).
+    #[default]
+    GroundTruth,
+    /// Online detection over the contact trace (the SIMPLE detector).
+    Detected,
+    /// A fixed, caller-supplied map.
+    Fixed(Arc<CommunityMap>),
+}
+
+impl CommunitySource {
+    /// Materialises the community map for `ps`.
+    fn resolve(&self, ps: &PaperScenario) -> Arc<CommunityMap> {
+        match self {
+            CommunitySource::GroundTruth => {
+                Arc::new(CommunityMap::new(ps.scenario.communities.clone()))
+            }
+            CommunitySource::Detected => {
+                let dets = detect_over_trace(&ps.scenario.trace, DetectorConfig::default());
+                Arc::new(detected_map(&dets))
+            }
+            CommunitySource::Fixed(map) => Arc::clone(map),
+        }
+    }
+}
 
 /// One cell of the sweep matrix.
 #[derive(Clone)]
@@ -23,6 +56,10 @@ pub struct RunSpec {
     pub protocol: Protocol,
     /// Per-node buffer capacity override in bytes (`None` = paper's 1 MB).
     pub buffer_capacity: Option<u64>,
+    /// Scenario horizon override in seconds (`None` = the paper's 10 000 s).
+    pub duration: Option<f64>,
+    /// Community map source for protocols that need one (CR).
+    pub communities: CommunitySource,
 }
 
 impl RunSpec {
@@ -33,12 +70,31 @@ impl RunSpec {
             n_nodes,
             protocol,
             buffer_capacity: None,
+            duration: None,
+            communities: CommunitySource::default(),
         }
     }
 
     /// Overrides the per-node buffer capacity (bytes).
     pub fn with_buffer(mut self, bytes: u64) -> Self {
         self.buffer_capacity = Some(bytes);
+        self
+    }
+
+    /// Overrides the scenario horizon (seconds). Honored by [`run_spec`]
+    /// (which builds the scenario); [`run_on`] takes its scenario as given
+    /// and asserts that this override, if set, matches it.
+    pub fn with_duration(mut self, seconds: f64) -> Self {
+        self.duration = Some(seconds);
+        self
+    }
+
+    /// Chooses where the run's community map comes from. Only consulted when
+    /// [`RunSpec::protocol`] carries no map of its own
+    /// (`Protocol::with_communities`) — a protocol-level map takes
+    /// precedence.
+    pub fn with_communities(mut self, source: CommunitySource) -> Self {
+        self.communities = source;
         self
     }
 }
@@ -49,10 +105,19 @@ pub struct SweepConfig {
     /// Seeds per point (the paper averages 10 runs; default here is 3 for
     /// wall-clock reasons — pass `--full` to the binaries for 10).
     pub seeds: u32,
-    /// Worker threads (defaults to available parallelism).
+    /// Worker threads (defaults to available parallelism; values below 1 are
+    /// clamped up to 1 at use).
     pub threads: usize,
     /// Print progress lines to stderr.
     pub verbose: bool,
+}
+
+impl SweepConfig {
+    /// The worker-thread count actually used: at least 1, whatever the
+    /// configured value.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.max(1)
+    }
 }
 
 impl Default for SweepConfig {
@@ -67,10 +132,70 @@ impl Default for SweepConfig {
     }
 }
 
+/// Executes one `(spec, seed)` cell, resolving the scenario through `cache`.
+///
+/// This is the deterministic core primitive: the same `(spec, seed)` always
+/// produces the same [`SimStats`], whichever thread or binary runs it.
+pub fn run_spec(cache: &ScenarioCache, spec: &RunSpec, seed: u64) -> SimStats {
+    let ps = cache.get_with_duration(spec.n_nodes, seed, spec.duration);
+    if matches!(spec.communities, CommunitySource::Detected) {
+        // Detection replays the whole trace; route it through the cache so
+        // every cell (and any agreement metrics) share one pass per scenario.
+        let fixed = RunSpec {
+            communities: CommunitySource::Fixed(cache.detected_communities(&ps)),
+            ..spec.clone()
+        };
+        return run_on(&ps, &fixed, seed);
+    }
+    run_on(&ps, spec, seed)
+}
+
+/// Executes `spec` against an explicitly supplied scenario — the path for
+/// replayed real-world traces and pre-built inputs. `seed` feeds
+/// [`SimConfig::paper`] (router-private randomness) only; the scenario is
+/// taken as given — in particular [`RunSpec::duration`] cannot re-shape an
+/// already-built scenario (that resolution happens in [`run_spec`]), so a
+/// mismatch between the two is a caller bug.
+pub fn run_on(ps: &PaperScenario, spec: &RunSpec, seed: u64) -> SimStats {
+    assert!(
+        spec.duration
+            .is_none_or(|d| (d - ps.scenario.trace.duration).abs() < 1e-9),
+        "RunSpec duration override ({:?}) does not match the supplied scenario's horizon ({}); \
+         resolve the spec through run_spec/ScenarioCache instead",
+        spec.duration,
+        ps.scenario.trace.duration
+    );
+    let mut protocol = spec.protocol.clone();
+    if protocol.communities.is_none() {
+        protocol.communities = Some(spec.communities.resolve(ps));
+    }
+    let mut cfg = SimConfig::paper(seed);
+    if let Some(bytes) = spec.buffer_capacity {
+        cfg.buffer_capacity = bytes;
+    }
+    let sim = Simulation::new(
+        &ps.scenario.trace,
+        ps.workload.as_ref().clone(),
+        cfg,
+        |id, n| protocol.make_router(id, n),
+    );
+    sim.run()
+}
+
 /// Executes every `(spec, seed)` combination and reduces each spec's runs
 /// into a [`MetricPoint`]. Returns points in the order of `specs`.
 pub fn run_matrix(specs: &[RunSpec], cfg: SweepConfig) -> Vec<MetricPoint> {
-    let cache = ScenarioCache::new();
+    run_matrix_with(&ScenarioCache::new(), specs, cfg)
+}
+
+/// [`run_matrix`] against a caller-supplied scenario cache, so binaries that
+/// also need the raw scenarios (e.g. to compare community maps) build each
+/// one exactly once.
+pub fn run_matrix_with(
+    cache: &ScenarioCache,
+    specs: &[RunSpec],
+    cfg: SweepConfig,
+) -> Vec<MetricPoint> {
     let jobs: Vec<(usize, u64)> = (0..specs.len())
         .flat_map(|i| (0..cfg.seeds).map(move |s| (i, u64::from(s) + 1)))
         .collect();
@@ -79,14 +204,14 @@ pub fn run_matrix(specs: &[RunSpec], cfg: SweepConfig) -> Vec<MetricPoint> {
         let mut slots: Vec<std::sync::Mutex<Vec<(u64, SimStats)>>> = Vec::new();
         slots.resize_with(specs.len(), Default::default);
         std::thread::scope(|scope| {
-            for _ in 0..cfg.threads.max(1) {
+            for _ in 0..cfg.effective_threads() {
                 scope.spawn(|| loop {
                     let j = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&(spec_idx, seed)) = jobs.get(j) else {
                         break;
                     };
                     let spec = &specs[spec_idx];
-                    let stats = run_one(&cache, spec, seed);
+                    let stats = run_spec(cache, spec, seed);
                     if cfg.verbose {
                         eprintln!(
                             "  [{}/{}] {} n={} seed={} dr={:.3} lat={:.1} gp={:.4}",
@@ -120,30 +245,6 @@ pub fn run_matrix(specs: &[RunSpec], cfg: SweepConfig) -> Vec<MetricPoint> {
             MetricPoint::from_runs(&stats)
         })
         .collect()
-}
-
-/// Runs one `(spec, seed)` cell.
-fn run_one(cache: &ScenarioCache, spec: &RunSpec, seed: u64) -> SimStats {
-    let ps = cache.get(spec.n_nodes, seed);
-    // CR needs the scenario's community ground truth; attach it here so
-    // callers don't have to know the seed-specific map.
-    let mut protocol = spec.protocol.clone();
-    if protocol.communities.is_none() {
-        protocol.communities = Some(Arc::new(CommunityMap::new(
-            ps.scenario.communities.clone(),
-        )));
-    }
-    let mut cfg = SimConfig::paper(seed);
-    if let Some(bytes) = spec.buffer_capacity {
-        cfg.buffer_capacity = bytes;
-    }
-    let sim = Simulation::new(
-        &ps.scenario.trace,
-        ps.workload.as_ref().clone(),
-        cfg,
-        |id, n| protocol.make_router(id, n),
-    );
-    sim.run()
 }
 
 #[cfg(test)]
@@ -180,5 +281,40 @@ mod tests {
         // Epidemic floods, so it must relay at least as much as quota spray;
         // delivery can't be lower on identical traces.
         assert!(a[1].delivery_ratio >= a[0].delivery_ratio - 1e-9);
+    }
+
+    /// Zero threads is clamped, not a hang or panic.
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let cfg = SweepConfig {
+            seeds: 1,
+            threads: 0,
+            verbose: false,
+        };
+        assert_eq!(cfg.effective_threads(), 1);
+        let specs = vec![RunSpec::new(
+            "Direct",
+            8,
+            Protocol::new(ProtocolKind::Direct),
+        )];
+        let points = run_matrix(&specs, cfg);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].runs, 1);
+    }
+
+    /// A duration override flows through the cache into the built scenario.
+    #[test]
+    fn duration_override_reaches_scenario() {
+        let cache = ScenarioCache::new();
+        let spec =
+            RunSpec::new("Direct", 8, Protocol::new(ProtocolKind::Direct)).with_duration(500.0);
+        let _ = run_spec(&cache, &spec, 1);
+        let ps = cache.get_with_duration(8, 1, Some(500.0));
+        assert_eq!(ps.scenario.trace.duration, 500.0);
+        assert_eq!(
+            cache.len(),
+            1,
+            "run_spec and get_with_duration share the entry"
+        );
     }
 }

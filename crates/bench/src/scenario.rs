@@ -1,7 +1,8 @@
 //! Paper-scenario construction and memoisation.
 
 use dtn_mobility::scenario::{Scenario, ScenarioConfig};
-use dtn_sim::{MessageSpec, TrafficConfig};
+use dtn_mobility::RoadGraphBuilder;
+use dtn_sim::{ContactTrace, MessageSpec, TrafficConfig};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -49,13 +50,42 @@ impl PaperScenario {
             seed,
         }
     }
+
+    /// Wraps a replayed (e.g. real-world) contact trace as a runnable
+    /// scenario: the paper's traffic model is fitted to the trace's node
+    /// count and horizon, and communities are detected online — a raw trace
+    /// carries no ground truth.
+    pub fn from_trace(trace: ContactTrace, seed: u64) -> Self {
+        let n_nodes = trace.n_nodes;
+        let workload = TrafficConfig::paper(trace.duration).generate(n_nodes, seed);
+        let dets = ce_core::detect_over_trace(&trace, ce_core::DetectorConfig::default());
+        let map = ce_core::detected_map(&dets);
+        let communities: Vec<u32> = (0..n_nodes).map(|i| map.cid(dtn_sim::NodeId(i))).collect();
+        let n_communities = communities.iter().copied().max().map_or(0, |c| c + 1);
+        let scenario = Scenario {
+            trace,
+            communities,
+            n_communities,
+            graph: RoadGraphBuilder::new().build(),
+            trajectories: Vec::new(),
+        };
+        PaperScenario {
+            scenario: Arc::new(scenario),
+            workload: Arc::new(workload),
+            n_nodes,
+            seed,
+        }
+    }
 }
 
 /// Thread-safe memo of built scenarios, so every protocol and λ value runs
-/// against the *identical* contact process for a given `(n, seed)`.
+/// against the *identical* contact process for a given `(n, seed, duration)`.
 #[derive(Default)]
 pub struct ScenarioCache {
-    map: Mutex<HashMap<(u32, u64), PaperScenario>>,
+    map: Mutex<HashMap<(u32, u64, u64), PaperScenario>>,
+    /// Memoised online community detection per scenario (detection replays
+    /// the whole trace — worth doing once, not once per consumer).
+    detected: Mutex<HashMap<(u32, u64, u64), Arc<ce_core::CommunityMap>>>,
 }
 
 impl ScenarioCache {
@@ -64,18 +94,57 @@ impl ScenarioCache {
         Self::default()
     }
 
-    /// Returns the scenario for `(n_nodes, seed)`, building it on first use.
+    /// Returns the paper-horizon scenario for `(n_nodes, seed)`, building it
+    /// on first use.
     pub fn get(&self, n_nodes: u32, seed: u64) -> PaperScenario {
-        if let Some(s) = self.map.lock().unwrap().get(&(n_nodes, seed)) {
+        self.get_with_duration(n_nodes, seed, None)
+    }
+
+    /// Returns the scenario for `(n_nodes, seed)` with an optional horizon
+    /// override (`None` = the paper's duration), building it on first use.
+    /// Keys use the *resolved* duration, so `None` and an explicit
+    /// paper-length override share one entry.
+    pub fn get_with_duration(
+        &self,
+        n_nodes: u32,
+        seed: u64,
+        duration: Option<f64>,
+    ) -> PaperScenario {
+        let duration = duration.unwrap_or_else(|| ScenarioConfig::paper(n_nodes).duration);
+        let key = (n_nodes, seed, duration.to_bits());
+        if let Some(s) = self.map.lock().unwrap().get(&key) {
             return s.clone();
         }
-        let built = PaperScenario::build(n_nodes, seed);
-        self.map
+        let built = PaperScenario::build_scaled(n_nodes, seed, duration);
+        self.map.lock().unwrap().entry(key).or_insert(built).clone()
+    }
+
+    /// The online-detected community map for `ps`, memoised per scenario so
+    /// every consumer — sweep runs, agreement metrics — shares one detection
+    /// pass per trace. Memoisation requires `ps` to be *this cache's* entry
+    /// (checked by pointer identity, so a foreign scenario — e.g. built by
+    /// [`PaperScenario::from_trace`] — can never collide with a cached one);
+    /// foreign scenarios are detected fresh.
+    pub fn detected_communities(&self, ps: &PaperScenario) -> Arc<ce_core::CommunityMap> {
+        let key = (ps.n_nodes, ps.seed, ps.scenario.trace.duration.to_bits());
+        let ours = self
+            .map
             .lock()
             .unwrap()
-            .entry((n_nodes, seed))
-            .or_insert(built)
-            .clone()
+            .get(&key)
+            .is_some_and(|cached| Arc::ptr_eq(&cached.scenario, &ps.scenario));
+        if ours {
+            if let Some(m) = self.detected.lock().unwrap().get(&key) {
+                return Arc::clone(m);
+            }
+        }
+        let dets =
+            ce_core::detect_over_trace(&ps.scenario.trace, ce_core::DetectorConfig::default());
+        let map = Arc::new(ce_core::detected_map(&dets));
+        if ours {
+            self.detected.lock().unwrap().insert(key, Arc::clone(&map));
+        }
+        map
     }
 
     /// Number of cached scenarios.
@@ -107,9 +176,82 @@ mod tests {
     }
 
     #[test]
+    fn cache_keys_include_duration() {
+        let cache = ScenarioCache::new();
+        let paper = cache.get(8, 1);
+        let short = cache.get_with_duration(8, 1, Some(400.0));
+        assert_eq!(cache.len(), 2);
+        assert!(!Arc::ptr_eq(&paper.scenario, &short.scenario));
+        assert_eq!(short.scenario.trace.duration, 400.0);
+    }
+
+    /// `None` and an explicit paper-length duration are the same entry: the
+    /// key is the resolved duration, not a sentinel.
+    #[test]
+    fn default_and_explicit_paper_duration_share_entry() {
+        let cache = ScenarioCache::new();
+        let paper_d = ScenarioConfig::paper(8).duration;
+        let a = cache.get(8, 1);
+        let b = cache.get_with_duration(8, 1, Some(paper_d));
+        assert_eq!(cache.len(), 1);
+        assert!(Arc::ptr_eq(&a.scenario, &b.scenario));
+    }
+
+    /// A foreign scenario (not built by this cache) never reads or poisons
+    /// the memoised detection of a cached scenario with matching key fields.
+    #[test]
+    fn detected_memo_ignores_foreign_scenarios() {
+        use dtn_sim::Contact;
+        let cache = ScenarioCache::new();
+        let short = cache.get_with_duration(6, 7, Some(300.0));
+        let cached_map = cache.detected_communities(&short);
+
+        // Same (n, seed, duration) key fields, completely different trace.
+        let trace = ContactTrace::new(
+            6,
+            300.0,
+            vec![
+                Contact::new(0, 1, 10.0, 290.0),
+                Contact::new(2, 3, 10.0, 290.0),
+                Contact::new(4, 5, 10.0, 290.0),
+            ],
+        );
+        let foreign = PaperScenario::from_trace(trace, 7);
+        let foreign_map = cache.detected_communities(&foreign);
+        assert!(
+            !Arc::ptr_eq(&cached_map, &foreign_map),
+            "foreign scenario must get its own detection, not the memo"
+        );
+        // And the memo still serves the cached scenario afterwards.
+        assert!(Arc::ptr_eq(
+            &cached_map,
+            &cache.detected_communities(&short)
+        ));
+    }
+
+    #[test]
     fn scaled_scenario_is_shorter() {
         let s = PaperScenario::build_scaled(8, 1, 500.0);
         assert_eq!(s.scenario.trace.duration, 500.0);
         assert!(s.workload.iter().all(|m| m.create_at.as_secs() < 500.0));
+    }
+
+    #[test]
+    fn from_trace_round_trips_node_count() {
+        use dtn_sim::Contact;
+        let trace = ContactTrace::new(
+            6,
+            300.0,
+            vec![
+                Contact::new(0, 1, 10.0, 40.0),
+                Contact::new(2, 3, 15.0, 50.0),
+                Contact::new(4, 5, 20.0, 60.0),
+                Contact::new(0, 1, 100.0, 130.0),
+            ],
+        );
+        let ps = PaperScenario::from_trace(trace, 7);
+        assert_eq!(ps.n_nodes, 6);
+        assert_eq!(ps.scenario.communities.len(), 6);
+        assert!(ps.workload.iter().all(|m| m.create_at.as_secs() < 300.0));
     }
 }

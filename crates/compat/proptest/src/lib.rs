@@ -1,0 +1,385 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this crate implements the
+//! subset of proptest's API the workspace's property tests use: the
+//! [`Strategy`] trait with [`Strategy::prop_map`] / [`Strategy::prop_flat_map`],
+//! range and tuple strategies, [`collection::vec`], [`Just`], [`any`], the
+//! [`proptest!`] test macro and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: inputs are sampled from a fixed-seed
+//! deterministic RNG (runs are reproducible), and failing cases are reported
+//! without shrinking.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng as _};
+use std::ops::Range;
+
+/// The RNG handed to strategies while generating a case.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic per-test RNG; `salt` separates the streams of different
+    /// tests so they do not explore identical tuples.
+    pub fn deterministic(salt: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(0xC0FF_EE00 ^ salt))
+    }
+
+    fn rng(&mut self) -> &mut SmallRng {
+        &mut self.0
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f`, which returns a follow-up strategy;
+    /// the final value is drawn from that follow-up strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategies compose by reference too (proptest parity).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+    /// A strategy over the full value space of `Self`.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A strategy over every value of `T` (see [`Arbitrary`]).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy over the full value space of a primitive.
+pub struct AnyPrim<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen::<$t>()
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrim(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Inclusive-exclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng().gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a proptest case, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supported forms match the subset of real proptest used in this workspace:
+/// an optional `#![proptest_config(...)]` header followed by test functions
+/// with `pattern in strategy` parameters.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr) ) => {};
+    (
+        @cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            // Salt the stream with the test name so sibling tests diverge.
+            let salt = stringify!($name)
+                .bytes()
+                .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
+            let mut rng = $crate::TestRng::deterministic(salt);
+            for case in 0..config.cases {
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let run = || -> () { $body };
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                if let Err(e) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (deterministic seed; no shrinking)",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(e);
+                }
+            }
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_sample_within_bounds() {
+        let mut rng = crate::TestRng::deterministic(1);
+        let s = (1u32..5, 0.0f64..1.0);
+        for _ in 0..100 {
+            let (a, b) = s.sample(&mut rng);
+            assert!((1..5).contains(&a));
+            assert!((0.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::TestRng::deterministic(2);
+        let s = crate::collection::vec(0u8..10, 3..6);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((3..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_values() {
+        let mut rng = crate::TestRng::deterministic(3);
+        let s = (2u32..10).prop_flat_map(|n| (Just(n), 0u32..n));
+        for _ in 0..200 {
+            let (n, x) = s.sample(&mut rng);
+            assert!(x < n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_draws_each_argument(a in 0u32..10, mut v in crate::collection::vec(0u32..4, 1..5)) {
+            v.push(a);
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert_eq!(*v.last().unwrap(), a);
+        }
+    }
+}

@@ -26,9 +26,9 @@
 use crate::community::CommunityMap;
 use crate::eer::{quantise_tau, replica_share};
 use crate::history::{ContactHistory, DEFAULT_WINDOW};
-use crate::policy::BufferPolicy;
 use crate::memd::MemdSolver;
 use crate::mi::MiMatrix;
+use crate::policy::BufferPolicy;
 use dtn_sim::{
     ContactCtx, Message, NodeCtx, NodeId, Router, SimTime, TransferAction, TransferPlan,
 };
@@ -95,10 +95,15 @@ pub struct Cr {
 impl Cr {
     /// Creates a CR router for `me` with quota `lambda`.
     pub fn new(me: NodeId, n: u32, communities: Arc<CommunityMap>, lambda: u32) -> Self {
-        Self::with_config(me, n, communities, CrConfig {
-            lambda,
-            ..CrConfig::default()
-        })
+        Self::with_config(
+            me,
+            n,
+            communities,
+            CrConfig {
+                lambda,
+                ..CrConfig::default()
+            },
+        )
     }
 
     /// Creates a CR router with explicit parameters.
@@ -198,7 +203,8 @@ impl Cr {
             return v;
         }
         let v = self.communities.enec(&self.history, now, tau);
-        self.enec_cache.retain(|(_, at, _)| t - at <= self.cfg.refresh);
+        self.enec_cache
+            .retain(|(_, at, _)| t - at <= self.cfg.refresh);
         self.enec_cache.push((bits, t, v));
         v
     }
@@ -213,7 +219,11 @@ impl Cr {
 
     /// Builds the decision batch for the current contact.
     #[allow(clippy::too_many_lines)]
-    fn build_queue(&mut self, ctx: &mut ContactCtx<'_>, peer_router: &mut Cr) -> VecDeque<TransferPlan> {
+    fn build_queue(
+        &mut self,
+        ctx: &mut ContactCtx<'_>,
+        peer_router: &mut Cr,
+    ) -> VecDeque<TransferPlan> {
         let now = ctx.now;
         let my_cid = self.communities.cid(self.me);
         let peer_cid = self.communities.cid(ctx.peer);
@@ -284,18 +294,18 @@ impl Cr {
                 }
                 if entry.copies > 1 {
                     let bits = tau.to_bits();
-                    let (ev_me, ev_peer) =
-                        match intra_ev_cache.iter().find(|(b, _, _)| *b == bits) {
-                            Some(&(_, a, b)) => (a, b),
-                            None => {
-                                let members = self.my_members();
-                                let a = self.history.eev_over(now, tau, members);
-                                let b = peer_router.history.eev_over(now, tau, members);
-                                intra_ev_cache.push((bits, a, b));
-                                ctx.control_bytes(16);
-                                (a, b)
-                            }
-                        };
+                    let (ev_me, ev_peer) = match intra_ev_cache.iter().find(|(b, _, _)| *b == bits)
+                    {
+                        Some(&(_, a, b)) => (a, b),
+                        None => {
+                            let members = self.my_members();
+                            let a = self.history.eev_over(now, tau, members);
+                            let b = peer_router.history.eev_over(now, tau, members);
+                            intra_ev_cache.push((bits, a, b));
+                            ctx.control_bytes(16);
+                            (a, b)
+                        }
+                    };
                     let give = replica_share(entry.copies, ev_me, ev_peer);
                     if give >= 1 {
                         queue.push_back(TransferPlan::split(msg.id, give));
@@ -419,10 +429,14 @@ mod tests {
     fn peer_in_destination_community_gets_all_replicas() {
         // Communities: {0}, {1, 2}. Message 0→2. Node 1 is in dst community.
         let communities = map(vec![0, 1, 1]);
-        let trace = ContactTrace::new(3, 200.0, vec![
-            Contact::new(0, 1, 10.0, 15.0),
-            Contact::new(1, 2, 50.0, 55.0),
-        ]);
+        let trace = ContactTrace::new(
+            3,
+            200.0,
+            vec![
+                Contact::new(0, 1, 10.0, 15.0),
+                Contact::new(1, 2, 50.0, 55.0),
+            ],
+        );
         let wl = vec![MessageSpec {
             create_at: SimTime::secs(1.0),
             src: NodeId(0),
@@ -430,13 +444,8 @@ mod tests {
             size: 1000,
             ttl: 190.0,
         }];
-        let stats = Simulation::new(
-            &trace,
-            wl,
-            SimConfig::paper(0),
-            cr_factory(communities, 10),
-        )
-        .run();
+        let stats =
+            Simulation::new(&trace, wl, SimConfig::paper(0), cr_factory(communities, 10)).run();
         // 0 hands everything to 1 (dst community), 1 delivers to 2.
         assert_eq!(stats.delivered, 1);
         assert_eq!(stats.relayed, 2);
@@ -453,13 +462,8 @@ mod tests {
             size: 1000,
             ttl: 90.0,
         }];
-        let stats = Simulation::new(
-            &trace,
-            wl,
-            SimConfig::paper(0),
-            cr_factory(communities, 10),
-        )
-        .run();
+        let stats =
+            Simulation::new(&trace, wl, SimConfig::paper(0), cr_factory(communities, 10)).run();
         assert_eq!(stats.delivered, 1);
         assert_eq!(stats.relayed, 1);
     }
@@ -486,13 +490,8 @@ mod tests {
             size: 1000,
             ttl: 600.0,
         }];
-        let stats = Simulation::new(
-            &trace,
-            wl,
-            SimConfig::paper(0),
-            cr_factory(communities, 1),
-        )
-        .run();
+        let stats =
+            Simulation::new(&trace, wl, SimConfig::paper(0), cr_factory(communities, 1)).run();
         assert_eq!(
             stats.relayed, 1,
             "0 must hand the copy to 1, who actually meets community 1"
@@ -505,10 +504,14 @@ mod tests {
         // Communities: {0, 2}, {1}. Message 0→2 (intra). Node 0 only ever
         // meets outsider 1: no transfer may happen.
         let communities = map(vec![0, 1, 0]);
-        let trace = ContactTrace::new(3, 300.0, vec![
-            Contact::new(0, 1, 10.0, 15.0),
-            Contact::new(0, 1, 100.0, 105.0),
-        ]);
+        let trace = ContactTrace::new(
+            3,
+            300.0,
+            vec![
+                Contact::new(0, 1, 10.0, 15.0),
+                Contact::new(0, 1, 100.0, 105.0),
+            ],
+        );
         let wl = vec![MessageSpec {
             create_at: SimTime::secs(1.0),
             src: NodeId(0),
@@ -516,13 +519,8 @@ mod tests {
             size: 1000,
             ttl: 290.0,
         }];
-        let stats = Simulation::new(
-            &trace,
-            wl,
-            SimConfig::paper(0),
-            cr_factory(communities, 1),
-        )
-        .run();
+        let stats =
+            Simulation::new(&trace, wl, SimConfig::paper(0), cr_factory(communities, 1)).run();
         assert_eq!(stats.relayed, 0, "outsiders must not carry intra traffic");
     }
 
@@ -547,13 +545,8 @@ mod tests {
             size: 1000,
             ttl: 1200.0,
         }];
-        let stats = Simulation::new(
-            &trace,
-            wl,
-            SimConfig::paper(0),
-            cr_factory(communities, 1),
-        )
-        .run();
+        let stats =
+            Simulation::new(&trace, wl, SimConfig::paper(0), cr_factory(communities, 1)).run();
         assert_eq!(stats.delivered, 1, "1 delivers at the next 1–2 contact");
         assert_eq!(stats.relayed, 2, "handover 0→1 plus delivery hop 1→2");
     }

@@ -121,11 +121,11 @@ impl CommunityDetector {
     pub fn on_contact_end(&mut self, peer: NodeId, now: SimTime) {
         if let Some(start) = self.open_since[peer.idx()].take() {
             self.contact_time[peer.idx()] += now.since(start);
-            if self.contact_time[peer.idx()] >= self.cfg.familiar_threshold {
-                if self.familiar.insert(peer) {
-                    // Familiar peers belong to the local community.
-                    self.community.insert(peer);
-                }
+            if self.contact_time[peer.idx()] >= self.cfg.familiar_threshold
+                && self.familiar.insert(peer)
+            {
+                // Familiar peers belong to the local community.
+                self.community.insert(peer);
             }
         }
     }
@@ -192,8 +192,9 @@ pub fn detect_over_trace(
     cfg: DetectorConfig,
 ) -> Vec<CommunityDetector> {
     let n = trace.n_nodes;
-    let mut dets: Vec<CommunityDetector> =
-        (0..n).map(|i| CommunityDetector::new(NodeId(i), n, cfg)).collect();
+    let mut dets: Vec<CommunityDetector> = (0..n)
+        .map(|i| CommunityDetector::new(NodeId(i), n, cfg))
+        .collect();
     // Replay contacts as (time, up/down, pair) events in time order.
     #[derive(Clone, Copy)]
     enum Ev {
@@ -205,7 +206,7 @@ pub fn detect_over_trace(
         events.push((c.start, Ev::Up, c.pair));
         events.push((c.end, Ev::Down, c.pair));
     }
-    events.sort_by(|x, y| x.0.cmp(&y.0));
+    events.sort_by_key(|x| x.0);
     for (t, ev, pair) in events {
         let (a, b) = (pair.a.idx(), pair.b.idx());
         match ev {
@@ -271,7 +272,12 @@ mod tests {
         for rep in 0..10 {
             let t = f64::from(rep) * 100.0;
             for (x, y) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
-                contacts.push(Contact::new(x, y, t + f64::from(x + y), t + f64::from(x + y) + 8.0));
+                contacts.push(Contact::new(
+                    x,
+                    y,
+                    t + f64::from(x + y),
+                    t + f64::from(x + y) + 8.0,
+                ));
             }
         }
         // One brief cross contact.

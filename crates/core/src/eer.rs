@@ -26,12 +26,11 @@
 //!   evaluations).
 
 use crate::history::{ContactHistory, DEFAULT_WINDOW};
-use crate::policy::BufferPolicy;
 use crate::memd::MemdSolver;
 use crate::mi::MiMatrix;
+use crate::policy::BufferPolicy;
 use dtn_sim::{
-    ContactCtx, Message, MessageId, NodeCtx, NodeId, Router, SimTime, TransferAction,
-    TransferPlan,
+    ContactCtx, Message, MessageId, NodeCtx, NodeId, Router, SimTime, TransferAction, TransferPlan,
 };
 use std::any::Any;
 use std::collections::VecDeque;
@@ -119,10 +118,14 @@ impl Eer {
     /// Creates an EER router for `me` in a network of `n` nodes, with the
     /// paper's default parameters and quota `lambda`.
     pub fn new(me: NodeId, n: u32, lambda: u32) -> Self {
-        Self::with_config(me, n, EerConfig {
-            lambda,
-            ..EerConfig::default()
-        })
+        Self::with_config(
+            me,
+            n,
+            EerConfig {
+                lambda,
+                ..EerConfig::default()
+            },
+        )
     }
 
     /// Creates an EER router with explicit parameters.
@@ -213,7 +216,8 @@ impl Eer {
             return v;
         }
         let v = self.history.eev(now, tau);
-        self.eev_cache.retain(|(_, at, _)| t - at <= self.cfg.refresh);
+        self.eev_cache
+            .retain(|(_, at, _)| t - at <= self.cfg.refresh);
         self.eev_cache.push((bits, t, v));
         v
     }
@@ -288,9 +292,10 @@ impl Router for Eer {
 
         // (3) Per-message decision batch (Algorithm 1, lines 6–18).
         // MEMD vectors are needed only when single replicas are in play.
-        let need_memd = ctx.buf.iter().any(|e| {
-            e.copies == 1 && e.msg.dst != ctx.peer && !ctx.peer_buf.contains(e.msg.id)
-        });
+        let need_memd = ctx
+            .buf
+            .iter()
+            .any(|e| e.copies == 1 && e.msg.dst != ctx.peer && !ctx.peer_buf.contains(e.msg.id));
         let (my_memd, peer_memd) = if need_memd {
             ctx.control_bytes(16); // MEMD scalar exchange
             (
@@ -423,7 +428,7 @@ mod tests {
             }
         }
         let copies = r.initial_copies(&msg);
-        assert!(copies >= 5 && copies <= 7, "EEV-driven quota, got {copies}");
+        assert!((5..=7).contains(&copies), "EEV-driven quota, got {copies}");
     }
 
     #[test]
@@ -500,11 +505,15 @@ mod tests {
     /// Symmetric histories ⇒ no single-copy forwarding (strict inequality).
     #[test]
     fn equal_memd_does_not_forward() {
-        let trace = ContactTrace::new(3, 500.0, vec![
-            Contact::new(0, 1, 10.0, 12.0),
-            Contact::new(0, 1, 100.0, 102.0),
-            Contact::new(0, 1, 200.0, 202.0),
-        ]);
+        let trace = ContactTrace::new(
+            3,
+            500.0,
+            vec![
+                Contact::new(0, 1, 10.0, 12.0),
+                Contact::new(0, 1, 100.0, 102.0),
+                Contact::new(0, 1, 200.0, 202.0),
+            ],
+        );
         let wl = vec![MessageSpec {
             create_at: SimTime::secs(150.0),
             src: NodeId(0),
@@ -521,11 +530,15 @@ mod tests {
     /// interval) without ever having met node 0.
     #[test]
     fn mi_gossip_propagates() {
-        let trace = ContactTrace::new(3, 500.0, vec![
-            Contact::new(0, 1, 10.0, 12.0),
-            Contact::new(0, 1, 50.0, 52.0),
-            Contact::new(1, 2, 100.0, 102.0),
-        ]);
+        let trace = ContactTrace::new(
+            3,
+            500.0,
+            vec![
+                Contact::new(0, 1, 10.0, 12.0),
+                Contact::new(0, 1, 50.0, 52.0),
+                Contact::new(1, 2, 100.0, 102.0),
+            ],
+        );
         let mut sim = Simulation::new(&trace, vec![], SimConfig::paper(0), eer_factory(10));
         let stats = sim.run_to_end();
         assert!(stats.control_bytes > 0, "gossip accounted as control bytes");

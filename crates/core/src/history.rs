@@ -224,12 +224,7 @@ impl ContactHistory {
     /// Probability of meeting at least one member of `community` within
     /// `(now, now+τ]`: `P_ic = 1 − Π_{j ∈ C} (1 − p_ij)` (Theorem 4's inner
     /// term).
-    pub fn community_meet_probability(
-        &self,
-        now: SimTime,
-        tau: f64,
-        community: &[NodeId],
-    ) -> f64 {
+    pub fn community_meet_probability(&self, now: SimTime, tau: f64, community: &[NodeId]) -> f64 {
         let mut miss = 1.0;
         for j in community {
             if *j == self.me {
@@ -309,7 +304,7 @@ mod tests {
         assert_eq!(h.meet_probability(now, 10.0), 0.5);
         assert_eq!(h.meet_probability(now, 40.0), 1.0); // both ≤ 60
         assert_eq!(h.meet_probability(now, 5.0), 0.0); // none ≤ 25
-        // Overdue: elapsed 70 → m = 0 → probability 0.
+                                                       // Overdue: elapsed 70 → m = 0 → probability 0.
         assert_eq!(h.meet_probability(SimTime::secs(170.0), 50.0), 0.0);
     }
 
@@ -324,7 +319,7 @@ mod tests {
         ch.record_meeting(NodeId(2), SimTime::secs(10.0));
         // Peer 3: never met.
         let now = SimTime::secs(210.0); // elapsed to 1 = 10
-        // p1: intervals all 50 > 10; ≤ 10+45=55 → all → 1.0.
+                                        // p1: intervals all 50 > 10; ≤ 10+45=55 → all → 1.0.
         let eev = ch.eev(now, 45.0);
         assert!((eev - 1.0).abs() < 1e-12);
         // Short horizon: 10+20=30 < 50 → 0.

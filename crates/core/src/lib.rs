@@ -41,8 +41,10 @@ pub mod mi;
 pub mod policy;
 
 pub use community::{CommunityId, CommunityMap};
-pub use detect::{detect_over_trace, detected_map, pairwise_agreement, CommunityDetector, DetectorConfig};
 pub use cr::{cr_factory, Cr, CrConfig};
+pub use detect::{
+    detect_over_trace, detected_map, pairwise_agreement, CommunityDetector, DetectorConfig,
+};
 pub use eer::{Eer, EerConfig, EmdMode};
 pub use history::{ContactHistory, PairHistory, DEFAULT_WINDOW};
 pub use memd::MemdSolver;

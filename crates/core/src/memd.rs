@@ -126,11 +126,10 @@ impl MemdSolver {
             } else {
                 mi.row(NodeId(u as u32))
             };
-            for v in 0..n {
+            for (v, &w) in row.iter().enumerate().take(n) {
                 if self.done[v] {
                     continue;
                 }
-                let w = row[v];
                 if w.is_finite() {
                     let nd = best + w;
                     if nd < self.dist[v] {
@@ -232,12 +231,7 @@ mod tests {
         let mi = mi_from(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 10.0)]);
         let mut s = MemdSolver::new();
         let emd_row = vec![0.0, 1.0, 10.0];
-        let d = s.memd_from(
-            NodeId(0),
-            &mi,
-            &emd_row,
-            Some(&[NodeId(0), NodeId(2)]),
-        );
+        let d = s.memd_from(NodeId(0), &mi, &emd_row, Some(&[NodeId(0), NodeId(2)]));
         assert_eq!(d[2], 10.0, "must use the direct intra-subset edge");
     }
 

@@ -48,9 +48,7 @@ impl BufferPolicy {
                         )
                     })
                     .collect();
-                entries.sort_by(|a, b| {
-                    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
-                });
+                entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
                 entries.into_iter().map(|(_, _, id)| id).collect()
             }
         }
@@ -96,8 +94,7 @@ mod tests {
         buf.insert(entry(1, 0.0, 60.0, 1, 0.0)).unwrap(); // nearly dead
         buf.insert(entry(2, 0.0, 500.0, 8, 0.0)).unwrap(); // long life, spread
         let incoming = entry(9, 0.0, 100.0, 1, 0.0).msg;
-        let order =
-            BufferPolicy::LeastRemainingValue.victims(&buf, &incoming, SimTime::secs(50.0));
+        let order = BufferPolicy::LeastRemainingValue.victims(&buf, &incoming, SimTime::secs(50.0));
         assert_eq!(
             order,
             vec![MessageId(1), MessageId(2), MessageId(0)],
@@ -110,7 +107,10 @@ mod tests {
         let mut buf = Buffer::new(1000);
         buf.insert(entry(0, 0.0, 100.0, 1, 0.0)).unwrap();
         let incoming = entry(0, 0.0, 100.0, 1, 0.0).msg; // same id
-        for p in [BufferPolicy::OldestReceived, BufferPolicy::LeastRemainingValue] {
+        for p in [
+            BufferPolicy::OldestReceived,
+            BufferPolicy::LeastRemainingValue,
+        ] {
             assert!(p.victims(&buf, &incoming, SimTime::ZERO).is_empty());
         }
     }

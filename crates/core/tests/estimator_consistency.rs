@@ -114,7 +114,10 @@ fn memd_consistent_after_gossip_chain() {
         .expected_meeting_delay(now)
         .expect("0 and 1 have admissible history at 750");
     assert!(d[2] > 0.0 && d[2].is_finite());
-    assert!((d[2] - (emd01 + i12)).abs() < 1e-9, "two-hop path composition");
+    assert!(
+        (d[2] - (emd01 + i12)).abs() < 1e-9,
+        "two-hop path composition"
+    );
 }
 
 /// A fresh MiMatrix has no influence on MEMD: everything unreachable.
@@ -125,7 +128,7 @@ fn memd_on_empty_matrix_is_unreachable() {
     let row = mi.row(NodeId(0)).to_vec();
     let d = solver.memd_from(NodeId(0), &mi, &row, None);
     assert_eq!(d[0], 0.0);
-    for v in 1..5 {
-        assert!(d[v].is_infinite());
+    for dv in &d[1..5] {
+        assert!(dv.is_infinite());
     }
 }

@@ -34,11 +34,7 @@ impl Default for ContactGenConfig {
 ///
 /// # Panics
 /// Panics if `range` or `dt` is not positive.
-pub fn generate_trace(
-    trajs: &[Trajectory],
-    duration: f64,
-    cfg: ContactGenConfig,
-) -> ContactTrace {
+pub fn generate_trace(trajs: &[Trajectory], duration: f64, cfg: ContactGenConfig) -> ContactTrace {
     assert!(cfg.range > 0.0 && cfg.dt > 0.0);
     let n = trajs.len();
     let mut cursors: Vec<TrajectoryCursor<'_>> = trajs.iter().map(TrajectoryCursor::new).collect();
@@ -134,7 +130,11 @@ mod tests {
         assert_eq!(trace.contacts.len(), 1);
         let c = trace.contacts[0];
         // In range for |x| <= 10 → 20 m at 5 m/s = 4 s around t = 20.
-        assert!((c.duration() - 4.0).abs() <= 0.5, "duration {}", c.duration());
+        assert!(
+            (c.duration() - 4.0).abs() <= 0.5,
+            "duration {}",
+            c.duration()
+        );
         assert!((c.start.as_secs() - 18.0).abs() <= 0.5);
         assert!(trace.validate().is_ok());
     }

@@ -44,7 +44,7 @@ pub use mapgen::MapConfig;
 pub use path::PathFinder;
 pub use routes::{BusConfig, BusRoute};
 pub use rwp::RwpConfig;
+pub use scenario::{Scenario, ScenarioConfig};
 pub use spmbm::SpmbmConfig;
 pub use svg::SvgScene;
-pub use scenario::{Scenario, ScenarioConfig};
 pub use trajectory::{Trajectory, TrajectoryCursor};

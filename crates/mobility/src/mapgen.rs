@@ -71,7 +71,7 @@ impl MapConfig {
         assert!((0.0..1.0).contains(&self.thinning), "thinning out of range");
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x6d61_7067_656e_u64);
         let mut b = RoadGraphBuilder::new();
-        let at = |c: u32, r: u32| (r * self.cols + c) as u32;
+        let at = |c: u32, r: u32| r * self.cols + c;
         for r in 0..self.rows {
             for c in 0..self.cols {
                 let jx = rng.gen_range(-self.jitter..=self.jitter) * self.spacing;

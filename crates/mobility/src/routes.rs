@@ -167,7 +167,11 @@ impl BusRoute {
                 speed = rng.gen_range(cfg.speed_min..=cfg.speed_max);
             }
             // Advance; wrap from the duplicate closing vertex back to 0.
-            seg = if vertex_idx >= last_seg { 0 } else { next_vertex };
+            seg = if vertex_idx >= last_seg {
+                0
+            } else {
+                next_vertex
+            };
             if seg == 0 {
                 cur = self.poly[0];
             }

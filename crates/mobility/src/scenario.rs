@@ -102,17 +102,15 @@ impl ScenarioConfig {
         for r in 0..n_routes {
             let home = r % self.districts;
             let express = self.districts > 1 && rng.gen::<f64>() < self.express_fraction;
-            let pool: &[VertexId] = if express || pools[home as usize].len()
-                < self.stops_per_route as usize
-            {
-                &all
-            } else {
-                &pools[home as usize]
-            };
+            let pool: &[VertexId] =
+                if express || pools[home as usize].len() < self.stops_per_route as usize {
+                    &all
+                } else {
+                    &pools[home as usize]
+                };
             // Retry a few times in the (unlikely) case of a degenerate loop.
             let route = loop {
-                let anchors =
-                    sample_distinct(pool, self.stops_per_route as usize, &mut rng);
+                let anchors = sample_distinct(pool, self.stops_per_route as usize, &mut rng);
                 if let Some(route) = BusRoute::new(&graph, anchors, &mut pf) {
                     break route;
                 }
@@ -127,11 +125,12 @@ impl ScenarioConfig {
             let (route, home) = &routes[ri];
             let on_route = k / n_routes; // index of this bus on its line
             let buses_on_line = buses_on_route(self.n_nodes, n_routes, ri as u32);
-            let offset = (f64::from(on_route) + rng.gen_range(0.0..0.5))
-                / f64::from(buses_on_line.max(1));
-            let mut bus_rng = SmallRng::seed_from_u64(seed
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                .wrapping_add(u64::from(k)));
+            let offset =
+                (f64::from(on_route) + rng.gen_range(0.0..0.5)) / f64::from(buses_on_line.max(1));
+            let mut bus_rng = SmallRng::seed_from_u64(
+                seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(u64::from(k)),
+            );
             trajectories.push(route.bus_trajectory(
                 offset.min(0.999),
                 self.duration,
@@ -207,7 +206,7 @@ mod tests {
             "buses on a downtown map must meet within 1000 s"
         );
         // All four districts populated.
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         for &c in &s.communities {
             seen[c as usize] = true;
         }

@@ -39,12 +39,7 @@ impl SpmbmConfig {
     ///
     /// # Panics
     /// Panics on an empty graph or non-positive speeds.
-    pub fn trajectory(
-        &self,
-        g: &RoadGraph,
-        duration: f64,
-        rng: &mut SmallRng,
-    ) -> Trajectory {
+    pub fn trajectory(&self, g: &RoadGraph, duration: f64, rng: &mut SmallRng) -> Trajectory {
         assert!(g.n_vertices() > 0, "empty map");
         assert!(self.speed_min > 0.0 && self.speed_max >= self.speed_min);
         let mut pf = PathFinder::new();

@@ -89,7 +89,10 @@ impl<'a> SvgScene<'a> {
             out,
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"#
         );
-        let _ = writeln!(out, r##"<rect width="100%" height="100%" fill="#fafafa"/>"##);
+        let _ = writeln!(
+            out,
+            r##"<rect width="100%" height="100%" fill="#fafafa"/>"##
+        );
 
         // Streets.
         for v in 0..self.graph.n_vertices() as u32 {

@@ -42,10 +42,7 @@ impl Trajectory {
 
     /// Position at time `t` (clamped to the first/last breakpoint).
     pub fn position_at(&self, t: f64) -> Point {
-        match self
-            .points
-            .binary_search_by(|(pt, _)| pt.total_cmp(&t))
-        {
+        match self.points.binary_search_by(|(pt, _)| pt.total_cmp(&t)) {
             Ok(i) => self.points[i].1,
             Err(0) => self.points[0].1,
             Err(i) if i == self.points.len() => self.points[i - 1].1,

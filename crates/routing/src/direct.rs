@@ -39,10 +39,14 @@ mod tests {
     #[test]
     fn delivers_only_to_destination() {
         // 0 meets 1 (not dst), then 0 meets 2 (dst).
-        let trace = ContactTrace::new(3, 100.0, vec![
-            Contact::new(0, 1, 10.0, 15.0),
-            Contact::new(0, 2, 30.0, 35.0),
-        ]);
+        let trace = ContactTrace::new(
+            3,
+            100.0,
+            vec![
+                Contact::new(0, 1, 10.0, 15.0),
+                Contact::new(0, 2, 30.0, 35.0),
+            ],
+        );
         let wl = vec![MessageSpec {
             create_at: SimTime::secs(1.0),
             src: NodeId(0),
@@ -63,10 +67,14 @@ mod tests {
 
     #[test]
     fn never_relays_through_intermediaries() {
-        let trace = ContactTrace::new(3, 100.0, vec![
-            Contact::new(0, 1, 10.0, 15.0),
-            Contact::new(1, 2, 30.0, 35.0),
-        ]);
+        let trace = ContactTrace::new(
+            3,
+            100.0,
+            vec![
+                Contact::new(0, 1, 10.0, 15.0),
+                Contact::new(1, 2, 30.0, 35.0),
+            ],
+        );
         let wl = vec![MessageSpec {
             create_at: SimTime::secs(1.0),
             src: NodeId(0),

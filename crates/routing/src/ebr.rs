@@ -209,10 +209,14 @@ mod tests {
     /// Wait phase: single copies are never relayed.
     #[test]
     fn single_copy_waits() {
-        let trace = ContactTrace::new(3, 200.0, vec![
-            Contact::new(0, 1, 10.0, 15.0),
-            Contact::new(0, 1, 50.0, 55.0),
-        ]);
+        let trace = ContactTrace::new(
+            3,
+            200.0,
+            vec![
+                Contact::new(0, 1, 10.0, 15.0),
+                Contact::new(0, 1, 50.0, 55.0),
+            ],
+        );
         let wl = vec![MessageSpec {
             create_at: SimTime::secs(1.0),
             src: NodeId(0),

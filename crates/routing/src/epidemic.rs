@@ -50,11 +50,15 @@ mod tests {
 
     fn chain_trace() -> ContactTrace {
         // 0-1, then 1-2, then 2-3: epidemic relays along the chain.
-        ContactTrace::new(4, 200.0, vec![
-            Contact::new(0, 1, 10.0, 15.0),
-            Contact::new(1, 2, 30.0, 35.0),
-            Contact::new(2, 3, 50.0, 55.0),
-        ])
+        ContactTrace::new(
+            4,
+            200.0,
+            vec![
+                Contact::new(0, 1, 10.0, 15.0),
+                Contact::new(1, 2, 30.0, 35.0),
+                Contact::new(2, 3, 50.0, 55.0),
+            ],
+        )
     }
 
     #[test]
@@ -100,10 +104,14 @@ mod tests {
         // Two long overlapping contacts of the same pair would trigger
         // re-sends if the peer-buffer check were missing; the engine's
         // validate_plan would panic (debug) on an invalid plan.
-        let trace = ContactTrace::new(2, 300.0, vec![
-            Contact::new(0, 1, 10.0, 100.0),
-            Contact::new(0, 1, 150.0, 250.0),
-        ]);
+        let trace = ContactTrace::new(
+            2,
+            300.0,
+            vec![
+                Contact::new(0, 1, 10.0, 100.0),
+                Contact::new(0, 1, 150.0, 250.0),
+            ],
+        );
         let wl = vec![MessageSpec {
             create_at: SimTime::secs(1.0),
             src: NodeId(0),

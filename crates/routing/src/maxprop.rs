@@ -154,11 +154,10 @@ impl MaxProp {
             } else {
                 continue; // no likelihood info about u's links
             };
-            for v in 0..self.n {
+            for (v, &p) in vec_u.iter().enumerate().take(self.n) {
                 if v == ui {
                     continue;
                 }
-                let p = vec_u[v];
                 let nd = d + (1.0 - p);
                 if nd < self.cost[v] {
                     self.cost[v] = nd;
@@ -334,11 +333,15 @@ mod tests {
 
     #[test]
     fn floods_and_delivers_like_epidemic() {
-        let trace = ContactTrace::new(4, 200.0, vec![
-            Contact::new(0, 1, 10.0, 15.0),
-            Contact::new(1, 2, 30.0, 35.0),
-            Contact::new(2, 3, 50.0, 55.0),
-        ]);
+        let trace = ContactTrace::new(
+            4,
+            200.0,
+            vec![
+                Contact::new(0, 1, 10.0, 15.0),
+                Contact::new(1, 2, 30.0, 35.0),
+                Contact::new(2, 3, 50.0, 55.0),
+            ],
+        );
         let wl = vec![MessageSpec {
             create_at: SimTime::secs(1.0),
             src: NodeId(0),
@@ -357,13 +360,17 @@ mod tests {
     /// Acks purge delivered messages from intermediate buffers.
     #[test]
     fn acks_purge_delivered_messages() {
-        let trace = ContactTrace::new(4, 400.0, vec![
-            Contact::new(0, 1, 10.0, 15.0),  // replicate 0→1
-            Contact::new(1, 3, 30.0, 35.0),  // deliver 1→3 (dst), 1 learns ack
-            Contact::new(1, 2, 50.0, 55.0),  // 2 learns ack... but 2 has no copy
-            Contact::new(0, 2, 70.0, 75.0),  // 2 tells 0? no—0 offers copy; 2 knows ack
-            Contact::new(0, 1, 90.0, 95.0),  // 1 tells 0 the ack → 0 purges
-        ]);
+        let trace = ContactTrace::new(
+            4,
+            400.0,
+            vec![
+                Contact::new(0, 1, 10.0, 15.0), // replicate 0→1
+                Contact::new(1, 3, 30.0, 35.0), // deliver 1→3 (dst), 1 learns ack
+                Contact::new(1, 2, 50.0, 55.0), // 2 learns ack... but 2 has no copy
+                Contact::new(0, 2, 70.0, 75.0), // 2 tells 0? no—0 offers copy; 2 knows ack
+                Contact::new(0, 1, 90.0, 95.0), // 1 tells 0 the ack → 0 purges
+            ],
+        );
         let wl = vec![MessageSpec {
             create_at: SimTime::secs(1.0),
             src: NodeId(0),

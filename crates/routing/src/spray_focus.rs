@@ -86,7 +86,7 @@ impl Router for SprayAndFocus {
         for x in 0..self.last_enc.len() {
             if let Some(pt) = peer_router.last_enc[x] {
                 let adopted = pt + (-self.transitivity_penalty);
-                if self.last_enc[x].map_or(true, |mt| adopted > mt) && x != ctx.me.idx() {
+                if self.last_enc[x].is_none_or(|mt| adopted > mt) && x != ctx.me.idx() {
                     self.last_enc[x] = Some(adopted);
                 }
             }
@@ -208,11 +208,15 @@ mod tests {
     /// single copy flows back towards the direct witness.
     #[test]
     fn direct_witness_beats_gossip_recipient() {
-        let trace = ContactTrace::new(3, 300.0, vec![
-            Contact::new(1, 2, 10.0, 12.0),  // 1 directly met 2
-            Contact::new(0, 1, 50.0, 52.0),  // 0 learns 2's timer via gossip
-            Contact::new(0, 1, 100.0, 102.0), // 0 carries a copy → hands to 1
-        ]);
+        let trace = ContactTrace::new(
+            3,
+            300.0,
+            vec![
+                Contact::new(1, 2, 10.0, 12.0),   // 1 directly met 2
+                Contact::new(0, 1, 50.0, 52.0),   // 0 learns 2's timer via gossip
+                Contact::new(0, 1, 100.0, 102.0), // 0 carries a copy → hands to 1
+            ],
+        );
         let wl = vec![MessageSpec {
             create_at: SimTime::secs(60.0),
             src: NodeId(0),

@@ -108,10 +108,14 @@ mod tests {
     #[test]
     fn wait_phase_blocks_relaying() {
         // λ=1: only direct delivery ever.
-        let trace = ContactTrace::new(3, 100.0, vec![
-            Contact::new(0, 1, 10.0, 15.0),
-            Contact::new(1, 2, 30.0, 35.0),
-        ]);
+        let trace = ContactTrace::new(
+            3,
+            100.0,
+            vec![
+                Contact::new(0, 1, 10.0, 15.0),
+                Contact::new(1, 2, 30.0, 35.0),
+            ],
+        );
         let wl = vec![MessageSpec {
             create_at: SimTime::secs(1.0),
             src: NodeId(0),

@@ -6,7 +6,10 @@ use dtn_sim::prelude::*;
 use proptest::prelude::*;
 
 fn trace_and_workload() -> impl Strategy<Value = (ContactTrace, Vec<MessageSpec>)> {
-    (4u32..9, proptest::collection::vec((any::<u16>(), any::<u16>(), 1u16..120, 1u16..40), 1..50))
+    (
+        4u32..9,
+        proptest::collection::vec((any::<u16>(), any::<u16>(), 1u16..120, 1u16..40), 1..50),
+    )
         .prop_flat_map(|(n, raw)| {
             let mut cursor: std::collections::HashMap<(u32, u32), f64> = Default::default();
             let mut contacts = Vec::new();

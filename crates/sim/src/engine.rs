@@ -7,16 +7,27 @@
 //!
 //! The engine is deterministic: all randomness lives in the trace/workload
 //! generators and in router-private RNGs seeded from [`SimConfig::seed`].
+//!
+//! ## Hot-path layout
+//!
+//! Link state lives in a slab of [`LinkSlot`]s recycled across contacts, not
+//! in a hash map: a contact gets a slot plus a globally unique *epoch*, and
+//! events carry the slot index, so the per-transfer path never hashes. The
+//! per-direction "already sent during this contact" set is an epoch-stamped
+//! array indexed by the dense [`MessageId`] space (`stamps[m] == epoch` means
+//! sent), so membership tests are O(1) and recycling a slot needs no clearing
+//! — bumping the epoch invalidates every old stamp at once. Scratch buffers
+//! (purge lists, TTL sweeps, per-node link snapshots) are reused across
+//! callbacks, keeping the steady-state event loop allocation-free.
 
 use crate::buffer::{Buffer, BufferEntry, DropReason};
 use crate::event::{EventKind, EventQueue};
 use crate::ids::{MessageId, NodeId, NodePair};
 use crate::message::{Message, MessageSpec};
-use crate::router::{pair_mut, ContactCtx, NodeCtx, Router, TransferAction, TransferPlan};
+use crate::router::{pair_mut, ContactCtx, NodeCtx, Router, SentSet, TransferAction, TransferPlan};
 use crate::stats::SimStats;
 use crate::time::SimTime;
 use crate::trace::ContactTrace;
-use std::collections::{HashMap, HashSet};
 
 /// Static configuration of a simulation run.
 #[derive(Clone, Copy, Debug)]
@@ -52,32 +63,31 @@ impl SimConfig {
     }
 }
 
-/// One direction of an active link.
-#[derive(Debug, Default)]
-struct DirState {
-    /// Message and action currently in flight, if any.
-    in_flight: Option<(MessageId, TransferAction)>,
-    /// Messages already sent in this direction during this contact.
-    sent: HashSet<MessageId>,
+/// Direction index within a link: 0 = `pair.a → pair.b`, 1 = `pair.b → pair.a`.
+#[inline]
+fn dir_index(pair: NodePair, from: NodeId) -> usize {
+    usize::from(from != pair.a)
 }
 
-/// An active contact between two nodes.
-#[derive(Debug)]
-struct LinkState {
+/// Slab slot holding the state of one active contact. Slots are recycled;
+/// the `epoch` distinguishes occupancies (see module docs).
+struct LinkSlot {
+    pair: NodePair,
+    /// Epoch of the contact currently (or, when inactive, last) using this
+    /// slot. Epochs are globally unique across the run.
     epoch: u32,
-    /// `dirs[0]`: `pair.a → pair.b`; `dirs[1]`: `pair.b → pair.a`.
-    dirs: [DirState; 2],
+    active: bool,
+    /// Message and action in flight per direction, if any.
+    in_flight: [Option<(MessageId, TransferAction)>; 2],
+    /// Epoch-stamped per-direction transfer log over the dense message-id
+    /// space: `sent[d][m] == epoch` iff `m` was sent in direction `d` during
+    /// the current contact. Never cleared — recycling bumps the epoch.
+    sent: [Vec<u32>; 2],
 }
 
-impl LinkState {
-    fn dir_index(pair: NodePair, from: NodeId) -> usize {
-        if from == pair.a {
-            0
-        } else {
-            1
-        }
-    }
-}
+/// Stamp value no real epoch ever takes: allocating the 2^32-th contact
+/// epoch panics first (`checked_add` + `expect`, in every build profile).
+const NO_EPOCH: u32 = u32::MAX;
 
 /// A full simulation run over one trace, workload and protocol.
 pub struct Simulation {
@@ -87,15 +97,23 @@ pub struct Simulation {
     workload: Vec<MessageSpec>,
     buffers: Vec<Buffer>,
     routers: Vec<Box<dyn Router>>,
-    links: HashMap<NodePair, LinkState>,
-    /// Active links per node (small vectors; membership scanned linearly).
-    active: Vec<Vec<NodePair>>,
+    /// Slab of link slots; indices are stable while a contact is active.
+    links: Vec<LinkSlot>,
+    /// Indices of inactive slots available for reuse.
+    free_links: Vec<u32>,
+    /// Active links per node as `(pair, slot)` (small vectors; membership
+    /// scanned linearly — node degree is tiny in DTN contact processes).
+    active: Vec<Vec<(NodePair, u32)>>,
     events: EventQueue,
     stats: SimStats,
     now: SimTime,
     next_epoch: u32,
     /// Scratch for purge requests, reused across callbacks.
     purge_scratch: Vec<MessageId>,
+    /// Scratch snapshot of a node's active links, reused by [`Self::kick_node`].
+    kick_scratch: Vec<(NodePair, u32)>,
+    /// Scratch for expired message ids, reused by TTL sweeps.
+    expired_scratch: Vec<MessageId>,
     finished: bool,
     started: bool,
 }
@@ -105,30 +123,39 @@ impl Simulation {
     /// receives `(node, n_nodes)`.
     ///
     /// # Panics
-    /// Panics if the trace fails validation.
+    /// Panics if the trace fails validation, naming the offending contact
+    /// index and the contact itself.
     pub fn new(
         trace: &ContactTrace,
         workload: Vec<MessageSpec>,
         cfg: SimConfig,
         mut factory: impl FnMut(NodeId, u32) -> Box<dyn Router>,
     ) -> Self {
-        trace
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid contact trace: {e:?}"));
+        if let Err(e) = trace.validate() {
+            let idx = e.contact_idx();
+            panic!(
+                "invalid contact trace: {e:?} (contact #{idx}: {:?})",
+                trace.contacts.get(idx)
+            );
+        }
         let n = trace.n_nodes;
         let mut events = EventQueue::new();
         for c in &trace.contacts {
-            events.push(c.start, EventKind::ContactUp {
-                pair: c.pair,
-                until: c.end,
-            });
+            events.push(
+                c.start,
+                EventKind::ContactUp {
+                    pair: c.pair,
+                    until: c.end,
+                },
+            );
             events.push(c.end, EventKind::ContactDown { pair: c.pair });
         }
         for (i, spec) in workload.iter().enumerate() {
             debug_assert!(spec.src.0 < n && spec.dst.0 < n && spec.src != spec.dst);
-            events.push(spec.create_at, EventKind::MessageCreate {
-                spec_idx: i as u32,
-            });
+            events.push(
+                spec.create_at,
+                EventKind::MessageCreate { spec_idx: i as u32 },
+            );
         }
         if cfg.ttl_sweep > 0.0 {
             events.push(SimTime::secs(cfg.ttl_sweep), EventKind::TtlSweep);
@@ -136,14 +163,16 @@ impl Simulation {
         events.push(SimTime::secs(trace.duration), EventKind::End);
 
         let buffers = (0..n).map(|_| Buffer::new(cfg.buffer_capacity)).collect();
-        let routers: Vec<Box<dyn Router>> =
-            (0..n).map(|i| factory(NodeId(i), n)).collect();
+        let routers: Vec<Box<dyn Router>> = (0..n).map(|i| factory(NodeId(i), n)).collect();
         for (i, r) in routers.iter().enumerate() {
             if let Some(dt) = r.tick_interval() {
                 assert!(dt > 0.0, "tick interval must be positive");
-                events.push(SimTime::secs(dt), EventKind::RouterTick {
-                    node: NodeId(i as u32),
-                });
+                events.push(
+                    SimTime::secs(dt),
+                    EventKind::RouterTick {
+                        node: NodeId(i as u32),
+                    },
+                );
             }
         }
 
@@ -155,13 +184,16 @@ impl Simulation {
             workload,
             buffers,
             routers,
-            links: HashMap::new(),
+            links: Vec::new(),
+            free_links: Vec::new(),
             active: vec![Vec::new(); n as usize],
             events,
             stats,
             now: SimTime::ZERO,
             next_epoch: 0,
             purge_scratch: Vec::new(),
+            kick_scratch: Vec::new(),
+            expired_scratch: Vec::new(),
             finished: false,
             started: false,
         }
@@ -244,11 +276,11 @@ impl Simulation {
             EventKind::ContactDown { pair } => self.handle_contact_down(pair),
             EventKind::MessageCreate { spec_idx } => self.handle_create(spec_idx),
             EventKind::TransferDone {
-                pair,
+                link,
                 from,
                 msg,
                 epoch,
-            } => self.handle_transfer_done(pair, from, msg, epoch),
+            } => self.handle_transfer_done(link, from, msg, epoch),
             EventKind::TtlSweep => self.handle_ttl_sweep(),
             EventKind::RouterTick { node } => self.handle_tick(node),
             EventKind::End => {
@@ -259,26 +291,55 @@ impl Simulation {
         true
     }
 
+    /// Slot of the active link between `pair`, if any (linear scan of the
+    /// smaller endpoint's link list — node degrees are tiny).
+    fn slot_of(&self, pair: NodePair) -> Option<u32> {
+        self.active[pair.a.idx()]
+            .iter()
+            .find(|(p, _)| *p == pair)
+            .map(|&(_, s)| s)
+    }
+
     fn handle_contact_up(&mut self, pair: NodePair, _until: SimTime) {
-        if self.links.contains_key(&pair) {
+        if self.slot_of(pair).is_some() {
             debug_assert!(false, "duplicate ContactUp for {pair:?}");
             return;
         }
         let epoch = self.next_epoch;
-        self.next_epoch += 1;
-        self.links.insert(pair, LinkState {
-            epoch,
-            dirs: [DirState::default(), DirState::default()],
-        });
-        self.active[pair.a.idx()].push(pair);
-        self.active[pair.b.idx()].push(pair);
+        self.next_epoch = self
+            .next_epoch
+            .checked_add(1)
+            .expect("contact epoch space exhausted");
+        let n_msgs = self.workload.len();
+        let slot = match self.free_links.pop() {
+            Some(s) => {
+                let link = &mut self.links[s as usize];
+                link.pair = pair;
+                link.epoch = epoch;
+                link.active = true;
+                link.in_flight = [None, None];
+                // `sent` stamps stay as-is: the fresh epoch invalidates them.
+                s
+            }
+            None => {
+                self.links.push(LinkSlot {
+                    pair,
+                    epoch,
+                    active: true,
+                    in_flight: [None, None],
+                    sent: [vec![NO_EPOCH; n_msgs], vec![NO_EPOCH; n_msgs]],
+                });
+                (self.links.len() - 1) as u32
+            }
+        };
+        self.active[pair.a.idx()].push((pair, slot));
+        self.active[pair.b.idx()].push((pair, slot));
 
         // Control-plane handshake, both directions.
         for (me, peer) in [(pair.a, pair.b), (pair.b, pair.a)] {
             let mut purge = std::mem::take(&mut self.purge_scratch);
             {
                 let (me_r, peer_r) = pair_mut(&mut self.routers, me.idx(), peer.idx());
-                let empty = HashSet::new();
                 let mut ctx = ContactCtx {
                     now: self.now,
                     me,
@@ -286,7 +347,7 @@ impl Simulation {
                     buf: &self.buffers[me.idx()],
                     peer_buf: &self.buffers[peer.idx()],
                     stats: &mut self.stats,
-                    sent: &empty,
+                    sent: SentSet::empty(),
                     purge: &mut purge,
                 };
                 me_r.on_contact_up(&mut ctx, peer_r.as_mut());
@@ -295,21 +356,24 @@ impl Simulation {
             self.purge_scratch = purge;
         }
 
-        self.try_fill(pair, pair.a);
-        self.try_fill(pair, pair.b);
+        self.try_fill(slot, pair.a);
+        self.try_fill(slot, pair.b);
     }
 
     fn handle_contact_down(&mut self, pair: NodePair) {
-        let Some(link) = self.links.remove(&pair) else {
+        let Some(slot) = self.slot_of(pair) else {
             return;
         };
-        for dir in &link.dirs {
-            if dir.in_flight.is_some() {
+        let link = &mut self.links[slot as usize];
+        link.active = false;
+        for dir in &mut link.in_flight {
+            if dir.take().is_some() {
                 self.stats.aborted += 1;
             }
         }
-        self.active[pair.a.idx()].retain(|p| *p != pair);
-        self.active[pair.b.idx()].retain(|p| *p != pair);
+        self.free_links.push(slot);
+        self.active[pair.a.idx()].retain(|(p, _)| *p != pair);
+        self.active[pair.b.idx()].retain(|(p, _)| *p != pair);
         for (me, peer) in [(pair.a, pair.b), (pair.b, pair.a)] {
             let mut purge = std::mem::take(&mut self.purge_scratch);
             {
@@ -350,9 +414,7 @@ impl Simulation {
             received_at: self.now,
             hops: 0,
         };
-        self.buffers[src]
-            .insert(entry)
-            .expect("room was just made");
+        self.buffers[src].insert(entry).expect("room was just made");
         let mut purge = std::mem::take(&mut self.purge_scratch);
         {
             let mut ctx = NodeCtx {
@@ -369,15 +431,14 @@ impl Simulation {
         self.kick_node(spec.src);
     }
 
-    fn handle_transfer_done(&mut self, pair: NodePair, from: NodeId, msg_id: MessageId, epoch: u32) {
-        let Some(link) = self.links.get_mut(&pair) else {
-            return; // link went down; abort already counted
-        };
-        if link.epoch != epoch {
-            return; // stale event from a previous contact of this pair
+    fn handle_transfer_done(&mut self, slot: u32, from: NodeId, msg_id: MessageId, epoch: u32) {
+        let link = &mut self.links[slot as usize];
+        if !link.active || link.epoch != epoch {
+            return; // link went down (abort already counted) or slot recycled
         }
-        let di = LinkState::dir_index(pair, from);
-        let Some((in_msg, action)) = link.dirs[di].in_flight.take() else {
+        let pair = link.pair;
+        let di = dir_index(pair, from);
+        let Some((in_msg, action)) = link.in_flight[di].take() else {
             debug_assert!(false, "TransferDone with no in-flight transfer");
             return;
         };
@@ -393,7 +454,7 @@ impl Simulation {
             .unwrap_or(true);
         if !sender_has || expired {
             self.stats.aborted += 1;
-            self.try_fill(pair, from);
+            self.try_fill(slot, from);
             return;
         }
 
@@ -458,24 +519,28 @@ impl Simulation {
             self.kick_node(to);
         }
 
-        self.try_fill(pair, from);
+        self.try_fill(slot, from);
     }
 
     fn handle_ttl_sweep(&mut self) {
+        let mut expired = std::mem::take(&mut self.expired_scratch);
         for i in 0..self.n_nodes as usize {
             let node = NodeId(i as u32);
-            // Collect expired first to keep borrows simple.
-            let expired: Vec<BufferEntry> = self.buffers[i]
-                .iter()
-                .filter(|e| e.msg.expired(self.now))
-                .copied()
-                .collect();
-            for e in expired {
-                self.buffers[i].remove(e.msg.id);
-                self.stats.drops_ttl += 1;
-                self.notify_dropped(node, &e.msg, DropReason::Expired);
+            expired.clear();
+            expired.extend(
+                self.buffers[i]
+                    .iter()
+                    .filter(|e| e.msg.expired(self.now))
+                    .map(|e| e.msg.id),
+            );
+            for &id in &expired {
+                if let Some(entry) = self.buffers[i].remove(id) {
+                    self.stats.drops_ttl += 1;
+                    self.notify_dropped(node, &entry.msg, DropReason::Expired);
+                }
             }
         }
+        self.expired_scratch = expired;
         let next = self.now + self.cfg.ttl_sweep;
         if next.as_secs() < self.duration {
             self.events.push(next, EventKind::TtlSweep);
@@ -601,20 +666,25 @@ impl Simulation {
 
     /// Re-offers work on every active link of `node`.
     fn kick_node(&mut self, node: NodeId) {
-        let pairs = self.active[node.idx()].clone();
-        for pair in pairs {
-            self.try_fill(pair, node);
+        let mut snapshot = std::mem::take(&mut self.kick_scratch);
+        snapshot.clear();
+        snapshot.extend_from_slice(&self.active[node.idx()]);
+        for &(_, slot) in &snapshot {
+            self.try_fill(slot, node);
         }
+        self.kick_scratch = snapshot;
     }
 
-    /// If direction `from → other(from)` of `pair` is idle, asks the router
-    /// for a plan and starts the transfer.
-    fn try_fill(&mut self, pair: NodePair, from: NodeId) {
-        let Some(link) = self.links.get(&pair) else {
+    /// If direction `from → other(from)` of the link in `slot` is idle, asks
+    /// the router for a plan and starts the transfer.
+    fn try_fill(&mut self, slot: u32, from: NodeId) {
+        let link = &self.links[slot as usize];
+        if !link.active {
             return;
-        };
-        let di = LinkState::dir_index(pair, from);
-        if link.dirs[di].in_flight.is_some() {
+        }
+        let pair = link.pair;
+        let di = dir_index(pair, from);
+        if link.in_flight[di].is_some() {
             return;
         }
         let to = pair.other(from);
@@ -623,7 +693,7 @@ impl Simulation {
         let plan = {
             let mut purge = std::mem::take(&mut self.purge_scratch);
             let plan = {
-                let link = self.links.get(&pair).expect("link checked above");
+                let link = &self.links[slot as usize];
                 let mut ctx = ContactCtx {
                     now: self.now,
                     me: from,
@@ -631,7 +701,7 @@ impl Simulation {
                     buf: &self.buffers[from.idx()],
                     peer_buf: &self.buffers[to.idx()],
                     stats: &mut self.stats,
-                    sent: &link.dirs[di].sent,
+                    sent: SentSet::new(&link.sent[di], epoch),
                     purge: &mut purge,
                 };
                 self.routers[from.idx()].pick_transfer(&mut ctx)
@@ -643,10 +713,12 @@ impl Simulation {
         let Some(plan) = plan else {
             return;
         };
-        if !self.validate_plan(pair, from, to, &plan) {
-            debug_assert!(false, "router {} proposed invalid plan {plan:?}", self
-                .routers[from.idx()]
-                .label());
+        if !self.validate_plan(slot, from, to, &plan) {
+            debug_assert!(
+                false,
+                "router {} proposed invalid plan {plan:?}",
+                self.routers[from.idx()].label()
+            );
             return;
         }
         let size = self.buffers[from.idx()]
@@ -655,25 +727,27 @@ impl Simulation {
             .msg
             .size;
         let duration = self.cfg.link_setup + f64::from(size) / self.cfg.bandwidth_bps;
-        let link = self.links.get_mut(&pair).expect("still active");
-        let di = LinkState::dir_index(pair, from);
-        link.dirs[di].in_flight = Some((plan.msg, plan.action));
-        link.dirs[di].sent.insert(plan.msg);
-        self.events.push(self.now + duration, EventKind::TransferDone {
-            pair,
-            from,
-            msg: plan.msg,
-            epoch,
-        });
+        let link = &mut self.links[slot as usize];
+        link.in_flight[di] = Some((plan.msg, plan.action));
+        link.sent[di][plan.msg.idx()] = epoch;
+        self.events.push(
+            self.now + duration,
+            EventKind::TransferDone {
+                link: slot,
+                from,
+                msg: plan.msg,
+                epoch,
+            },
+        );
     }
 
-    fn validate_plan(&self, pair: NodePair, from: NodeId, to: NodeId, plan: &TransferPlan) -> bool {
+    fn validate_plan(&self, slot: u32, from: NodeId, to: NodeId, plan: &TransferPlan) -> bool {
         let Some(entry) = self.buffers[from.idx()].get(plan.msg) else {
             return false;
         };
-        let link = &self.links[&pair];
-        let di = LinkState::dir_index(pair, from);
-        if link.dirs[di].sent.contains(&plan.msg) {
+        let link = &self.links[slot as usize];
+        let di = dir_index(link.pair, from);
+        if link.sent[di][plan.msg.idx()] == link.epoch {
             return false;
         }
         // Offering a message the peer already buffers is useless (delivery to

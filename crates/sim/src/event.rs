@@ -30,10 +30,11 @@ pub enum EventKind {
         spec_idx: u32,
     },
     /// An in-flight transfer completes. `epoch` guards against the link
-    /// having gone down (and possibly up again) in the meantime.
+    /// having gone down (and its slot possibly been recycled) in the
+    /// meantime.
     TransferDone {
-        /// The link carrying the transfer.
-        pair: NodePair,
+        /// Slab index of the link slot carrying the transfer.
+        link: u32,
         /// Sender of the transfer.
         from: NodeId,
         /// The message in flight.

@@ -62,7 +62,7 @@ pub use buffer::{Buffer, BufferEntry, DropReason};
 pub use engine::{SimConfig, Simulation};
 pub use ids::{MessageId, NodeId, NodePair};
 pub use message::{Message, MessageSpec, TrafficConfig};
-pub use router::{ContactCtx, NodeCtx, Router, TransferAction, TransferPlan};
+pub use router::{ContactCtx, NodeCtx, Router, SentSet, TransferAction, TransferPlan};
 pub use stats::{MetricPoint, SimStats};
 pub use time::SimTime;
 pub use trace::{Contact, ContactTrace, TraceError, TraceStats};
@@ -73,7 +73,7 @@ pub mod prelude {
     pub use crate::engine::{SimConfig, Simulation};
     pub use crate::ids::{MessageId, NodeId, NodePair};
     pub use crate::message::{Message, MessageSpec, TrafficConfig};
-    pub use crate::router::{ContactCtx, NodeCtx, Router, TransferAction, TransferPlan};
+    pub use crate::router::{ContactCtx, NodeCtx, Router, SentSet, TransferAction, TransferPlan};
     pub use crate::stats::{MetricPoint, SimStats};
     pub use crate::time::SimTime;
     pub use crate::trace::{Contact, ContactTrace, TraceStats};

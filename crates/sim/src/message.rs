@@ -169,7 +169,7 @@ mod tests {
             let t = spec.create_at.as_secs();
             assert!(t < 10_000.0);
             let gap = t - prev;
-            assert!(gap >= 25.0 - 1e-9 && gap <= 35.0 + 1e-9, "gap {gap}");
+            assert!((25.0 - 1e-9..=35.0 + 1e-9).contains(&gap), "gap {gap}");
             prev = t;
             assert_ne!(spec.src, spec.dst);
             assert!(spec.src.0 < 40 && spec.dst.0 < 40);

@@ -19,7 +19,6 @@ use crate::message::Message;
 use crate::stats::SimStats;
 use crate::time::SimTime;
 use std::any::Any;
-use std::collections::HashSet;
 
 /// How a transfer affects the sender's copy count.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,6 +94,39 @@ impl NodeCtx<'_> {
     }
 }
 
+/// Read view of "messages already sent to the peer during this contact".
+///
+/// Backed by the engine's epoch-stamped per-direction transfer log: an entry
+/// is a member iff its stamp equals the contact's epoch, so membership is one
+/// indexed load and the engine never clears the log between contacts.
+#[derive(Clone, Copy)]
+pub struct SentSet<'a> {
+    stamps: &'a [u32],
+    epoch: u32,
+}
+
+impl<'a> SentSet<'a> {
+    /// View over `stamps` valid for the contact identified by `epoch`.
+    pub(crate) fn new(stamps: &'a [u32], epoch: u32) -> Self {
+        SentSet { stamps, epoch }
+    }
+
+    /// A set containing nothing (used during the contact-up handshake,
+    /// before any transfer can have happened).
+    pub fn empty() -> SentSet<'static> {
+        SentSet {
+            stamps: &[],
+            epoch: 0,
+        }
+    }
+
+    /// Whether `msg` was already sent during this contact.
+    #[inline]
+    pub fn contains(&self, msg: &MessageId) -> bool {
+        self.stamps.get(msg.idx()).is_some_and(|&s| s == self.epoch)
+    }
+}
+
 /// Context for callbacks that happen while in contact with a peer.
 pub struct ContactCtx<'a> {
     /// Current simulation time.
@@ -112,7 +144,7 @@ pub struct ContactCtx<'a> {
     /// Messages already sent to this peer during the current contact; the
     /// engine rejects plans that repeat them, and routers should filter on
     /// this set to avoid proposing dead transfers.
-    pub sent: &'a HashSet<MessageId>,
+    pub sent: SentSet<'a>,
     /// Purge requests, as in [`NodeCtx::purge`].
     pub purge: &'a mut Vec<MessageId>,
 }
@@ -267,7 +299,10 @@ mod tests {
             TransferPlan::split(MessageId(1), 3).action,
             TransferAction::Split { give: 3 }
         );
-        assert_eq!(TransferPlan::copy(MessageId(1)).action, TransferAction::Copy);
+        assert_eq!(
+            TransferPlan::copy(MessageId(1)).action,
+            TransferAction::Copy
+        );
     }
 
     /// The default drop policy evicts oldest-received first.

@@ -25,8 +25,14 @@ pub struct Contact {
 
 impl Contact {
     /// Convenience constructor from raw ids and seconds.
+    ///
+    /// # Panics
+    /// Panics if `start >= end` (a contact must have positive duration).
     pub fn new(a: u32, b: u32, start: f64, end: f64) -> Self {
-        assert!(end > start, "contact must have positive duration");
+        assert!(
+            end > start,
+            "contact ({a}, {b}) must have positive duration: start {start} >= end {end}"
+        );
         Contact {
             pair: NodePair::new(NodeId(a), NodeId(b)),
             start: SimTime::secs(start),
@@ -69,6 +75,19 @@ pub enum TraceError {
         /// Index of the offending contact.
         contact_idx: usize,
     },
+}
+
+impl TraceError {
+    /// Index (into [`ContactTrace::contacts`]) of the offending contact.
+    pub fn contact_idx(&self) -> usize {
+        match *self {
+            TraceError::NodeOutOfRange { contact_idx }
+            | TraceError::Unsorted { contact_idx }
+            | TraceError::EmptyInterval { contact_idx }
+            | TraceError::OverlappingPair { contact_idx }
+            | TraceError::PastEnd { contact_idx } => contact_idx,
+        }
+    }
 }
 
 /// Aggregate statistics about a trace, for sanity checks and reporting.
@@ -214,10 +233,18 @@ impl ContactTrace {
             if toks.len() != 4 {
                 return Err(format!("line {}: expected 4 fields", lineno + 1));
             }
-            let a: u32 = toks[0].parse().map_err(|e: std::num::ParseIntError| e.to_string())?;
-            let b: u32 = toks[1].parse().map_err(|e: std::num::ParseIntError| e.to_string())?;
-            let s: f64 = toks[2].parse().map_err(|e: std::num::ParseFloatError| e.to_string())?;
-            let e: f64 = toks[3].parse().map_err(|e: std::num::ParseFloatError| e.to_string())?;
+            let a: u32 = toks[0]
+                .parse()
+                .map_err(|e: std::num::ParseIntError| e.to_string())?;
+            let b: u32 = toks[1]
+                .parse()
+                .map_err(|e: std::num::ParseIntError| e.to_string())?;
+            let s: f64 = toks[2]
+                .parse()
+                .map_err(|e: std::num::ParseFloatError| e.to_string())?;
+            let e: f64 = toks[3]
+                .parse()
+                .map_err(|e: std::num::ParseFloatError| e.to_string())?;
             if e <= s {
                 return Err(format!("line {}: empty interval", lineno + 1));
             }

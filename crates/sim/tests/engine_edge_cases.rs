@@ -46,10 +46,14 @@ fn msg(src: u32, dst: u32, create: f64, size: u32, ttl: f64) -> MessageSpec {
 #[test]
 fn short_contact_aborts_transfer() {
     // 1 MB message at 250 KB/s needs 4 s; first contact lasts 1 s.
-    let trace = ContactTrace::new(2, 100.0, vec![
-        Contact::new(0, 1, 10.0, 11.0),
-        Contact::new(0, 1, 50.0, 60.0),
-    ]);
+    let trace = ContactTrace::new(
+        2,
+        100.0,
+        vec![
+            Contact::new(0, 1, 10.0, 11.0),
+            Contact::new(0, 1, 50.0, 60.0),
+        ],
+    );
     let wl = vec![msg(0, 1, 1.0, 1_000_000, 95.0)];
     let mut cfg = SimConfig::paper(0);
     cfg.buffer_capacity = 2_000_000;
@@ -115,18 +119,26 @@ fn link_setup_adds_latency() {
     let stats = Simulation::new(&trace, wl, cfg, flood_factory).run();
     assert_eq!(stats.delivered, 1);
     // 10 (contact) + 2 (setup) + 0.1 (25 KB at 250 KB/s) − 1 (created).
-    assert!((stats.avg_latency() - 11.1).abs() < 1e-6, "{}", stats.avg_latency());
+    assert!(
+        (stats.avg_latency() - 11.1).abs() < 1e-6,
+        "{}",
+        stats.avg_latency()
+    );
 }
 
 /// Messages created before any contact are delivered through later contacts
 /// of the same pair (link epochs don't leak across contacts).
 #[test]
 fn link_epochs_do_not_leak_across_contacts() {
-    let trace = ContactTrace::new(2, 300.0, vec![
-        Contact::new(0, 1, 10.0, 12.0),
-        Contact::new(0, 1, 100.0, 102.0),
-        Contact::new(0, 1, 200.0, 202.0),
-    ]);
+    let trace = ContactTrace::new(
+        2,
+        300.0,
+        vec![
+            Contact::new(0, 1, 10.0, 12.0),
+            Contact::new(0, 1, 100.0, 102.0),
+            Contact::new(0, 1, 200.0, 202.0),
+        ],
+    );
     // Three messages created between contacts.
     let wl = vec![
         msg(0, 1, 5.0, 25_000, 290.0),
@@ -190,6 +202,42 @@ fn bandwidth_limits_throughput() {
     // aborts at contact end.
     assert_eq!(stats.delivered, 2);
     assert_eq!(stats.aborted, 1);
+}
+
+/// A trace failing validation panics with the offending contact's index,
+/// so bad inputs are diagnosable.
+#[test]
+#[should_panic(expected = "contact #1")]
+fn invalid_trace_panic_names_contact_index() {
+    // Second contact extends past the 20 s horizon.
+    let trace = ContactTrace::new(
+        2,
+        20.0,
+        vec![Contact::new(0, 1, 1.0, 2.0), Contact::new(0, 1, 5.0, 30.0)],
+    );
+    let _ = Simulation::new(&trace, vec![], SimConfig::paper(0), flood_factory);
+}
+
+/// Concurrently active links each get their own slot, and slots recycled by
+/// later contacts don't inherit the previous contact's sent-set.
+#[test]
+fn concurrent_links_and_slot_recycling() {
+    let trace = ContactTrace::new(
+        4,
+        100.0,
+        vec![
+            Contact::new(0, 1, 10.0, 20.0),
+            Contact::new(2, 3, 12.0, 22.0), // concurrent with (0,1)
+            Contact::new(1, 2, 30.0, 40.0), // reuses a freed slot
+            Contact::new(0, 1, 35.0, 45.0), // concurrent again, different epoch
+        ],
+    );
+    // 0 → 2 must travel 0 → 1 (first contact) then 1 → 2 (recycled slot).
+    let wl = vec![msg(0, 2, 1.0, 25_000, 90.0)];
+    let stats = Simulation::new(&trace, wl, SimConfig::paper(0), flood_factory).run();
+    assert_eq!(stats.delivered, 1);
+    assert_eq!(stats.relayed, 2, "two hops: 0→1 and 1→2");
+    assert_eq!(stats.aborted, 0);
 }
 
 /// An empty trace (no contacts at all) runs to completion with zero

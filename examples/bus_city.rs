@@ -28,7 +28,10 @@ fn main() {
     );
 
     let workload = TrafficConfig::paper(duration).generate(n, 42);
-    println!("  workload: {} messages (25 KB, TTL 20 min)\n", workload.len());
+    println!(
+        "  workload: {} messages (25 KB, TTL 20 min)\n",
+        workload.len()
+    );
 
     type Factory = Box<dyn FnMut(NodeId, u32) -> Box<dyn Router>>;
     let cases: Vec<(&str, Factory)> = vec![

@@ -26,10 +26,19 @@ fn main() {
     type Factory = Box<dyn FnMut(NodeId, u32) -> Box<dyn Router>>;
     let map2 = Arc::clone(&map);
     let cases: Vec<(&str, Factory)> = vec![
-        ("EER", Box::new(|id, nn| Box::new(Eer::new(id, nn, 10)) as Box<dyn Router>)),
+        (
+            "EER",
+            Box::new(|id, nn| Box::new(Eer::new(id, nn, 10)) as Box<dyn Router>),
+        ),
         ("CR", Box::new(cr_factory(map2, 10))),
-        ("EBR", Box::new(|_, _| Box::new(Ebr::new(10)) as Box<dyn Router>)),
-        ("MaxProp", Box::new(|id, nn| Box::new(MaxProp::new(id, nn)) as Box<dyn Router>)),
+        (
+            "EBR",
+            Box::new(|_, _| Box::new(Ebr::new(10)) as Box<dyn Router>),
+        ),
+        (
+            "MaxProp",
+            Box::new(|id, nn| Box::new(MaxProp::new(id, nn)) as Box<dyn Router>),
+        ),
         (
             "SprayAndWait",
             Box::new(|_, _| Box::new(SprayAndWait::new(10)) as Box<dyn Router>),
@@ -38,8 +47,14 @@ fn main() {
             "SprayAndFocus",
             Box::new(|_, nn| Box::new(SprayAndFocus::new(10, nn)) as Box<dyn Router>),
         ),
-        ("Epidemic", Box::new(|_, _| Box::new(Epidemic::new()) as Box<dyn Router>)),
-        ("PRoPHET", Box::new(|id, nn| Box::new(Prophet::new(id, nn)) as Box<dyn Router>)),
+        (
+            "Epidemic",
+            Box::new(|_, _| Box::new(Epidemic::new()) as Box<dyn Router>),
+        ),
+        (
+            "PRoPHET",
+            Box::new(|id, nn| Box::new(Prophet::new(id, nn)) as Box<dyn Router>),
+        ),
         (
             "FirstContact",
             Box::new(|_, _| Box::new(FirstContact::new()) as Box<dyn Router>),

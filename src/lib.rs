@@ -51,8 +51,7 @@ pub mod prelude {
         BusConfig, ContactGenConfig, MapConfig, Point, RoadGraph, RwpConfig, Trajectory,
     };
     pub use dtn_routing::{
-        DirectDelivery, Ebr, Epidemic, FirstContact, MaxProp, Prophet, SprayAndFocus,
-        SprayAndWait,
+        DirectDelivery, Ebr, Epidemic, FirstContact, MaxProp, Prophet, SprayAndFocus, SprayAndWait,
     };
     pub use dtn_sim::prelude::*;
 }

@@ -40,9 +40,12 @@ fn conservation_run(lambda: u32) -> (Simulation, Vec<MessageSpec>) {
             ttl: 1e6, // never expires
         })
         .collect();
-    let sim = Simulation::new(&trace, workload.clone(), SimConfig::paper(1), move |_, _| {
-        Box::new(SprayAndWait::new(lambda))
-    });
+    let sim = Simulation::new(
+        &trace,
+        workload.clone(),
+        SimConfig::paper(1),
+        move |_, _| Box::new(SprayAndWait::new(lambda)),
+    );
     (sim, workload)
 }
 
@@ -65,7 +68,10 @@ fn spray_quota_is_conserved() {
         if stats.is_delivered(id) {
             // Forward-to-destination retires custody; whatever replicas were
             // still travelling elsewhere remain, but never more than λ.
-            assert!(total <= u64::from(lambda), "{id}: {total} copies after delivery");
+            assert!(
+                total <= u64::from(lambda),
+                "{id}: {total} copies after delivery"
+            );
         } else {
             assert_eq!(
                 total,

@@ -17,15 +17,27 @@ fn run_all(n: u32, duration: f64, seed: u64) -> Vec<Outcome> {
 
     type Factory = Box<dyn FnMut(NodeId, u32) -> Box<dyn Router>>;
     let cases: Vec<(&'static str, Factory)> = vec![
-        ("EER", Box::new(|id, nn| Box::new(Eer::new(id, nn, 10)) as Box<dyn Router>)),
+        (
+            "EER",
+            Box::new(|id, nn| Box::new(Eer::new(id, nn, 10)) as Box<dyn Router>),
+        ),
         ("CR", Box::new(cr_factory(Arc::clone(&map), 10))),
-        ("EBR", Box::new(|_, _| Box::new(Ebr::new(10)) as Box<dyn Router>)),
-        ("MaxProp", Box::new(|id, nn| Box::new(MaxProp::new(id, nn)) as Box<dyn Router>)),
+        (
+            "EBR",
+            Box::new(|_, _| Box::new(Ebr::new(10)) as Box<dyn Router>),
+        ),
+        (
+            "MaxProp",
+            Box::new(|id, nn| Box::new(MaxProp::new(id, nn)) as Box<dyn Router>),
+        ),
         (
             "SprayAndWait",
             Box::new(|_, _| Box::new(SprayAndWait::new(10)) as Box<dyn Router>),
         ),
-        ("Epidemic", Box::new(|_, _| Box::new(Epidemic::new()) as Box<dyn Router>)),
+        (
+            "Epidemic",
+            Box::new(|_, _| Box::new(Epidemic::new()) as Box<dyn Router>),
+        ),
     ];
     cases
         .into_iter()

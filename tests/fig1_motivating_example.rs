@@ -56,7 +56,11 @@ fn eer_learns_the_good_branch() {
         "EER must deliver every message along A→E→F→D"
     );
     // One full chain is 3 hops within ~70 s of creation.
-    assert!(stats.avg_latency() < 150.0, "latency {}", stats.avg_latency());
+    assert!(
+        stats.avg_latency() < 150.0,
+        "latency {}",
+        stats.avg_latency()
+    );
     assert!(stats.avg_hops() >= 3.0 - 1e-9);
 }
 
@@ -80,13 +84,7 @@ fn cr_reaches_destination_community() {
     let communities = std::sync::Arc::new(CommunityMap::new(vec![0, 0, 1, 2, 1, 2]));
     let trace = figure1_trace(40, 100.0);
     let wl = workload(40, 100.0);
-    let stats = Simulation::new(
-        &trace,
-        wl,
-        SimConfig::paper(0),
-        cr_factory(communities, 2),
-    )
-    .run();
+    let stats = Simulation::new(&trace, wl, SimConfig::paper(0), cr_factory(communities, 2)).run();
     // E (community C2) relays towards F (C3, the destination community),
     // which hands custody straight to intra-community routing.
     assert!(

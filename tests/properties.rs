@@ -16,7 +16,10 @@ fn scenario_strategy() -> impl Strategy<Value = (ContactTrace, Vec<MessageSpec>)
 /// Strategy: a valid contact trace over `n` nodes. Per-pair contacts are
 /// built from positive gaps and durations, so they can't overlap.
 fn trace_strategy() -> impl Strategy<Value = ContactTrace> {
-    (3u32..10, proptest::collection::vec((any::<u16>(), any::<u16>(), 1u16..200, 1u16..60), 1..60))
+    (
+        3u32..10,
+        proptest::collection::vec((any::<u16>(), any::<u16>(), 1u16..200, 1u16..60), 1..60),
+    )
         .prop_map(|(n, raw)| {
             use std::collections::HashMap;
             let mut cursor: HashMap<(u32, u32), f64> = HashMap::new();
@@ -33,19 +36,15 @@ fn trace_strategy() -> impl Strategy<Value = ContactTrace> {
                 cursor.insert(key, end);
                 contacts.push(Contact::new(key.0, key.1, start, end));
             }
-            let horizon = contacts
-                .iter()
-                .map(|c| c.end.as_secs())
-                .fold(0.0, f64::max)
-                + 10.0;
+            let horizon = contacts.iter().map(|c| c.end.as_secs()).fold(0.0, f64::max) + 10.0;
             ContactTrace::new(n, horizon, contacts)
         })
 }
 
 /// Strategy: a workload over `n` nodes within `horizon`.
 fn workload_strategy(n: u32, horizon: f64) -> impl Strategy<Value = Vec<MessageSpec>> {
-    proptest::collection::vec((any::<u16>(), any::<u16>(), 0u16..1000, 1u32..5000), 0..20)
-        .prop_map(move |raw| {
+    proptest::collection::vec((any::<u16>(), any::<u16>(), 0u16..1000, 1u32..5000), 0..20).prop_map(
+        move |raw| {
             raw.into_iter()
                 .filter_map(|(xs, xd, tfrac, ttl)| {
                     let src = u32::from(xs) % n;
@@ -62,12 +61,19 @@ fn workload_strategy(n: u32, horizon: f64) -> impl Strategy<Value = Vec<MessageS
                     })
                 })
                 .collect()
-        })
+        },
+    )
 }
 
 fn check_invariants(label: &str, stats: &SimStats) {
-    assert!(stats.delivered <= stats.created, "{label}: delivered > created");
-    assert!(stats.delivered <= stats.relayed, "{label}: delivered > relayed");
+    assert!(
+        stats.delivered <= stats.created,
+        "{label}: delivered > created"
+    );
+    assert!(
+        stats.delivered <= stats.relayed,
+        "{label}: delivered > relayed"
+    );
     let dr = stats.delivery_ratio();
     assert!((0.0..=1.0).contains(&dr), "{label}: dr {dr}");
     let gp = stats.goodput();
