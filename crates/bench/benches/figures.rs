@@ -5,16 +5,16 @@
 //! binaries; these benches use a 1 500 s horizon at N = 40 to stay fast.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dtn_bench::{PaperScenario, Protocol, ProtocolKind};
+use dtn_bench::{BuiltScenario, Protocol, ProtocolKind};
 use dtn_sim::{SimConfig, Simulation};
 use std::hint::black_box;
 use std::sync::Arc;
 
-fn scaled() -> PaperScenario {
-    PaperScenario::build_scaled(40, 1, 1500.0)
+fn scaled() -> BuiltScenario {
+    BuiltScenario::build_scaled(40, 1, 1500.0)
 }
 
-fn run(ps: &PaperScenario, proto: &Protocol) -> u64 {
+fn run(ps: &BuiltScenario, proto: &Protocol) -> u64 {
     let stats = Simulation::new(
         &ps.scenario.trace,
         ps.workload.as_ref().clone(),

@@ -1,7 +1,8 @@
 //! Ablation studies for the design choices DESIGN.md calls out.
 //!
 //! ```text
-//! cargo run -p dtn-bench --release --bin ablation -- <which> [--seeds K] [--nodes a,b,c]
+//! cargo run -p dtn-bench --release --bin ablation -- <which> [--seeds K] [--nodes a,b,c] \
+//!     [--scenario paper|rwp|trace:<path>] [--workload paper|hotspot|bursty]
 //! ```
 //!
 //! `<which>` ∈:
@@ -54,8 +55,13 @@ fn detected_communities(argv: Vec<String>) {
     for (label, source) in &variants {
         for &n in &args.node_counts {
             specs.push(
-                RunSpec::new(*label, n, Protocol::new(ProtocolKind::Cr))
-                    .with_communities(source.clone()),
+                RunSpec::on(
+                    *label,
+                    args.scenario_for(n),
+                    Protocol::new(ProtocolKind::Cr),
+                )
+                .with_workload(args.workload.clone())
+                .with_communities(source.clone()),
             );
         }
     }
@@ -73,7 +79,7 @@ fn detected_communities(argv: Vec<String>) {
         .map(|&n| {
             (1..=u64::from(args.seeds))
                 .map(|seed| {
-                    let ps = cache.get(n, seed);
+                    let ps = cache.get_spec(&args.scenario_for(n), &args.workload, seed, None);
                     let truth = CommunityMap::new(ps.scenario.communities.clone());
                     pairwise_agreement(&truth, &cache.detected_communities(&ps))
                 })
@@ -114,7 +120,11 @@ fn detected_communities(argv: Vec<String>) {
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
-        eprintln!("usage: ablation <alpha|ttl-aware|emd|window|cr-state|lambda-one|buffer-policy|adaptive-lambda|detected-communities> [flags]");
+        eprintln!(
+            "usage: ablation <alpha|ttl-aware|emd|window|cr-state|lambda-one|buffer-policy|\
+             adaptive-lambda|detected-communities> [--seeds K] [--nodes a,b,c] \
+             [--scenario paper|rwp|trace:<path>] [--workload paper|hotspot|bursty]"
+        );
         std::process::exit(2);
     }
     let which = argv.remove(0);
@@ -262,12 +272,12 @@ fn main() {
     let mut specs = Vec::new();
     for (label, proto) in &variants {
         for &n in &args.node_counts {
+            let spec = RunSpec::on(label.clone(), args.scenario_for(n), proto.clone())
+                .with_workload(args.workload.clone());
             specs.push(match which.as_str() {
                 // Buffer-policy runs squeeze the buffers so eviction happens.
-                "buffer-policy" => {
-                    RunSpec::new(label.clone(), n, proto.clone()).with_buffer(256 * 1024)
-                }
-                _ => RunSpec::new(label.clone(), n, proto.clone()),
+                "buffer-policy" => spec.with_buffer(256 * 1024),
+                _ => spec,
             });
         }
     }

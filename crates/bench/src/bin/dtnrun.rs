@@ -1,45 +1,65 @@
-//! `dtnrun` — run any protocol on a generated scenario or an archived
-//! contact trace, with a full report (headline metrics, latency percentiles,
-//! delivery-progress curve).
+//! `dtnrun` — run any protocol on any scenario family (generated or a
+//! replayed contact trace), with a full report (headline metrics, latency
+//! percentiles, delivery-progress curve).
 //!
-//! ```text
-//! cargo run --release -p bench --bin dtnrun -- \
-//!     --protocol eer [--nodes 40] [--seed 1] [--duration 10000] \
-//!     [--lambda 10] [--alpha 0.28] [--trace file.trace] [--buffer BYTES] \
-//!     [--progress-step 1000]
-//! ```
-//!
-//! With `--trace`, the contact process is loaded from the plain-text trace
-//! format (see `dtn_sim::trace`) instead of being generated — the path for
-//! replaying real-world contact datasets. Either way the run goes through
-//! the shared runner layer (`RunSpec → SimStats`).
+//! See `dtnrun --help` (the [`USAGE`] string) for the flag reference.
+//! `--trace file.trace` is shorthand for `--scenario trace:file.trace`;
+//! either way the contact process is loaded from the plain-text trace format
+//! (see `dtn_sim::trace`) instead of being generated — the path for
+//! replaying real-world contact datasets. Every run goes through the shared
+//! runner layer (`RunSpec → SimStats`).
 
-use dtn_bench::{run_on, PaperScenario, Protocol, ProtocolKind, RunSpec, ScenarioCache};
+use dtn_bench::{
+    run_on, BuiltScenario, Protocol, ProtocolKind, RunSpec, ScenarioCache, ScenarioSpec,
+    WorkloadSpec,
+};
 use dtn_sim::report::{delivery_progress, latencies, percentile};
-use dtn_sim::ContactTrace;
+
+const USAGE: &str = "usage: dtnrun [flags]
+
+  --protocol NAME      protocol under test (default eer)
+  --scenario FAMILY    paper | rwp | trace:<path>   (default paper)
+  --workload KIND      paper | hotspot[:<k>] | bursty[:<on>:<off>]  (default paper)
+  --nodes N            node count for generated scenarios (default 40)
+  --seed S             mobility/traffic seed (default 1)
+  --duration SECS      horizon override; invalid with trace replay
+  --lambda K           copy quota for quota protocols (default 10)
+  --alpha A            EER/CR horizon parameter (default 0.28)
+  --trace PATH         shorthand for --scenario trace:PATH
+  --buffer BYTES       per-node buffer capacity (default 1 MB)
+  --progress-step SECS delivery-progress bucket (default 1000)
+  --help, -h           print this help
+
+examples:
+  dtnrun --protocol eer --scenario rwp --nodes 40
+  dtnrun --protocol cr --workload hotspot --duration 2000
+  dtnrun --protocol epidemic --scenario trace:contacts.trace";
 
 struct Args {
     protocol: ProtocolKind,
+    scenario: Option<String>,
+    workload: WorkloadSpec,
     nodes: u32,
     seed: u64,
-    /// `None` = the paper's 10 000 s horizon; only valid without `--trace`.
+    /// `None` = the scenario's default horizon; invalid with trace replay.
     duration: Option<f64>,
     lambda: u32,
     alpha: Option<f64>,
-    trace: Option<String>,
     buffer: Option<u64>,
     progress_step: f64,
 }
 
-fn parse_args() -> Result<Args, String> {
+/// `Ok(None)` means `--help` was requested.
+fn parse_args() -> Result<Option<Args>, String> {
     let mut out = Args {
         protocol: ProtocolKind::Eer,
+        scenario: None,
+        workload: WorkloadSpec::PaperUniform,
         nodes: 40,
         seed: 1,
         duration: None,
         lambda: 10,
         alpha: None,
-        trace: None,
         buffer: None,
         progress_step: 1_000.0,
     };
@@ -49,8 +69,13 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--protocol" => {
                 let v = val("--protocol")?;
-                out.protocol = ProtocolKind::parse(&v).ok_or(format!("unknown protocol {v}"))?;
+                out.protocol = ProtocolKind::parse(&v).ok_or(format!(
+                    "unknown protocol `{v}` (valid: {})",
+                    ProtocolKind::names()
+                ))?;
             }
+            "--scenario" => out.scenario = Some(val("--scenario")?),
+            "--workload" => out.workload = WorkloadSpec::parse(&val("--workload")?)?,
             "--nodes" => out.nodes = val("--nodes")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => out.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--duration" => {
@@ -58,58 +83,65 @@ fn parse_args() -> Result<Args, String> {
             }
             "--lambda" => out.lambda = val("--lambda")?.parse().map_err(|e| format!("{e}"))?,
             "--alpha" => out.alpha = Some(val("--alpha")?.parse().map_err(|e| format!("{e}"))?),
-            "--trace" => out.trace = Some(val("--trace")?),
+            "--trace" => out.scenario = Some(format!("trace:{}", val("--trace")?)),
             "--buffer" => out.buffer = Some(val("--buffer")?.parse().map_err(|e| format!("{e}"))?),
             "--progress-step" => {
                 out.progress_step = val("--progress-step")?
                     .parse()
                     .map_err(|e| format!("{e}"))?
             }
-            "--help" | "-h" => return Err("see module docs (dtnrun.rs) for usage".into()),
-            other => return Err(format!("unknown flag {other}")),
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown flag {other} (try --help)")),
         }
     }
-    Ok(out)
+    Ok(Some(out))
 }
 
 fn main() {
     let args = match parse_args() {
-        Ok(a) => a,
+        Ok(Some(a)) => a,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
         }
     };
 
-    // Obtain the experiment input: a replayed trace, or the generated paper
-    // scenario (memoised through the shared cache either way).
-    let ps: PaperScenario = match &args.trace {
-        Some(path) => {
-            if args.duration.is_some() {
-                eprintln!("--duration cannot be combined with --trace: a replayed trace runs at its recorded horizon");
+    let scenario =
+        match ScenarioSpec::parse(args.scenario.as_deref().unwrap_or("paper"), args.nodes) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
                 std::process::exit(2);
             }
-            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("cannot read {path}: {e}");
+        };
+    if args.duration.is_some() && scenario.default_duration().is_none() {
+        eprintln!("--duration cannot be combined with trace replay: a replayed trace runs at its recorded horizon");
+        std::process::exit(2);
+    }
+
+    // Resolve the experiment input through the shared cache — generated
+    // families and replayed traces take the same path.
+    let cache = ScenarioCache::new();
+    let ps: BuiltScenario =
+        match cache.try_get_spec(&scenario, &args.workload, args.seed, args.duration) {
+            Ok(ps) => ps,
+            Err(e) => {
+                eprintln!("{e}");
                 std::process::exit(1);
-            });
-            let trace = ContactTrace::from_text(&text).unwrap_or_else(|e| {
-                eprintln!("cannot parse {path}: {e}");
-                std::process::exit(1);
-            });
-            // No ground truth in a raw trace: communities are detected online
-            // by `from_trace`.
-            PaperScenario::from_trace(trace, args.seed)
-        }
-        None => ScenarioCache::new().get_with_duration(args.nodes, args.seed, args.duration),
-    };
+            }
+        };
     let n = ps.n_nodes;
     let duration = ps.scenario.trace.duration;
     let created_at: Vec<f64> = ps.workload.iter().map(|m| m.create_at.as_secs()).collect();
 
     let ts = ps.scenario.trace.stats();
     println!(
-        "scenario: {n} nodes, {:.0} s, {} contacts (mean duration {:.2} s), {} messages",
+        "scenario {scenario}, workload {}: {n} nodes, {:.0} s, {} contacts (mean duration {:.2} s), {} messages",
+        args.workload,
         duration,
         ts.contacts,
         ts.mean_duration,
@@ -121,7 +153,7 @@ fn main() {
         proto = proto.with_alpha(a);
     }
 
-    let mut spec = RunSpec::new(args.protocol.name(), n, proto);
+    let mut spec = RunSpec::on(args.protocol.name(), scenario, proto).with_workload(args.workload);
     if let Some(b) = args.buffer {
         spec = spec.with_buffer(b);
     }

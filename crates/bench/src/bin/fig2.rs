@@ -25,11 +25,14 @@ fn main() {
     let mut specs = Vec::new();
     for kind in ProtocolKind::FIG2 {
         for &n in &args.node_counts {
-            specs.push(RunSpec::new(
-                kind.name().to_string(),
-                n,
-                Protocol::new(kind).with_lambda(10),
-            ));
+            specs.push(
+                RunSpec::on(
+                    kind.name().to_string(),
+                    args.scenario_for(n),
+                    Protocol::new(kind).with_lambda(10),
+                )
+                .with_workload(args.workload.clone()),
+            );
         }
     }
     let cfg = SweepConfig {

@@ -26,11 +26,14 @@ fn main() {
     let mut specs = Vec::new();
     for &lambda in &LAMBDAS {
         for &n in &args.node_counts {
-            specs.push(RunSpec::new(
-                format!("Lambda = {lambda}"),
-                n,
-                Protocol::new(ProtocolKind::Cr).with_lambda(lambda),
-            ));
+            specs.push(
+                RunSpec::on(
+                    format!("Lambda = {lambda}"),
+                    args.scenario_for(n),
+                    Protocol::new(ProtocolKind::Cr).with_lambda(lambda),
+                )
+                .with_workload(args.workload.clone()),
+            );
         }
     }
     let cfg = SweepConfig {

@@ -1,0 +1,204 @@
+//! `shootout` — every protocol across scenario families in one
+//! deterministic sweep matrix.
+//!
+//! The paper's figures compare protocols on a single scenario (the bus-city);
+//! the shootout puts scenario *families* side-by-side as series: paper
+//! bus-city, random waypoint, and (optionally) a replayed trace, each crossed
+//! with the selected protocols and node counts. One `run_matrix` call drives
+//! the whole grid, so the thread count never changes the output and every
+//! protocol sees the identical contact process per family.
+//!
+//! ```text
+//! cargo run -p dtn-bench --release --bin shootout -- \
+//!     [--seeds K] [--nodes a,b,c] [--duration SECS] \
+//!     [--protocols eer,cr,...] [--workload paper|hotspot|bursty] \
+//!     [--trace <path>]
+//! ```
+//!
+//! Defaults stay laptop-sized: 2 node counts × 2 seeds on a 2 000 s horizon.
+
+use dtn_bench::report::write_csv;
+use dtn_bench::{
+    run_matrix, Protocol, ProtocolKind, RunSpec, ScenarioSpec, Series, SweepConfig, WorkloadSpec,
+};
+use std::path::Path;
+
+struct Args {
+    seeds: u32,
+    node_counts: Vec<u32>,
+    duration: f64,
+    protocols: Vec<ProtocolKind>,
+    workload: WorkloadSpec,
+    trace: Option<String>,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut out = Args {
+        seeds: 2,
+        node_counts: vec![40, 80],
+        duration: 2_000.0,
+        protocols: vec![
+            ProtocolKind::Eer,
+            ProtocolKind::Cr,
+            ProtocolKind::Ebr,
+            ProtocolKind::SprayAndWait,
+            ProtocolKind::Epidemic,
+            ProtocolKind::Prophet,
+        ],
+        workload: WorkloadSpec::PaperUniform,
+        trace: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--seeds" => out.seeds = val("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--nodes" => {
+                out.node_counts = val("--nodes")?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|e| format!("--nodes: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--duration" => {
+                out.duration = val("--duration")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--protocols" => {
+                out.protocols = val("--protocols")?
+                    .split(',')
+                    .map(|s| {
+                        ProtocolKind::parse(s).ok_or(format!(
+                            "unknown protocol `{s}` (valid: {})",
+                            ProtocolKind::names()
+                        ))
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            "--workload" => out.workload = WorkloadSpec::parse(&val("--workload")?)?,
+            "--trace" => {
+                let p = val("--trace")?;
+                // Fail on typos here, not in a worker thread mid-matrix.
+                std::fs::metadata(&p).map_err(|e| format!("cannot read {p}: {e}"))?;
+                out.trace = Some(p);
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if out.node_counts.is_empty() || out.protocols.is_empty() {
+        return Err("need at least one node count and one protocol".into());
+    }
+    Ok(Some(out))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => {
+            println!(
+                "usage: shootout [--seeds K] [--nodes a,b,c] [--duration SECS] \
+                 [--protocols eer,cr,...] [--workload paper|hotspot|bursty] [--trace <path>]"
+            );
+            return;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Scenario families to cross with the protocols. A trace family runs at
+    // the recording's native horizon and node count, so it contributes one
+    // point per protocol rather than one per node count.
+    struct Cell {
+        n: u32,
+        scenario: ScenarioSpec,
+        duration: Option<f64>,
+    }
+    let generated = |f: fn(u32) -> ScenarioSpec| -> Vec<Cell> {
+        args.node_counts
+            .iter()
+            .map(|&n| Cell {
+                n,
+                scenario: f(n),
+                duration: Some(args.duration),
+            })
+            .collect()
+    };
+    let mut families: Vec<(&str, Vec<Cell>)> = vec![
+        ("paper", generated(ScenarioSpec::paper)),
+        ("rwp", generated(ScenarioSpec::rwp)),
+    ];
+    if let Some(path) = &args.trace {
+        families.push((
+            "trace",
+            vec![Cell {
+                n: 0,
+                scenario: ScenarioSpec::trace_path(path),
+                duration: None,
+            }],
+        ));
+    }
+
+    // Build the matrix and, in lockstep, the (label, n) row metadata used
+    // to fold results back into series — one loop, so the pairing can never
+    // drift from the spec order.
+    let mut specs = Vec::new();
+    let mut rows: Vec<(String, u32)> = Vec::new();
+    for kind in &args.protocols {
+        for (family, cells) in &families {
+            for cell in cells {
+                let label = format!("{} @ {family}", kind.name());
+                let mut spec =
+                    RunSpec::on(label.clone(), cell.scenario.clone(), Protocol::new(*kind))
+                        .with_workload(args.workload.clone());
+                if let Some(d) = cell.duration {
+                    spec = spec.with_duration(d);
+                }
+                specs.push(spec);
+                rows.push((label, cell.n));
+            }
+        }
+    }
+
+    let cfg = SweepConfig {
+        seeds: args.seeds,
+        ..SweepConfig::default()
+    };
+    eprintln!(
+        "shootout: {} protocols x {} families over {:?} nodes x {} seeds ({} cells)",
+        args.protocols.len(),
+        families.len(),
+        args.node_counts,
+        cfg.effective_seeds(),
+        specs.len()
+    );
+    let points = run_matrix(&specs, cfg);
+
+    println!(
+        "\nProtocol shootout across scenario families ({} workload, {:.0} s horizon)",
+        args.workload, args.duration
+    );
+    println!(
+        "{:<24}{:>6}{:>9}{:>9}{:>9}{:>10}{:>11}",
+        "series", "N", "deliv", "latency", "goodput", "relayed", "ctrl MB"
+    );
+    let mut series: Vec<Series> = Vec::new();
+    for ((label, n), p) in rows.into_iter().zip(points) {
+        println!(
+            "{label:<24}{n:>6}{:>9.3}{:>9.1}{:>9.4}{:>10.0}{:>11.2}",
+            p.delivery_ratio, p.latency, p.goodput, p.relayed, p.control_mb
+        );
+        match series.last_mut() {
+            Some(s) if s.label == label => s.points.push((n, p)),
+            _ => series.push(Series {
+                label,
+                points: vec![(n, p)],
+            }),
+        }
+    }
+    let csv = Path::new("results/shootout.csv");
+    match write_csv(csv, &series) {
+        Ok(()) => eprintln!("\nwrote {}", csv.display()),
+        Err(e) => eprintln!("\ncsv write failed: {e}"),
+    }
+}

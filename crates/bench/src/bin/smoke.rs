@@ -1,25 +1,88 @@
-//! One-shot sanity run: every protocol on a single paper scenario, with raw
+//! One-shot sanity run: every protocol on a single scenario, with raw
 //! counters — the quickest way to eyeball that the stack behaves.
 //!
 //! ```text
-//! cargo run -p bench --release --bin smoke -- [n_nodes] [seed]
+//! cargo run -p bench --release --bin smoke -- [n_nodes] [seed] \
+//!     [--scenario paper|rwp|trace:<path>] \
+//!     [--workload paper|hotspot|bursty] [--duration SECS]
 //! ```
 
-use dtn_bench::{run_spec, Protocol, ProtocolKind, RunSpec, ScenarioCache};
+use dtn_bench::{
+    run_spec, Protocol, ProtocolKind, RunSpec, ScenarioCache, ScenarioSpec, WorkloadSpec,
+};
 use std::time::Instant;
 
 fn main() {
-    let mut argv = std::env::args().skip(1);
-    let n: u32 = argv.next().and_then(|s| s.parse().ok()).unwrap_or(40);
-    let seed: u64 = argv.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let mut n: u32 = 40;
+    let mut seed: u64 = 1;
+    let mut scenario_arg = String::from("paper");
+    let mut workload = WorkloadSpec::PaperUniform;
+    let mut duration: Option<f64> = None;
+    let mut positional = 0;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        let die = |e: String| -> ! {
+            eprintln!("{e}");
+            std::process::exit(2);
+        };
+        match a.as_str() {
+            "--scenario" => scenario_arg = val("--scenario"),
+            "--workload" => {
+                workload = WorkloadSpec::parse(&val("--workload")).unwrap_or_else(|e| die(e))
+            }
+            "--duration" => {
+                duration = Some(
+                    val("--duration")
+                        .parse()
+                        .unwrap_or_else(|e| die(format!("--duration: {e}"))),
+                )
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: smoke [n_nodes] [seed] [--scenario paper|rwp|trace:<path>] \
+                     [--workload paper|hotspot|bursty] [--duration SECS]"
+                );
+                return;
+            }
+            other => {
+                let parsed = match positional {
+                    0 => other.parse().map(|v| n = v).map_err(|e| format!("{e}")),
+                    1 => other.parse().map(|v| seed = v).map_err(|e| format!("{e}")),
+                    _ => Err(format!("unexpected argument {other}")),
+                };
+                if let Err(e) = parsed {
+                    die(format!("bad argument {other}: {e}"));
+                }
+                positional += 1;
+            }
+        }
+    }
+
+    let scenario = ScenarioSpec::parse(&scenario_arg, n).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
 
     let t0 = Instant::now();
     let cache = ScenarioCache::new();
-    let ps = cache.get(n, seed);
+    let ps = match cache.try_get_spec(&scenario, &workload, seed, duration) {
+        Ok(ps) => ps,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
     let ts = ps.scenario.trace.stats();
     eprintln!(
-        "scenario n={n} seed={seed}: {} contacts (mean dur {:.2}s, mean intercontact {:.0}s), \
-         {} messages, built in {:?}",
+        "scenario {scenario} workload {workload} seed={seed}: {} contacts \
+         (mean dur {:.2}s, mean intercontact {:.0}s), {} messages, built in {:?}",
         ts.contacts,
         ts.mean_duration,
         ts.mean_intercontact,
@@ -27,20 +90,13 @@ fn main() {
         t0.elapsed()
     );
 
-    let all = [
-        ProtocolKind::Eer,
-        ProtocolKind::Cr,
-        ProtocolKind::Ebr,
-        ProtocolKind::MaxProp,
-        ProtocolKind::SprayAndWait,
-        ProtocolKind::SprayAndFocus,
-        ProtocolKind::Epidemic,
-        ProtocolKind::Prophet,
-        ProtocolKind::Direct,
-        ProtocolKind::FirstContact,
-    ];
-    for kind in all {
-        let spec = RunSpec::new(kind.name(), n, Protocol::new(kind));
+    for kind in ProtocolKind::ALL {
+        let spec = RunSpec::on(kind.name(), scenario.clone(), Protocol::new(kind))
+            .with_workload(workload.clone());
+        let spec = match duration {
+            Some(d) => spec.with_duration(d),
+            None => spec,
+        };
         let t = Instant::now();
         let stats = run_spec(&cache, &spec, seed);
         println!(

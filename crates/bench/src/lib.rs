@@ -1,9 +1,11 @@
 //! # dtn-bench — the experiment harness
 //!
 //! Regenerates every figure of the ICPP'11 contact-expectation paper plus
-//! the ablations listed in DESIGN.md. The harness
+//! the ablations listed in DESIGN.md, and sweeps arbitrary scenario
+//! families beyond the paper's bus-city. The harness
 //!
-//! * builds (and memoises) one scenario per `(n_nodes, seed)`,
+//! * builds (and memoises) one scenario per
+//!   `(ScenarioSpec, WorkloadSpec, seed, duration)` cell,
 //! * fans simulation runs out over worker threads (`std::thread::scope`),
 //!   reducing results in deterministic `(point, seed)` order,
 //! * prints the same series the paper plots and writes CSV files under
@@ -11,8 +13,11 @@
 //!
 //! Binaries: `fig2`, `fig3`, `fig4`, `ablation` (see `--help` of each),
 //! `smoke` (one-shot sanity run), `dtnrun` (single-run report / trace
-//! replay). All of them execute simulations through the [`runner`] layer's
-//! `RunSpec → SimStats` primitive ([`runner::run_spec`] / [`runner::run_on`]).
+//! replay), `shootout` (all protocols across scenario families in one
+//! matrix). All of them execute simulations through the [`runner`] layer's
+//! `RunSpec → SimStats` primitive ([`runner::run_spec`] / [`runner::run_on`]),
+//! and every scenario/workload is a first-class
+//! [`dtn_mobility::ScenarioSpec`]/[`dtn_mobility::WorkloadSpec`] value.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -22,9 +27,10 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 
+pub use dtn_mobility::{ScenarioSpec, TraceSource, WorkloadSpec};
 pub use protocols::{Protocol, ProtocolKind};
 pub use report::{print_series_table, write_csv, Series};
 pub use runner::{
     run_matrix, run_matrix_with, run_on, run_spec, CommunitySource, RunSpec, SweepConfig,
 };
-pub use scenario::{PaperScenario, ScenarioCache};
+pub use scenario::{BuiltScenario, ScenarioCache, ScenarioKey};

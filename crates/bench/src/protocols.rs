@@ -34,6 +34,30 @@ pub enum ProtocolKind {
 }
 
 impl ProtocolKind {
+    /// Every protocol the registry knows, paper protocols first.
+    pub const ALL: [ProtocolKind; 10] = [
+        ProtocolKind::Eer,
+        ProtocolKind::Cr,
+        ProtocolKind::Ebr,
+        ProtocolKind::MaxProp,
+        ProtocolKind::SprayAndWait,
+        ProtocolKind::SprayAndFocus,
+        ProtocolKind::Epidemic,
+        ProtocolKind::Prophet,
+        ProtocolKind::Direct,
+        ProtocolKind::FirstContact,
+    ];
+
+    /// Comma-separated list of every valid protocol name, for CLI error
+    /// messages.
+    pub fn names() -> String {
+        Self::ALL
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
     /// All protocols compared in the paper's Figure 2, in its legend order.
     pub const FIG2: [ProtocolKind; 6] = [
         ProtocolKind::Eer,
@@ -200,21 +224,12 @@ mod tests {
 
     #[test]
     fn parse_round_trips() {
-        for kind in [
-            ProtocolKind::Eer,
-            ProtocolKind::Cr,
-            ProtocolKind::Ebr,
-            ProtocolKind::MaxProp,
-            ProtocolKind::SprayAndWait,
-            ProtocolKind::SprayAndFocus,
-            ProtocolKind::Epidemic,
-            ProtocolKind::Prophet,
-            ProtocolKind::Direct,
-            ProtocolKind::FirstContact,
-        ] {
+        for kind in ProtocolKind::ALL {
             assert_eq!(ProtocolKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(ProtocolKind::parse("nope"), None);
+        let names = ProtocolKind::names();
+        assert!(names.contains("EER") && names.contains("FirstContact"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Result tables and CSV output.
 
+use dtn_mobility::{ScenarioSpec, TraceSource, WorkloadSpec};
 use dtn_sim::MetricPoint;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -74,17 +75,25 @@ pub struct CommonArgs {
     pub seeds: u32,
     /// Node counts to sweep.
     pub node_counts: Vec<u32>,
+    /// Scenario family argument (`--scenario`), resolved per node count via
+    /// [`CommonArgs::scenario_for`].
+    pub scenario: String,
+    /// Message workload (`--workload`).
+    pub workload: WorkloadSpec,
     /// Print the paper's settings table and exit.
     pub print_settings: bool,
 }
 
 impl CommonArgs {
     /// Parses `--full`, `--seeds K`, `--nodes a,b,c`, `--quick`,
-    /// `--print-settings` from `args`.
+    /// `--scenario FAMILY`, `--workload KIND`, `--print-settings` from
+    /// `args`.
     pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut out = CommonArgs {
             seeds: 3,
             node_counts: vec![40, 80, 120, 160, 200, 240],
+            scenario: "paper".into(),
+            workload: WorkloadSpec::PaperUniform,
             print_settings: false,
         };
         let mut it = args.peekable();
@@ -106,10 +115,28 @@ impl CommonArgs {
                         .map(|s| s.parse().map_err(|e| format!("--nodes: {e}")))
                         .collect::<Result<_, _>>()?;
                 }
+                "--scenario" => {
+                    let v = it.next().ok_or("--scenario needs a value")?;
+                    // Validate now — including the trace file's existence —
+                    // so typos fail before a sweep starts, not in a worker
+                    // thread mid-matrix.
+                    if let ScenarioSpec::TraceReplay {
+                        source: TraceSource::Path(p),
+                    } = ScenarioSpec::parse(&v, 2)?
+                    {
+                        std::fs::metadata(&p).map_err(|e| format!("cannot read {p}: {e}"))?;
+                    }
+                    out.scenario = v;
+                }
+                "--workload" => {
+                    let v = it.next().ok_or("--workload needs a value")?;
+                    out.workload = WorkloadSpec::parse(&v)?;
+                }
                 "--print-settings" => out.print_settings = true,
                 "--help" | "-h" => {
                     return Err("usage: [--full|--quick] [--seeds K] \
-                                [--nodes a,b,c] [--print-settings]"
+                                [--nodes a,b,c] [--scenario paper|rwp|trace:<path>] \
+                                [--workload paper|hotspot|bursty] [--print-settings]"
                         .into())
                 }
                 other => return Err(format!("unknown flag {other}")),
@@ -119,6 +146,12 @@ impl CommonArgs {
             return Err("need at least one seed and one node count".into());
         }
         Ok(out)
+    }
+
+    /// The scenario spec for the sweep's `n`-node point. Trace replay
+    /// ignores `n` (the recording fixes the node count).
+    pub fn scenario_for(&self, n: u32) -> ScenarioSpec {
+        ScenarioSpec::parse(&self.scenario, n).expect("validated at parse time")
     }
 }
 

@@ -11,8 +11,9 @@
 //! so the thread count never changes the output.
 
 use crate::protocols::Protocol;
-use crate::scenario::{PaperScenario, ScenarioCache};
+use crate::scenario::{BuiltScenario, ScenarioCache};
 use ce_core::{detect_over_trace, detected_map, CommunityMap, DetectorConfig};
+use dtn_mobility::{ScenarioSpec, WorkloadSpec};
 use dtn_sim::{MetricPoint, SimConfig, SimStats, Simulation};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -31,7 +32,7 @@ pub enum CommunitySource {
 
 impl CommunitySource {
     /// Materialises the community map for `ps`.
-    fn resolve(&self, ps: &PaperScenario) -> Arc<CommunityMap> {
+    fn resolve(&self, ps: &BuiltScenario) -> Arc<CommunityMap> {
         match self {
             CommunitySource::GroundTruth => {
                 Arc::new(CommunityMap::new(ps.scenario.communities.clone()))
@@ -50,29 +51,52 @@ impl CommunitySource {
 pub struct RunSpec {
     /// Row label (e.g. protocol name or λ value).
     pub series: String,
-    /// X value (number of nodes).
-    pub n_nodes: u32,
+    /// The contact scenario this cell runs on.
+    pub scenario: ScenarioSpec,
+    /// The message workload laid over the scenario.
+    pub workload: WorkloadSpec,
     /// Protocol under test.
     pub protocol: Protocol,
     /// Per-node buffer capacity override in bytes (`None` = paper's 1 MB).
     pub buffer_capacity: Option<u64>,
-    /// Scenario horizon override in seconds (`None` = the paper's 10 000 s).
+    /// Scenario horizon override in seconds (`None` = the scenario's
+    /// default — the paper's 10 000 s for generated families, the native
+    /// horizon for trace replay).
     pub duration: Option<f64>,
     /// Community map source for protocols that need one (CR).
     pub communities: CommunitySource,
 }
 
 impl RunSpec {
-    /// A spec with the paper's default simulation parameters.
+    /// A paper bus-city cell with the paper's default parameters.
     pub fn new(series: impl Into<String>, n_nodes: u32, protocol: Protocol) -> Self {
+        Self::on(series, ScenarioSpec::paper(n_nodes), protocol)
+    }
+
+    /// A cell on an arbitrary scenario family with the paper's uniform
+    /// workload.
+    pub fn on(series: impl Into<String>, scenario: ScenarioSpec, protocol: Protocol) -> Self {
         RunSpec {
             series: series.into(),
-            n_nodes,
+            scenario,
+            workload: WorkloadSpec::PaperUniform,
             protocol,
             buffer_capacity: None,
             duration: None,
             communities: CommunitySource::default(),
         }
+    }
+
+    /// Replaces the scenario family.
+    pub fn with_scenario(mut self, scenario: ScenarioSpec) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Replaces the message workload.
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
     }
 
     /// Overrides the per-node buffer capacity (bytes).
@@ -103,7 +127,8 @@ impl RunSpec {
 #[derive(Clone, Copy, Debug)]
 pub struct SweepConfig {
     /// Seeds per point (the paper averages 10 runs; default here is 3 for
-    /// wall-clock reasons — pass `--full` to the binaries for 10).
+    /// wall-clock reasons — pass `--full` to the binaries for 10). Values
+    /// below 1 are clamped up to 1 at use.
     pub seeds: u32,
     /// Worker threads (defaults to available parallelism; values below 1 are
     /// clamped up to 1 at use).
@@ -117,6 +142,13 @@ impl SweepConfig {
     /// configured value.
     pub fn effective_threads(&self) -> usize {
         self.threads.max(1)
+    }
+
+    /// The seed count actually used: at least 1, whatever the configured
+    /// value. `seeds: 0` would otherwise silently reduce every point to an
+    /// all-zero [`MetricPoint`] with `runs: 0`.
+    pub fn effective_seeds(&self) -> u32 {
+        self.seeds.max(1)
     }
 }
 
@@ -137,7 +169,7 @@ impl Default for SweepConfig {
 /// This is the deterministic core primitive: the same `(spec, seed)` always
 /// produces the same [`SimStats`], whichever thread or binary runs it.
 pub fn run_spec(cache: &ScenarioCache, spec: &RunSpec, seed: u64) -> SimStats {
-    let ps = cache.get_with_duration(spec.n_nodes, seed, spec.duration);
+    let ps = cache.get_spec(&spec.scenario, &spec.workload, seed, spec.duration);
     if matches!(spec.communities, CommunitySource::Detected) {
         // Detection replays the whole trace; route it through the cache so
         // every cell (and any agreement metrics) share one pass per scenario.
@@ -156,7 +188,7 @@ pub fn run_spec(cache: &ScenarioCache, spec: &RunSpec, seed: u64) -> SimStats {
 /// taken as given — in particular [`RunSpec::duration`] cannot re-shape an
 /// already-built scenario (that resolution happens in [`run_spec`]), so a
 /// mismatch between the two is a caller bug.
-pub fn run_on(ps: &PaperScenario, spec: &RunSpec, seed: u64) -> SimStats {
+pub fn run_on(ps: &BuiltScenario, spec: &RunSpec, seed: u64) -> SimStats {
     assert!(
         spec.duration
             .is_none_or(|d| (d - ps.scenario.trace.duration).abs() < 1e-9),
@@ -197,7 +229,7 @@ pub fn run_matrix_with(
     cfg: SweepConfig,
 ) -> Vec<MetricPoint> {
     let jobs: Vec<(usize, u64)> = (0..specs.len())
-        .flat_map(|i| (0..cfg.seeds).map(move |s| (i, u64::from(s) + 1)))
+        .flat_map(|i| (0..cfg.effective_seeds()).map(move |s| (i, u64::from(s) + 1)))
         .collect();
     let next = AtomicUsize::new(0);
     let results: Vec<Vec<(u64, SimStats)>> = {
@@ -214,11 +246,11 @@ pub fn run_matrix_with(
                     let stats = run_spec(cache, spec, seed);
                     if cfg.verbose {
                         eprintln!(
-                            "  [{}/{}] {} n={} seed={} dr={:.3} lat={:.1} gp={:.4}",
+                            "  [{}/{}] {} {} seed={} dr={:.3} lat={:.1} gp={:.4}",
                             j + 1,
                             jobs.len(),
                             spec.series,
-                            spec.n_nodes,
+                            spec.scenario,
                             seed,
                             stats.delivery_ratio(),
                             stats.avg_latency(),
@@ -300,6 +332,24 @@ mod tests {
         let points = run_matrix(&specs, cfg);
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].runs, 1);
+    }
+
+    /// `seeds: 0` is clamped, not a silent all-zero result (regression: the
+    /// old runner returned `MetricPoint { runs: 0, .. }` for every spec).
+    #[test]
+    fn zero_seeds_clamps_to_one() {
+        let cfg = SweepConfig {
+            seeds: 0,
+            threads: 1,
+            verbose: false,
+        };
+        assert_eq!(cfg.effective_seeds(), 1);
+        let specs = vec![
+            RunSpec::new("Direct", 8, Protocol::new(ProtocolKind::Direct)).with_duration(500.0),
+        ];
+        let points = run_matrix(&specs, cfg);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].runs, 1, "seeds: 0 must still run one seed");
     }
 
     /// A duration override flows through the cache into the built scenario.

@@ -1,91 +1,162 @@
-//! Paper-scenario construction and memoisation.
+//! Scenario resolution and memoisation.
+//!
+//! A [`BuiltScenario`] is one fully materialised experiment input — contact
+//! trace, community ground truth and message workload — built from a
+//! `(ScenarioSpec, WorkloadSpec, seed, duration)` quadruple. The
+//! [`ScenarioCache`] memoises builds under a [`ScenarioKey`] derived from
+//! the *full* quadruple, so distinct scenario families with identical node
+//! counts can never collide (the old `(n_nodes, seed, duration)` key could
+//! not tell the paper's bus-city from anything else).
 
-use dtn_mobility::scenario::{Scenario, ScenarioConfig};
-use dtn_mobility::RoadGraphBuilder;
-use dtn_sim::{ContactTrace, MessageSpec, TrafficConfig};
+use dtn_mobility::scenario::Scenario;
+use dtn_mobility::{ScenarioSpec, WorkloadSpec};
+use dtn_sim::{ContactTrace, MessageSpec};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// One fully built `(n_nodes, seed)` experiment input: the contact trace,
-/// community ground truth and message workload.
+/// Cache identity of a built scenario: the canonical encodings of the
+/// scenario and workload specs plus seed and resolved horizon. Injective
+/// over everything that shapes the build.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ScenarioKey {
+    scenario: String,
+    workload: String,
+    seed: u64,
+    /// Bit pattern of the resolved duration; [`ScenarioKey::NATIVE`] when
+    /// the spec runs at its own native horizon (trace replay).
+    duration_bits: u64,
+}
+
+impl ScenarioKey {
+    /// Sentinel for "the spec's native horizon" (trace replay, where the
+    /// duration is known only after loading the recording).
+    const NATIVE: u64 = u64::MAX;
+
+    /// Derives the key for a `(scenario, workload, seed, duration)` cell.
+    /// `duration` of `None` resolves to the spec's default horizon so that
+    /// `None` and an explicit default-length override share one entry. A
+    /// trace-replay spec always keys as [`ScenarioKey::NATIVE`]: the only
+    /// override its build accepts is one equal to the recording's horizon,
+    /// so `None` and that explicit value are the same scenario.
+    pub fn new(
+        scenario: &ScenarioSpec,
+        workload: &WorkloadSpec,
+        seed: u64,
+        duration: Option<f64>,
+    ) -> Self {
+        let duration_bits = match scenario.default_duration() {
+            None => Self::NATIVE,
+            Some(default) => duration.unwrap_or(default).to_bits(),
+        };
+        ScenarioKey {
+            scenario: scenario.cache_key(),
+            workload: workload.cache_key(),
+            seed,
+            duration_bits,
+        }
+    }
+}
+
+/// One fully built experiment input: the contact trace, community ground
+/// truth and message workload for a `(spec, workload, seed)` cell.
 #[derive(Clone)]
-pub struct PaperScenario {
+pub struct BuiltScenario {
     /// The mobility/contact scenario.
     pub scenario: Arc<Scenario>,
     /// The message workload for this seed.
     pub workload: Arc<Vec<MessageSpec>>,
-    /// Node count.
+    /// Node count (resolved — for trace replay, the recording's).
     pub n_nodes: u32,
     /// Seed used for mobility and traffic.
     pub seed: u64,
+    /// Cache identity this scenario was built under.
+    pub key: ScenarioKey,
 }
 
-impl PaperScenario {
-    /// Builds the §V-A scenario for `n_nodes` nodes and `seed`.
-    pub fn build(n_nodes: u32, seed: u64) -> Self {
-        let cfg = ScenarioConfig::paper(n_nodes);
-        let scenario = cfg.build(seed);
-        let workload = TrafficConfig::paper(cfg.duration).generate(n_nodes, seed);
-        PaperScenario {
+impl BuiltScenario {
+    /// Builds the full `(scenario, workload, seed)` cell without a cache.
+    /// Trace-replay specs get their communities from online detection (a raw
+    /// trace carries no ground truth).
+    pub fn from_specs(
+        spec: &ScenarioSpec,
+        workload: &WorkloadSpec,
+        seed: u64,
+        duration: Option<f64>,
+    ) -> Result<Self, String> {
+        let key = ScenarioKey::new(spec, workload, seed, duration);
+        let mut scenario = spec.build(seed, duration)?;
+        if matches!(spec, ScenarioSpec::TraceReplay { .. }) {
+            detect_ground_truth(&mut scenario);
+        }
+        let n_nodes = scenario.trace.n_nodes;
+        let messages = workload.generate(n_nodes, scenario.trace.duration, seed);
+        Ok(BuiltScenario {
             scenario: Arc::new(scenario),
-            workload: Arc::new(workload),
+            workload: Arc::new(messages),
             n_nodes,
             seed,
-        }
+            key,
+        })
     }
 
-    /// A reduced variant (shorter horizon) used by Criterion benches so a
-    /// bench iteration stays sub-second.
-    pub fn build_scaled(n_nodes: u32, seed: u64, duration: f64) -> Self {
-        let cfg = ScenarioConfig {
-            duration,
-            ..ScenarioConfig::paper(n_nodes)
-        };
-        let scenario = cfg.build(seed);
-        let workload = TrafficConfig::paper(duration).generate(n_nodes, seed);
-        PaperScenario {
-            scenario: Arc::new(scenario),
-            workload: Arc::new(workload),
-            n_nodes,
+    /// Builds the §V-A paper scenario for `n_nodes` nodes and `seed`.
+    pub fn build(n_nodes: u32, seed: u64) -> Self {
+        Self::from_specs(
+            &ScenarioSpec::paper(n_nodes),
+            &WorkloadSpec::PaperUniform,
             seed,
-        }
+            None,
+        )
+        .expect("paper scenario build cannot fail")
+    }
+
+    /// A reduced paper variant (shorter horizon) used by Criterion benches
+    /// so a bench iteration stays sub-second.
+    pub fn build_scaled(n_nodes: u32, seed: u64, duration: f64) -> Self {
+        Self::from_specs(
+            &ScenarioSpec::paper(n_nodes),
+            &WorkloadSpec::PaperUniform,
+            seed,
+            Some(duration),
+        )
+        .expect("paper scenario build cannot fail")
     }
 
     /// Wraps a replayed (e.g. real-world) contact trace as a runnable
     /// scenario: the paper's traffic model is fitted to the trace's node
-    /// count and horizon, and communities are detected online — a raw trace
-    /// carries no ground truth.
+    /// count and horizon, and communities are detected online.
     pub fn from_trace(trace: ContactTrace, seed: u64) -> Self {
-        let n_nodes = trace.n_nodes;
-        let workload = TrafficConfig::paper(trace.duration).generate(n_nodes, seed);
-        let dets = ce_core::detect_over_trace(&trace, ce_core::DetectorConfig::default());
-        let map = ce_core::detected_map(&dets);
-        let communities: Vec<u32> = (0..n_nodes).map(|i| map.cid(dtn_sim::NodeId(i))).collect();
-        let n_communities = communities.iter().copied().max().map_or(0, |c| c + 1);
-        let scenario = Scenario {
-            trace,
-            communities,
-            n_communities,
-            graph: RoadGraphBuilder::new().build(),
-            trajectories: Vec::new(),
-        };
-        PaperScenario {
-            scenario: Arc::new(scenario),
-            workload: Arc::new(workload),
-            n_nodes,
+        Self::from_specs(
+            &ScenarioSpec::trace(Arc::new(trace)),
+            &WorkloadSpec::PaperUniform,
             seed,
-        }
+            None,
+        )
+        .expect("an already-parsed trace cannot fail to build")
     }
 }
 
+/// Replaces a replayed trace's placeholder communities with the output of
+/// online detection — the closest thing to ground truth a raw recording has.
+fn detect_ground_truth(scenario: &mut Scenario) {
+    let dets = ce_core::detect_over_trace(&scenario.trace, ce_core::DetectorConfig::default());
+    let map = ce_core::detected_map(&dets);
+    let communities: Vec<u32> = (0..scenario.trace.n_nodes)
+        .map(|i| map.cid(dtn_sim::NodeId(i)))
+        .collect();
+    scenario.n_communities = communities.iter().copied().max().map_or(0, |c| c + 1);
+    scenario.communities = communities;
+}
+
 /// Thread-safe memo of built scenarios, so every protocol and λ value runs
-/// against the *identical* contact process for a given `(n, seed, duration)`.
+/// against the *identical* contact process and workload for a given
+/// [`ScenarioKey`].
 #[derive(Default)]
 pub struct ScenarioCache {
-    map: Mutex<HashMap<(u32, u64, u64), PaperScenario>>,
+    map: Mutex<HashMap<ScenarioKey, BuiltScenario>>,
     /// Memoised online community detection per scenario (detection replays
     /// the whole trace — worth doing once, not once per consumer).
-    detected: Mutex<HashMap<(u32, u64, u64), Arc<ce_core::CommunityMap>>>,
+    detected: Mutex<HashMap<ScenarioKey, Arc<ce_core::CommunityMap>>>,
 }
 
 impl ScenarioCache {
@@ -94,55 +165,98 @@ impl ScenarioCache {
         Self::default()
     }
 
-    /// Returns the paper-horizon scenario for `(n_nodes, seed)`, building it
-    /// on first use.
-    pub fn get(&self, n_nodes: u32, seed: u64) -> PaperScenario {
+    /// Returns the scenario for the full `(spec, workload, seed, duration)`
+    /// quadruple, building it on first use.
+    ///
+    /// # Panics
+    /// Panics if the spec cannot be built (unreadable trace file, horizon
+    /// conflict) — sweep cells are validated configuration, not user input.
+    pub fn get_spec(
+        &self,
+        spec: &ScenarioSpec,
+        workload: &WorkloadSpec,
+        seed: u64,
+        duration: Option<f64>,
+    ) -> BuiltScenario {
+        self.try_get_spec(spec, workload, seed, duration)
+            .unwrap_or_else(|e| panic!("cannot build scenario {spec}: {e}"))
+    }
+
+    /// [`ScenarioCache::get_spec`], propagating build failures (the path for
+    /// CLI-supplied trace files).
+    pub fn try_get_spec(
+        &self,
+        spec: &ScenarioSpec,
+        workload: &WorkloadSpec,
+        seed: u64,
+        duration: Option<f64>,
+    ) -> Result<BuiltScenario, String> {
+        let key = ScenarioKey::new(spec, workload, seed, duration);
+        if let Some(s) = self.map.lock().unwrap().get(&key).cloned() {
+            // Trace replay keys as NATIVE whatever the override, so a hit
+            // must still enforce what the build would have rejected.
+            if let Some(d) = duration {
+                if (d - s.scenario.trace.duration).abs() > 1e-9 {
+                    return Err(format!(
+                        "duration override {d} conflicts with the trace's recorded horizon {}",
+                        s.scenario.trace.duration
+                    ));
+                }
+            }
+            return Ok(s);
+        }
+        let built = BuiltScenario::from_specs(spec, workload, seed, duration)?;
+        Ok(self.map.lock().unwrap().entry(key).or_insert(built).clone())
+    }
+
+    /// Returns the paper-horizon bus-city scenario for `(n_nodes, seed)`,
+    /// building it on first use.
+    pub fn get(&self, n_nodes: u32, seed: u64) -> BuiltScenario {
         self.get_with_duration(n_nodes, seed, None)
     }
 
-    /// Returns the scenario for `(n_nodes, seed)` with an optional horizon
+    /// The paper bus-city for `(n_nodes, seed)` with an optional horizon
     /// override (`None` = the paper's duration), building it on first use.
-    /// Keys use the *resolved* duration, so `None` and an explicit
-    /// paper-length override share one entry.
     pub fn get_with_duration(
         &self,
         n_nodes: u32,
         seed: u64,
         duration: Option<f64>,
-    ) -> PaperScenario {
-        let duration = duration.unwrap_or_else(|| ScenarioConfig::paper(n_nodes).duration);
-        let key = (n_nodes, seed, duration.to_bits());
-        if let Some(s) = self.map.lock().unwrap().get(&key) {
-            return s.clone();
-        }
-        let built = PaperScenario::build_scaled(n_nodes, seed, duration);
-        self.map.lock().unwrap().entry(key).or_insert(built).clone()
+    ) -> BuiltScenario {
+        self.get_spec(
+            &ScenarioSpec::paper(n_nodes),
+            &WorkloadSpec::PaperUniform,
+            seed,
+            duration,
+        )
     }
 
-    /// The online-detected community map for `ps`, memoised per scenario so
+    /// The online-detected community map for `bs`, memoised per scenario so
     /// every consumer — sweep runs, agreement metrics — shares one detection
-    /// pass per trace. Memoisation requires `ps` to be *this cache's* entry
-    /// (checked by pointer identity, so a foreign scenario — e.g. built by
-    /// [`PaperScenario::from_trace`] — can never collide with a cached one);
-    /// foreign scenarios are detected fresh.
-    pub fn detected_communities(&self, ps: &PaperScenario) -> Arc<ce_core::CommunityMap> {
-        let key = (ps.n_nodes, ps.seed, ps.scenario.trace.duration.to_bits());
+    /// pass per trace. Memoisation requires `bs` to be *this cache's* entry
+    /// (checked by pointer identity, so a foreign scenario — e.g. built
+    /// directly via [`BuiltScenario::from_trace`] — can never collide with a
+    /// cached one); foreign scenarios are detected fresh.
+    pub fn detected_communities(&self, bs: &BuiltScenario) -> Arc<ce_core::CommunityMap> {
         let ours = self
             .map
             .lock()
             .unwrap()
-            .get(&key)
-            .is_some_and(|cached| Arc::ptr_eq(&cached.scenario, &ps.scenario));
+            .get(&bs.key)
+            .is_some_and(|cached| Arc::ptr_eq(&cached.scenario, &bs.scenario));
         if ours {
-            if let Some(m) = self.detected.lock().unwrap().get(&key) {
+            if let Some(m) = self.detected.lock().unwrap().get(&bs.key) {
                 return Arc::clone(m);
             }
         }
         let dets =
-            ce_core::detect_over_trace(&ps.scenario.trace, ce_core::DetectorConfig::default());
+            ce_core::detect_over_trace(&bs.scenario.trace, ce_core::DetectorConfig::default());
         let map = Arc::new(ce_core::detected_map(&dets));
         if ours {
-            self.detected.lock().unwrap().insert(key, Arc::clone(&map));
+            self.detected
+                .lock()
+                .unwrap()
+                .insert(bs.key.clone(), Arc::clone(&map));
         }
         map
     }
@@ -161,6 +275,21 @@ impl ScenarioCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dtn_mobility::scenario::ScenarioConfig;
+    use dtn_sim::Contact;
+
+    fn tiny_trace() -> ContactTrace {
+        ContactTrace::new(
+            6,
+            300.0,
+            vec![
+                Contact::new(0, 1, 10.0, 40.0),
+                Contact::new(2, 3, 15.0, 50.0),
+                Contact::new(4, 5, 20.0, 60.0),
+                Contact::new(0, 1, 100.0, 130.0),
+            ],
+        )
+    }
 
     #[test]
     fn cache_reuses_scenarios() {
@@ -197,26 +326,41 @@ mod tests {
         assert!(Arc::ptr_eq(&a.scenario, &b.scenario));
     }
 
+    /// The regression the old `(n_nodes, seed, duration)` key allowed:
+    /// distinct scenario families (and workloads) with identical node count,
+    /// seed and horizon must occupy distinct cache entries.
+    #[test]
+    fn distinct_specs_get_distinct_entries() {
+        let cache = ScenarioCache::new();
+        let d = Some(300.0);
+        let paper = cache.get_spec(&ScenarioSpec::paper(6), &WorkloadSpec::PaperUniform, 1, d);
+        let rwp = cache.get_spec(&ScenarioSpec::rwp(6), &WorkloadSpec::PaperUniform, 1, d);
+        let trace = cache.get_spec(
+            &ScenarioSpec::trace(Arc::new(tiny_trace())),
+            &WorkloadSpec::PaperUniform,
+            1,
+            None,
+        );
+        let hotspot = cache.get_spec(&ScenarioSpec::paper(6), &WorkloadSpec::hotspot(), 1, d);
+        assert_eq!(cache.len(), 4, "four distinct cells, four entries");
+        assert!(!Arc::ptr_eq(&paper.scenario, &rwp.scenario));
+        assert!(!Arc::ptr_eq(&paper.scenario, &trace.scenario));
+        // Same mobility, different workload: the trace may be rebuilt, but
+        // the workloads must differ.
+        assert_ne!(paper.workload, hotspot.workload);
+    }
+
     /// A foreign scenario (not built by this cache) never reads or poisons
-    /// the memoised detection of a cached scenario with matching key fields.
+    /// the memoised detection of a cached scenario with a matching key.
     #[test]
     fn detected_memo_ignores_foreign_scenarios() {
-        use dtn_sim::Contact;
         let cache = ScenarioCache::new();
         let short = cache.get_with_duration(6, 7, Some(300.0));
         let cached_map = cache.detected_communities(&short);
 
-        // Same (n, seed, duration) key fields, completely different trace.
-        let trace = ContactTrace::new(
-            6,
-            300.0,
-            vec![
-                Contact::new(0, 1, 10.0, 290.0),
-                Contact::new(2, 3, 10.0, 290.0),
-                Contact::new(4, 5, 10.0, 290.0),
-            ],
-        );
-        let foreign = PaperScenario::from_trace(trace, 7);
+        let mut foreign = BuiltScenario::from_trace(tiny_trace(), 7);
+        // Forge the cached entry's key: identity is still checked by pointer.
+        foreign.key = short.key.clone();
         let foreign_map = cache.detected_communities(&foreign);
         assert!(
             !Arc::ptr_eq(&cached_map, &foreign_map),
@@ -231,27 +375,45 @@ mod tests {
 
     #[test]
     fn scaled_scenario_is_shorter() {
-        let s = PaperScenario::build_scaled(8, 1, 500.0);
+        let s = BuiltScenario::build_scaled(8, 1, 500.0);
         assert_eq!(s.scenario.trace.duration, 500.0);
         assert!(s.workload.iter().all(|m| m.create_at.as_secs() < 500.0));
     }
 
     #[test]
     fn from_trace_round_trips_node_count() {
-        use dtn_sim::Contact;
-        let trace = ContactTrace::new(
-            6,
-            300.0,
-            vec![
-                Contact::new(0, 1, 10.0, 40.0),
-                Contact::new(2, 3, 15.0, 50.0),
-                Contact::new(4, 5, 20.0, 60.0),
-                Contact::new(0, 1, 100.0, 130.0),
-            ],
-        );
-        let ps = PaperScenario::from_trace(trace, 7);
+        let ps = BuiltScenario::from_trace(tiny_trace(), 7);
         assert_eq!(ps.n_nodes, 6);
         assert_eq!(ps.scenario.communities.len(), 6);
         assert!(ps.workload.iter().all(|m| m.create_at.as_secs() < 300.0));
+    }
+
+    /// For trace replay, `None` and an explicit native-length override are
+    /// the same scenario — one entry, one detection pass — while a
+    /// conflicting override still errors even on a cache hit.
+    #[test]
+    fn trace_native_and_explicit_duration_share_entry() {
+        let cache = ScenarioCache::new();
+        let spec = ScenarioSpec::trace(Arc::new(tiny_trace()));
+        let a = cache.get_spec(&spec, &WorkloadSpec::PaperUniform, 1, None);
+        let b = cache.get_spec(&spec, &WorkloadSpec::PaperUniform, 1, Some(300.0));
+        assert_eq!(cache.len(), 1);
+        assert!(Arc::ptr_eq(&a.scenario, &b.scenario));
+        assert!(cache
+            .try_get_spec(&spec, &WorkloadSpec::PaperUniform, 1, Some(500.0))
+            .is_err());
+    }
+
+    #[test]
+    fn bad_trace_path_propagates_error() {
+        let cache = ScenarioCache::new();
+        let r = cache.try_get_spec(
+            &ScenarioSpec::trace_path("/nonexistent/never.trace"),
+            &WorkloadSpec::PaperUniform,
+            1,
+            None,
+        );
+        assert!(r.is_err());
+        assert!(cache.is_empty(), "failed builds must not be cached");
     }
 }

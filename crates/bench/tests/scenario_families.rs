@@ -1,0 +1,175 @@
+//! Cross-scenario sweep correctness: a single matrix can put the paper
+//! bus-city, random waypoint and trace replay side-by-side as series, the
+//! worker-thread count never changes results, and distinct scenario specs
+//! with identical `(n, seed, duration)` never share a cache entry (the
+//! collision the old `(n_nodes, seed, duration)` key allowed).
+
+use dtn_bench::{
+    run_matrix_with, Protocol, ProtocolKind, RunSpec, ScenarioCache, ScenarioSpec, SweepConfig,
+    WorkloadSpec,
+};
+use dtn_sim::{Contact, ContactTrace, MetricPoint};
+use std::sync::Arc;
+
+/// A small synthetic recording shared by the trace-replay cells.
+fn replay_trace() -> Arc<ContactTrace> {
+    let mut contacts = Vec::new();
+    // A deterministic ring of repeating meetings over 8 nodes / 1 200 s so
+    // every protocol has real forwarding work to do.
+    for round in 0..10u32 {
+        let t0 = f64::from(round) * 110.0;
+        for i in 0..8u32 {
+            let (a, b) = (i, (i + 1) % 8);
+            let start = t0 + f64::from(i) * 5.0;
+            contacts.push(Contact::new(a, b, start, start + 20.0));
+        }
+    }
+    Arc::new(ContactTrace::new(8, 1_200.0, contacts))
+}
+
+/// One matrix mixing all three scenario families (and a non-paper workload)
+/// as separate series.
+fn family_matrix() -> Vec<RunSpec> {
+    let trace = replay_trace();
+    let mut specs = Vec::new();
+    for (label, proto) in [
+        ("EER", Protocol::new(ProtocolKind::Eer).with_lambda(6)),
+        ("Epidemic", Protocol::new(ProtocolKind::Epidemic)),
+    ] {
+        specs.push(
+            RunSpec::on(
+                format!("{label} @ paper"),
+                ScenarioSpec::paper(8),
+                proto.clone(),
+            )
+            .with_duration(1_200.0),
+        );
+        specs.push(
+            RunSpec::on(
+                format!("{label} @ rwp"),
+                ScenarioSpec::rwp(10),
+                proto.clone(),
+            )
+            .with_duration(1_200.0),
+        );
+        specs.push(RunSpec::on(
+            format!("{label} @ trace"),
+            ScenarioSpec::trace(Arc::clone(&trace)),
+            proto.clone(),
+        ));
+        specs.push(
+            RunSpec::on(
+                format!("{label} @ paper/hotspot"),
+                ScenarioSpec::paper(8),
+                proto,
+            )
+            .with_workload(WorkloadSpec::hotspot())
+            .with_duration(1_200.0),
+        );
+    }
+    specs
+}
+
+fn run_with_threads(threads: usize) -> (Vec<MetricPoint>, usize) {
+    let cache = ScenarioCache::new();
+    let points = run_matrix_with(
+        &cache,
+        &family_matrix(),
+        SweepConfig {
+            seeds: 2,
+            threads,
+            verbose: false,
+        },
+    );
+    (points, cache.len())
+}
+
+#[test]
+fn cross_scenario_matrix_is_thread_invariant() {
+    let (single, _) = run_with_threads(1);
+    let (multi, _) = run_with_threads(8);
+    assert_eq!(single.len(), multi.len());
+    for (i, (a, b)) in single.iter().zip(&multi).enumerate() {
+        assert_eq!(a.runs, b.runs, "spec {i}: run count differs");
+        // Bitwise equality: identical (spec, seed) cells must reduce to
+        // identical floats, not merely close ones.
+        assert_eq!(
+            a.delivery_ratio.to_bits(),
+            b.delivery_ratio.to_bits(),
+            "spec {i}: delivery ratio differs across thread counts"
+        );
+        assert_eq!(
+            a.latency.to_bits(),
+            b.latency.to_bits(),
+            "spec {i}: latency differs across thread counts"
+        );
+        assert_eq!(
+            a.goodput.to_bits(),
+            b.goodput.to_bits(),
+            "spec {i}: goodput differs across thread counts"
+        );
+        assert_eq!(
+            a.relayed.to_bits(),
+            b.relayed.to_bits(),
+            "spec {i}: relay count differs across thread counts"
+        );
+    }
+    // The sweep must have done real work on every family.
+    let delivered: Vec<bool> = single.iter().map(|p| p.delivery_ratio > 0.0).collect();
+    assert!(
+        delivered.iter().any(|&d| d),
+        "no family delivered anything: {single:?}"
+    );
+}
+
+/// Distinct `(ScenarioSpec, WorkloadSpec)` cells with identical node count,
+/// seed and horizon occupy distinct cache entries, and the whole matrix
+/// shares one scenario build per cell per seed.
+#[test]
+fn families_occupy_distinct_cache_entries() {
+    let (_, cached) = run_with_threads(4);
+    // 4 scenario/workload cells x 2 seeds; the two protocol series per cell
+    // must share entries, not duplicate them.
+    assert_eq!(cached, 8, "expected one cache entry per (cell, seed)");
+
+    // And head-on: same (n, seed, duration) across specs, different entries.
+    let cache = ScenarioCache::new();
+    let paper = cache.get_spec(
+        &ScenarioSpec::paper(8),
+        &WorkloadSpec::PaperUniform,
+        1,
+        Some(600.0),
+    );
+    let rwp = cache.get_spec(
+        &ScenarioSpec::rwp(8),
+        &WorkloadSpec::PaperUniform,
+        1,
+        Some(600.0),
+    );
+    assert_eq!(cache.len(), 2);
+    assert!(!Arc::ptr_eq(&paper.scenario, &rwp.scenario));
+    assert_ne!(
+        paper.scenario.trace.contacts, rwp.scenario.trace.contacts,
+        "different families must produce different contact processes"
+    );
+}
+
+/// `dtnrun --scenario rwp --protocol eer` end-to-end equivalent at the
+/// library layer: an RWP spec resolves, runs and delivers through the same
+/// runner path the binary uses.
+#[test]
+fn rwp_runs_end_to_end() {
+    let cache = ScenarioCache::new();
+    let spec = RunSpec::on(
+        "EER",
+        ScenarioSpec::rwp(16),
+        Protocol::new(ProtocolKind::Eer),
+    )
+    .with_duration(1_500.0);
+    let stats = dtn_bench::run_spec(&cache, &spec, 1);
+    assert!(stats.created > 0, "workload generated no messages");
+    assert!(
+        stats.relayed > 0 || stats.delivered > 0,
+        "EER on RWP did no forwarding at all"
+    );
+}

@@ -12,7 +12,9 @@
 //! * [`trajectory`] — piecewise-linear trajectories shared by all models;
 //! * [`contacts`] — spatial-grid contact detection producing a
 //!   [`dtn_sim::ContactTrace`];
-//! * [`scenario`] — one-call scenario builders with community ground truth.
+//! * [`scenario`] — one-call scenario builders with community ground truth;
+//! * [`spec`] — first-class [`ScenarioSpec`]/[`WorkloadSpec`] values that
+//!   make scenario families and workloads cacheable and sweepable.
 //!
 //! ```
 //! use dtn_mobility::scenario::ScenarioConfig;
@@ -33,6 +35,7 @@ pub mod path;
 pub mod routes;
 pub mod rwp;
 pub mod scenario;
+pub mod spec;
 pub mod spmbm;
 pub mod svg;
 pub mod trajectory;
@@ -45,6 +48,7 @@ pub use path::PathFinder;
 pub use routes::{BusConfig, BusRoute};
 pub use rwp::RwpConfig;
 pub use scenario::{Scenario, ScenarioConfig};
+pub use spec::{ScenarioSpec, TraceSource, WorkloadSpec};
 pub use spmbm::SpmbmConfig;
 pub use svg::SvgScene;
 pub use trajectory::{Trajectory, TrajectoryCursor};

@@ -1,0 +1,688 @@
+//! First-class scenario and workload specifications.
+//!
+//! A [`ScenarioSpec`] is a *value* describing how to obtain a contact
+//! process — the paper's bus-city, random waypoint, or a replayed trace —
+//! and a [`WorkloadSpec`] is a value describing the message workload laid on
+//! top of it. The two compose freely: any workload runs on any mobility
+//! model. Both are deterministic functions of `(spec, seed, duration)` and
+//! expose a canonical [`cache_key`](ScenarioSpec::cache_key) string so
+//! downstream caches can memoise builds without a lossy `(n, seed)` tuple.
+
+use crate::contacts::{generate_trace, ContactGenConfig};
+use crate::geometry::{Point, Rect};
+use crate::rwp::RwpConfig;
+use crate::scenario::{Scenario, ScenarioConfig};
+use crate::RoadGraphBuilder;
+use dtn_sim::{ContactTrace, MessageSpec, NodeId, SimTime, TrafficConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::sync::Arc;
+
+/// Where a replayed contact trace comes from.
+#[derive(Clone, Debug)]
+pub enum TraceSource {
+    /// A plain-text trace file (the `dtn_sim::trace` format).
+    Path(String),
+    /// A pre-parsed trace, e.g. built programmatically or already loaded.
+    Inline {
+        /// The trace itself.
+        trace: Arc<ContactTrace>,
+        /// FNV-1a content fingerprint, computed once at construction so
+        /// cache-key derivation never rehashes the contact list.
+        fingerprint: u64,
+    },
+}
+
+/// A first-class, buildable description of a contact scenario.
+///
+/// Every variant builds deterministically from `(self, seed, duration)`;
+/// [`ScenarioSpec::cache_key`] is injective over the variant's parameters
+/// (floats are keyed by their bit patterns) so distinct specs never collide
+/// in a cache.
+#[derive(Clone, Debug)]
+pub enum ScenarioSpec {
+    /// The ICPP'11 §V-A setting: buses on a synthetic downtown map with
+    /// district communities.
+    PaperBusCity {
+        /// Number of buses (network nodes).
+        n_nodes: u32,
+    },
+    /// Random waypoint in a square area — a memoryless, community-free
+    /// baseline.
+    RandomWaypoint {
+        /// Number of nodes.
+        n_nodes: u32,
+        /// Side of the square movement area in metres.
+        area_side: f64,
+        /// Minimum speed (m/s).
+        speed_min: f64,
+        /// Maximum speed (m/s).
+        speed_max: f64,
+        /// Radio range in metres.
+        range: f64,
+        /// Maximum pause at each waypoint (uniform in `[0, max]`).
+        pause_max: f64,
+    },
+    /// Replay of a recorded contact trace; runs at the trace's native
+    /// horizon.
+    TraceReplay {
+        /// Where the trace comes from.
+        source: TraceSource,
+    },
+}
+
+impl ScenarioSpec {
+    /// The default horizon used by every generated scenario (the paper's
+    /// 10 000 s).
+    pub const DEFAULT_DURATION: f64 = 10_000.0;
+
+    /// The paper's bus-city for `n_nodes` nodes.
+    pub fn paper(n_nodes: u32) -> Self {
+        ScenarioSpec::PaperBusCity { n_nodes }
+    }
+
+    /// Random waypoint with the paper's speed range and radio range in a
+    /// 1 km × 1 km area.
+    pub fn rwp(n_nodes: u32) -> Self {
+        ScenarioSpec::RandomWaypoint {
+            n_nodes,
+            area_side: 1_000.0,
+            speed_min: 2.7,
+            speed_max: 13.9,
+            range: 10.0,
+            pause_max: 10.0,
+        }
+    }
+
+    /// Replay of the trace file at `path`.
+    pub fn trace_path(path: impl Into<String>) -> Self {
+        ScenarioSpec::TraceReplay {
+            source: TraceSource::Path(path.into()),
+        }
+    }
+
+    /// Replay of an already-parsed trace.
+    pub fn trace(trace: Arc<ContactTrace>) -> Self {
+        let fingerprint = trace_fingerprint(&trace);
+        ScenarioSpec::TraceReplay {
+            source: TraceSource::Inline { trace, fingerprint },
+        }
+    }
+
+    /// Parses a CLI scenario argument: `paper`, `rwp` (alias
+    /// `random-waypoint`), or `trace:<path>`.
+    pub fn parse(s: &str, n_nodes: u32) -> Result<Self, String> {
+        match s {
+            "paper" => Ok(ScenarioSpec::paper(n_nodes)),
+            "rwp" | "random-waypoint" => Ok(ScenarioSpec::rwp(n_nodes)),
+            _ => match s.split_once(':') {
+                Some(("trace", path)) if !path.is_empty() => Ok(ScenarioSpec::trace_path(path)),
+                _ => Err(format!(
+                    "unknown scenario `{s}` (expected paper, rwp, or trace:<path>)"
+                )),
+            },
+        }
+    }
+
+    /// The node count declared by the spec, or `None` for trace replay
+    /// (known only after loading).
+    pub fn declared_nodes(&self) -> Option<u32> {
+        match *self {
+            ScenarioSpec::PaperBusCity { n_nodes }
+            | ScenarioSpec::RandomWaypoint { n_nodes, .. } => Some(n_nodes),
+            ScenarioSpec::TraceReplay { .. } => None,
+        }
+    }
+
+    /// The horizon the spec runs at when no override is given: the paper's
+    /// duration for generated scenarios, `None` (= the recording's native
+    /// horizon) for trace replay.
+    pub fn default_duration(&self) -> Option<f64> {
+        match self {
+            ScenarioSpec::TraceReplay { .. } => None,
+            _ => Some(Self::DEFAULT_DURATION),
+        }
+    }
+
+    /// Canonical, injective encoding of the spec for cache keys. Floats are
+    /// encoded by bit pattern; inline traces by a content fingerprint, so
+    /// equal trace contents share a cache entry.
+    pub fn cache_key(&self) -> String {
+        match self {
+            ScenarioSpec::PaperBusCity { n_nodes } => format!("paper:n={n_nodes}"),
+            ScenarioSpec::RandomWaypoint {
+                n_nodes,
+                area_side,
+                speed_min,
+                speed_max,
+                range,
+                pause_max,
+            } => format!(
+                "rwp:n={n_nodes}:a={:016x}:v={:016x}-{:016x}:r={:016x}:p={:016x}",
+                area_side.to_bits(),
+                speed_min.to_bits(),
+                speed_max.to_bits(),
+                range.to_bits(),
+                pause_max.to_bits()
+            ),
+            ScenarioSpec::TraceReplay { source } => match source {
+                TraceSource::Path(p) => format!("trace:path={p}"),
+                TraceSource::Inline { fingerprint, .. } => {
+                    format!("trace:inline={fingerprint:016x}")
+                }
+            },
+        }
+    }
+
+    /// Builds the scenario deterministically.
+    ///
+    /// `duration` of `None` means the spec's default horizon. Trace replay
+    /// always runs at the recording's native horizon and rejects a
+    /// conflicting override. Replayed traces carry no community ground
+    /// truth; their `communities` come back all-zero — callers that need
+    /// real structure run online detection on the trace.
+    pub fn build(&self, seed: u64, duration: Option<f64>) -> Result<Scenario, String> {
+        match self {
+            ScenarioSpec::PaperBusCity { n_nodes } => {
+                let cfg = ScenarioConfig {
+                    duration: duration.unwrap_or(Self::DEFAULT_DURATION),
+                    ..ScenarioConfig::paper(*n_nodes)
+                };
+                Ok(cfg.build(seed))
+            }
+            ScenarioSpec::RandomWaypoint {
+                n_nodes,
+                area_side,
+                speed_min,
+                speed_max,
+                range,
+                pause_max,
+            } => {
+                let dur = duration.unwrap_or(Self::DEFAULT_DURATION);
+                let cfg = RwpConfig {
+                    area: Rect::new(Point::new(0.0, 0.0), Point::new(*area_side, *area_side)),
+                    speed_min: *speed_min,
+                    speed_max: *speed_max,
+                    pause_max: *pause_max,
+                };
+                let trajectories: Vec<_> = (0..*n_nodes)
+                    .map(|k| {
+                        let mut rng = SmallRng::seed_from_u64(
+                            (seed ^ 0x7277_705f_u64)
+                                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                                .wrapping_add(u64::from(k)),
+                        );
+                        cfg.trajectory(dur, &mut rng)
+                    })
+                    .collect();
+                let trace = generate_trace(
+                    &trajectories,
+                    dur,
+                    ContactGenConfig {
+                        range: *range,
+                        ..ContactGenConfig::default()
+                    },
+                );
+                Ok(Scenario {
+                    trace,
+                    communities: vec![0; *n_nodes as usize],
+                    n_communities: 1,
+                    graph: RoadGraphBuilder::new().build(),
+                    trajectories,
+                })
+            }
+            ScenarioSpec::TraceReplay { source } => {
+                let trace = match source {
+                    TraceSource::Path(path) => {
+                        let text = std::fs::read_to_string(path)
+                            .map_err(|e| format!("cannot read {path}: {e}"))?;
+                        ContactTrace::from_text(&text)
+                            .map_err(|e| format!("cannot parse {path}: {e}"))?
+                    }
+                    TraceSource::Inline { trace, .. } => trace.as_ref().clone(),
+                };
+                if let Some(d) = duration {
+                    if (d - trace.duration).abs() > 1e-9 {
+                        return Err(format!(
+                            "duration override {d} conflicts with the trace's recorded \
+                             horizon {}; trace replay runs at its native duration",
+                            trace.duration
+                        ));
+                    }
+                }
+                let n = trace.n_nodes;
+                Ok(Scenario {
+                    trace,
+                    communities: vec![0; n as usize],
+                    n_communities: 1,
+                    graph: RoadGraphBuilder::new().build(),
+                    trajectories: Vec::new(),
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioSpec::PaperBusCity { n_nodes } => write!(f, "paper(n={n_nodes})"),
+            ScenarioSpec::RandomWaypoint { n_nodes, .. } => write!(f, "rwp(n={n_nodes})"),
+            ScenarioSpec::TraceReplay { source } => match source {
+                TraceSource::Path(p) => write!(f, "trace({p})"),
+                TraceSource::Inline { trace, .. } => {
+                    write!(f, "trace(inline, n={})", trace.n_nodes)
+                }
+            },
+        }
+    }
+}
+
+/// A message workload laid over a scenario, decoupled from mobility: any
+/// workload composes with any [`ScenarioSpec`].
+#[derive(Clone, Debug, Default)]
+pub enum WorkloadSpec {
+    /// The paper's uniform traffic: one message per uniform 25–35 s
+    /// interval, uniformly random distinct endpoints.
+    #[default]
+    PaperUniform,
+    /// Skewed endpoints: with probability `bias` the source is one of the
+    /// first `hot_nodes` nodes and, independently, the destination one of
+    /// the last `hot_nodes` nodes; otherwise uniform. Creation timing
+    /// follows the paper's intervals.
+    Hotspot {
+        /// Size of the hot source set (and of the sink set).
+        hot_nodes: u32,
+        /// Probability a message uses the hot set on each side.
+        bias: f64,
+    },
+    /// On/off traffic: bursts of `on_secs` with one message per ~`interval`
+    /// seconds, separated by silent gaps of `off_secs`.
+    Bursty {
+        /// Length of each active burst in seconds.
+        on_secs: f64,
+        /// Length of each silent gap in seconds.
+        off_secs: f64,
+        /// Mean message spacing inside a burst (uniform 0.5–1.5×).
+        interval: f64,
+    },
+}
+
+impl WorkloadSpec {
+    /// The default hotspot skew: 4 hot nodes, 80 % bias.
+    pub fn hotspot() -> Self {
+        WorkloadSpec::Hotspot {
+            hot_nodes: 4,
+            bias: 0.8,
+        }
+    }
+
+    /// The default bursty pattern: 300 s bursts every 1 000 s, one message
+    /// per ~10 s inside a burst.
+    pub fn bursty() -> Self {
+        WorkloadSpec::Bursty {
+            on_secs: 300.0,
+            off_secs: 700.0,
+            interval: 10.0,
+        }
+    }
+
+    /// Parses a CLI workload argument: `paper` (alias `uniform`),
+    /// `hotspot[:<hot_nodes>]`, or `bursty[:<on_secs>:<off_secs>]`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or("");
+        let rest: Vec<&str> = parts.collect();
+        let bad = || {
+            format!(
+                "unknown workload `{s}` (expected paper, hotspot[:<k>], or bursty[:<on>:<off>])"
+            )
+        };
+        match (head, rest.as_slice()) {
+            ("paper" | "uniform", []) => Ok(WorkloadSpec::PaperUniform),
+            ("hotspot", []) => Ok(WorkloadSpec::hotspot()),
+            ("hotspot", [k]) => {
+                let hot_nodes: u32 = k.parse().map_err(|e| format!("hotspot size: {e}"))?;
+                if hot_nodes == 0 {
+                    return Err("hotspot size must be at least 1".into());
+                }
+                Ok(WorkloadSpec::Hotspot {
+                    hot_nodes,
+                    bias: 0.8,
+                })
+            }
+            ("bursty", []) => Ok(WorkloadSpec::bursty()),
+            ("bursty", [on, off]) => {
+                let on_secs: f64 = on.parse().map_err(|e| format!("bursty on: {e}"))?;
+                let off_secs: f64 = off.parse().map_err(|e| format!("bursty off: {e}"))?;
+                if !on_secs.is_finite() || on_secs <= 0.0 || !off_secs.is_finite() || off_secs < 0.0
+                {
+                    return Err(format!(
+                        "bursty needs on > 0 and off >= 0, got on={on_secs} off={off_secs}"
+                    ));
+                }
+                Ok(WorkloadSpec::Bursty {
+                    on_secs,
+                    off_secs,
+                    interval: 10.0,
+                })
+            }
+            _ => Err(bad()),
+        }
+    }
+
+    /// Canonical, injective encoding for cache keys.
+    pub fn cache_key(&self) -> String {
+        match self {
+            WorkloadSpec::PaperUniform => "paper".into(),
+            WorkloadSpec::Hotspot { hot_nodes, bias } => {
+                format!("hotspot:k={hot_nodes}:b={:016x}", bias.to_bits())
+            }
+            WorkloadSpec::Bursty {
+                on_secs,
+                off_secs,
+                interval,
+            } => format!(
+                "bursty:on={:016x}:off={:016x}:iv={:016x}",
+                on_secs.to_bits(),
+                off_secs.to_bits(),
+                interval.to_bits()
+            ),
+        }
+    }
+
+    /// Generates the deterministic workload for `n_nodes` nodes over
+    /// `duration` seconds from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `n_nodes < 2` or the variant's parameters are not sane.
+    pub fn generate(&self, n_nodes: u32, duration: f64, seed: u64) -> Vec<MessageSpec> {
+        assert!(n_nodes >= 2, "a workload needs at least two nodes");
+        match self {
+            WorkloadSpec::PaperUniform => TrafficConfig::paper(duration).generate(n_nodes, seed),
+            WorkloadSpec::Hotspot { hot_nodes, bias } => {
+                assert!((0.0..=1.0).contains(bias), "hotspot bias must be in [0, 1]");
+                let hot = (*hot_nodes).clamp(1, n_nodes);
+                let base = TrafficConfig::paper(duration);
+                let mut rng = SmallRng::seed_from_u64(seed ^ 0x0068_6f74_7370_6f74_u64);
+                let mut out = Vec::new();
+                let mut t = rng.gen_range(base.interval_min..=base.interval_max);
+                while t < duration {
+                    let src = if rng.gen::<f64>() < *bias {
+                        NodeId(rng.gen_range(0..hot))
+                    } else {
+                        NodeId(rng.gen_range(0..n_nodes))
+                    };
+                    let mut dst = src;
+                    while dst == src {
+                        dst = if rng.gen::<f64>() < *bias {
+                            NodeId(n_nodes - 1 - rng.gen_range(0..hot))
+                        } else {
+                            NodeId(rng.gen_range(0..n_nodes))
+                        };
+                    }
+                    out.push(MessageSpec {
+                        create_at: SimTime::secs(t),
+                        src,
+                        dst,
+                        size: base.msg_size,
+                        ttl: base.ttl,
+                    });
+                    t += rng.gen_range(base.interval_min..=base.interval_max);
+                }
+                out
+            }
+            WorkloadSpec::Bursty {
+                on_secs,
+                off_secs,
+                interval,
+            } => {
+                assert!(
+                    *on_secs > 0.0 && *off_secs >= 0.0 && *interval > 0.0,
+                    "bursty workload needs positive on length and interval"
+                );
+                let base = TrafficConfig::paper(duration);
+                let mut rng = SmallRng::seed_from_u64(seed ^ 0x6275_7273_7479_u64);
+                let mut out = Vec::new();
+                let cycle = on_secs + off_secs;
+                let mut t = rng.gen_range(0.5 * interval..=1.5 * interval);
+                while t < duration {
+                    // Skip ahead if `t` landed in the silent part of a cycle.
+                    let phase = t % cycle;
+                    if phase >= *on_secs {
+                        t += cycle - phase + rng.gen_range(0.5 * interval..=1.5 * interval);
+                        continue;
+                    }
+                    let src = NodeId(rng.gen_range(0..n_nodes));
+                    let mut dst = NodeId(rng.gen_range(0..n_nodes));
+                    while dst == src {
+                        dst = NodeId(rng.gen_range(0..n_nodes));
+                    }
+                    out.push(MessageSpec {
+                        create_at: SimTime::secs(t),
+                        src,
+                        dst,
+                        size: base.msg_size,
+                        ttl: base.ttl,
+                    });
+                    t += rng.gen_range(0.5 * interval..=1.5 * interval);
+                }
+                out
+            }
+        }
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadSpec::PaperUniform => write!(f, "paper"),
+            WorkloadSpec::Hotspot { hot_nodes, bias } => {
+                write!(f, "hotspot(k={hot_nodes}, bias={bias})")
+            }
+            WorkloadSpec::Bursty {
+                on_secs, off_secs, ..
+            } => write!(f, "bursty({on_secs}s on / {off_secs}s off)"),
+        }
+    }
+}
+
+/// FNV-1a content fingerprint of a trace, so equal inline traces share one
+/// cache identity. Stable across processes (unlike `DefaultHasher`).
+fn trace_fingerprint(t: &ContactTrace) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(u64::from(t.n_nodes));
+    mix(t.duration.to_bits());
+    for c in &t.contacts {
+        mix(u64::from(c.pair.a.0));
+        mix(u64::from(c.pair.b.0));
+        mix(c.start.as_secs().to_bits());
+        mix(c.end.as_secs().to_bits());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::Contact;
+
+    fn tiny_trace() -> ContactTrace {
+        ContactTrace::new(
+            4,
+            200.0,
+            vec![
+                Contact::new(0, 1, 10.0, 40.0),
+                Contact::new(2, 3, 20.0, 60.0),
+                Contact::new(1, 2, 80.0, 120.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn parse_scenarios() {
+        assert!(matches!(
+            ScenarioSpec::parse("paper", 40),
+            Ok(ScenarioSpec::PaperBusCity { n_nodes: 40 })
+        ));
+        assert!(matches!(
+            ScenarioSpec::parse("rwp", 20),
+            Ok(ScenarioSpec::RandomWaypoint { n_nodes: 20, .. })
+        ));
+        match ScenarioSpec::parse("trace:foo.trace", 0) {
+            Ok(ScenarioSpec::TraceReplay {
+                source: TraceSource::Path(p),
+            }) => assert_eq!(p, "foo.trace"),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(ScenarioSpec::parse("bogus", 8).is_err());
+        assert!(ScenarioSpec::parse("trace:", 8).is_err());
+    }
+
+    #[test]
+    fn parse_workloads() {
+        assert!(matches!(
+            WorkloadSpec::parse("paper"),
+            Ok(WorkloadSpec::PaperUniform)
+        ));
+        assert!(matches!(
+            WorkloadSpec::parse("hotspot:6"),
+            Ok(WorkloadSpec::Hotspot { hot_nodes: 6, .. })
+        ));
+        assert!(matches!(
+            WorkloadSpec::parse("bursty:100:400"),
+            Ok(WorkloadSpec::Bursty { .. })
+        ));
+        assert!(WorkloadSpec::parse("nope").is_err());
+        assert!(WorkloadSpec::parse("hotspot:x").is_err());
+        // Parameter ranges are enforced at parse time, not deep inside a
+        // sweep worker via generate()'s asserts.
+        assert!(WorkloadSpec::parse("hotspot:0").is_err());
+        assert!(WorkloadSpec::parse("bursty:0:500").is_err());
+        assert!(WorkloadSpec::parse("bursty:-100:200").is_err());
+        assert!(WorkloadSpec::parse("bursty:100:-1").is_err());
+    }
+
+    #[test]
+    fn cache_keys_are_distinct_across_specs() {
+        let keys = [
+            ScenarioSpec::paper(8).cache_key(),
+            ScenarioSpec::rwp(8).cache_key(),
+            ScenarioSpec::trace(Arc::new(tiny_trace())).cache_key(),
+            ScenarioSpec::trace_path("a.trace").cache_key(),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Equal inline contents share an identity; different contents don't.
+        let same = ScenarioSpec::trace(Arc::new(tiny_trace())).cache_key();
+        assert_eq!(keys[2], same);
+        let other = ContactTrace::new(4, 200.0, vec![Contact::new(0, 1, 10.0, 40.0)]);
+        assert_ne!(keys[2], ScenarioSpec::trace(Arc::new(other)).cache_key());
+    }
+
+    #[test]
+    fn rwp_builds_deterministically() {
+        let spec = ScenarioSpec::rwp(10);
+        let a = spec.build(3, Some(600.0)).unwrap();
+        let b = spec.build(3, Some(600.0)).unwrap();
+        assert_eq!(a.trace.n_nodes, 10);
+        assert_eq!(a.trace.contacts, b.trace.contacts);
+        assert!(a.trace.validate().is_ok());
+        assert_eq!(a.n_communities, 1);
+        let c = spec.build(4, Some(600.0)).unwrap();
+        assert_ne!(a.trace.contacts, c.trace.contacts);
+        assert!(
+            !a.trace.contacts.is_empty(),
+            "10 RWP nodes in 1 km² must meet within 600 s"
+        );
+    }
+
+    #[test]
+    fn trace_replay_keeps_native_horizon() {
+        let spec = ScenarioSpec::trace(Arc::new(tiny_trace()));
+        let s = spec.build(1, None).unwrap();
+        assert_eq!(s.trace.duration, 200.0);
+        assert_eq!(s.communities.len(), 4);
+        assert!(spec.build(1, Some(500.0)).is_err());
+        assert!(spec.build(1, Some(200.0)).is_ok());
+    }
+
+    #[test]
+    fn trace_replay_missing_file_is_an_error() {
+        let spec = ScenarioSpec::trace_path("/nonexistent/never.trace");
+        assert!(spec.build(1, None).is_err());
+    }
+
+    #[test]
+    fn hotspot_workload_skews_endpoints() {
+        let w = WorkloadSpec::Hotspot {
+            hot_nodes: 2,
+            bias: 0.9,
+        };
+        let msgs = w.generate(20, 10_000.0, 5);
+        assert!(!msgs.is_empty());
+        let hot_src = msgs.iter().filter(|m| m.src.0 < 2).count();
+        let hot_dst = msgs.iter().filter(|m| m.dst.0 >= 18).count();
+        // 90 % bias on each side; uniform would give 10 %.
+        assert!(
+            hot_src * 2 > msgs.len(),
+            "src skew too weak: {hot_src}/{}",
+            msgs.len()
+        );
+        assert!(
+            hot_dst * 2 > msgs.len(),
+            "dst skew too weak: {hot_dst}/{}",
+            msgs.len()
+        );
+        assert!(msgs.iter().all(|m| m.src != m.dst));
+        assert_eq!(msgs, w.generate(20, 10_000.0, 5));
+    }
+
+    #[test]
+    fn bursty_workload_has_silent_gaps() {
+        let w = WorkloadSpec::Bursty {
+            on_secs: 100.0,
+            off_secs: 400.0,
+            interval: 5.0,
+        };
+        let msgs = w.generate(10, 5_000.0, 2);
+        assert!(!msgs.is_empty());
+        for m in &msgs {
+            let phase = m.create_at.as_secs() % 500.0;
+            assert!(
+                phase < 100.0 + 1e-9,
+                "message in silent window at phase {phase}"
+            );
+        }
+        assert_eq!(msgs, w.generate(10, 5_000.0, 2));
+    }
+
+    #[test]
+    fn workloads_stay_in_bounds() {
+        for w in [
+            WorkloadSpec::PaperUniform,
+            WorkloadSpec::hotspot(),
+            WorkloadSpec::bursty(),
+        ] {
+            let msgs = w.generate(8, 2_000.0, 1);
+            assert!(!msgs.is_empty(), "{w} generated nothing");
+            for m in &msgs {
+                assert!(m.create_at.as_secs() < 2_000.0);
+                assert!(m.src.0 < 8 && m.dst.0 < 8);
+                assert_ne!(m.src, m.dst);
+            }
+        }
+    }
+}

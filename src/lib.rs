@@ -48,7 +48,8 @@ pub mod prelude {
     };
     pub use dtn_mobility::scenario::{Scenario, ScenarioConfig};
     pub use dtn_mobility::{
-        BusConfig, ContactGenConfig, MapConfig, Point, RoadGraph, RwpConfig, Trajectory,
+        BusConfig, ContactGenConfig, MapConfig, Point, RoadGraph, RwpConfig, ScenarioSpec,
+        Trajectory, WorkloadSpec,
     };
     pub use dtn_routing::{
         DirectDelivery, Ebr, Epidemic, FirstContact, MaxProp, Prophet, SprayAndFocus, SprayAndWait,
