@@ -5,7 +5,7 @@
 //! binaries; these benches use a 1 500 s horizon at N = 40 to stay fast.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dtn_bench::{BuiltScenario, Protocol, ProtocolKind};
+use dtn_bench::{BuiltScenario, ProtocolKind, ProtocolSpec};
 use dtn_sim::{SimConfig, Simulation};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -14,12 +14,16 @@ fn scaled() -> BuiltScenario {
     BuiltScenario::build_scaled(40, 1, 1500.0)
 }
 
-fn run(ps: &BuiltScenario, proto: &Protocol) -> u64 {
+fn run(
+    ps: &BuiltScenario,
+    proto: &ProtocolSpec,
+    communities: Option<&Arc<ce_core::CommunityMap>>,
+) -> u64 {
     let stats = Simulation::new(
         &ps.scenario.trace,
         ps.workload.as_ref().clone(),
         SimConfig::paper(ps.seed),
-        |id, n| proto.make_router(id, n),
+        |id, n| proto.make_router(id, n, communities),
     )
     .run();
     stats.delivered
@@ -31,8 +35,10 @@ fn fig2_comparison(c: &mut Criterion) {
     let communities = Arc::new(ce_core::CommunityMap::new(ps.scenario.communities.clone()));
     let mut g = c.benchmark_group("fig2_comparison_scaled");
     for kind in ProtocolKind::FIG2 {
-        let proto = Protocol::new(kind).with_communities(Arc::clone(&communities));
-        g.bench_function(kind.name(), |b| b.iter(|| black_box(run(&ps, &proto))));
+        let proto = ProtocolSpec::paper(kind);
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(run(&ps, &proto, Some(&communities))))
+        });
     }
     g.finish();
 }
@@ -42,9 +48,9 @@ fn fig3_eer_lambda(c: &mut Criterion) {
     let ps = scaled();
     let mut g = c.benchmark_group("fig3_eer_lambda_scaled");
     for lambda in [6u32, 8, 10, 12] {
-        let proto = Protocol::new(ProtocolKind::Eer).with_lambda(lambda);
+        let proto = ProtocolSpec::paper(ProtocolKind::Eer).with_lambda(lambda);
         g.bench_function(format!("lambda_{lambda}"), |b| {
-            b.iter(|| black_box(run(&ps, &proto)))
+            b.iter(|| black_box(run(&ps, &proto, None)))
         });
     }
     g.finish();
@@ -56,11 +62,9 @@ fn fig4_cr_lambda(c: &mut Criterion) {
     let communities = Arc::new(ce_core::CommunityMap::new(ps.scenario.communities.clone()));
     let mut g = c.benchmark_group("fig4_cr_lambda_scaled");
     for lambda in [6u32, 8, 10, 12] {
-        let proto = Protocol::new(ProtocolKind::Cr)
-            .with_lambda(lambda)
-            .with_communities(Arc::clone(&communities));
+        let proto = ProtocolSpec::paper(ProtocolKind::Cr).with_lambda(lambda);
         g.bench_function(format!("lambda_{lambda}"), |b| {
-            b.iter(|| black_box(run(&ps, &proto)))
+            b.iter(|| black_box(run(&ps, &proto, Some(&communities))))
         });
     }
     g.finish();

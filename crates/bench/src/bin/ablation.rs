@@ -1,8 +1,13 @@
-//! Ablation studies for the design choices DESIGN.md calls out.
+//! Ablation studies for the design choices DESIGN.md calls out — every named
+//! ablation is *data*: a grid of `(label, protocol-spec)` pairs in the same
+//! `--protocol` grammar the binaries accept, swept through the shared
+//! runner. There are no per-ablation protocol branches; adding an ablation
+//! is adding rows to [`ABLATIONS`].
 //!
 //! ```text
 //! cargo run -p dtn-bench --release --bin ablation -- <which> [--seeds K] [--nodes a,b,c] \
-//!     [--scenario paper|rwp|trace:<path>] [--workload paper|hotspot|bursty]
+//!     [--scenario paper|rwp|trace:<path>] [--workload paper|hotspot|bursty] \
+//!     [--duration SECS]
 //! ```
 //!
 //! `<which>` ∈:
@@ -20,18 +25,109 @@
 //!   squeezed (256 KB) buffers, the paper's future-work item 1;
 //! * `adaptive-lambda` — fixed vs EEV-adaptive quota, future-work item 3;
 //! * `detected-communities` — CR on ground-truth vs online-detected
-//!   communities, future-work item 2.
+//!   communities, future-work item 2 (the one ablation whose axis is the
+//!   community *source*, not a protocol parameter);
+//! * `grid <spec>...` — an ad-hoc ablation: any protocol specs given on the
+//!   command line run side-by-side as series, e.g.
+//!   `ablation grid eer:lambda=4 eer:lambda=16 prophet:beta=0.25`.
 
-use ce_core::{EerConfig, EmdMode};
 use dtn_bench::report::{write_csv, CommonArgs};
-use dtn_bench::{run_matrix, Protocol, ProtocolKind, RunSpec, Series, SweepConfig};
+use dtn_bench::{run_matrix, ProtocolKind, ProtocolSpec, RunSpec, Series, SweepConfig};
 use dtn_sim::MetricPoint;
 use std::path::Path;
+
+/// One named, data-driven ablation: a title and a grid of
+/// `(series label, protocol spec)` pairs in the CLI grammar.
+struct Ablation {
+    name: &'static str,
+    title: &'static str,
+    grid: &'static [(&'static str, &'static str)],
+}
+
+/// Every named ablation as a `ProtocolSpec` grid. The spec strings are the
+/// single source of truth; `ablation_grids_parse` (tests) guards them.
+const ABLATIONS: &[Ablation] = &[
+    Ablation {
+        name: "alpha",
+        title: "EER sensitivity to alpha",
+        grid: &[
+            ("alpha = 0.1", "eer:alpha=0.1"),
+            ("alpha = 0.28", "eer:alpha=0.28"),
+            ("alpha = 0.5", "eer:alpha=0.5"),
+            ("alpha = 0.75", "eer:alpha=0.75"),
+            ("alpha = 1", "eer:alpha=1"),
+        ],
+    },
+    Ablation {
+        name: "ttl-aware",
+        title: "TTL-aware expected EV (EER) vs rate EV (EBR)",
+        grid: &[("EER (EEV(t, a*TTL))", "eer"), ("EBR (rate EV)", "ebr")],
+    },
+    Ablation {
+        name: "emd",
+        title: "Theorem-2 EMD vs mean intervals; forwarding hysteresis",
+        grid: &[
+            ("T2 + hysteresis (default)", "eer"),
+            ("T2, no hysteresis (paper-literal)", "eer:hysteresis=0"),
+            ("mean intervals (MEED-style)", "eer:emd=mean"),
+        ],
+    },
+    Ablation {
+        name: "window",
+        title: "history sliding-window length",
+        grid: &[
+            ("window = 4", "eer:window=4"),
+            ("window = 8", "eer:window=8"),
+            ("window = 16", "eer:window=16"),
+            ("window = 32", "eer:window=32"),
+            ("window = 64", "eer:window=64"),
+        ],
+    },
+    Ablation {
+        name: "cr-state",
+        title: "routing-state gossip overhead: EER (full MI) vs CR (intra-community MI)",
+        grid: &[("EER", "eer"), ("CR", "cr")],
+    },
+    Ablation {
+        name: "buffer-policy",
+        title: "buffer management under pressure (256 KB buffers): drop-oldest vs \
+                least-remaining-value (future-work extension)",
+        grid: &[
+            ("EER drop-oldest", "eer:buffer=262144"),
+            ("EER least-remaining-value", "eer:policy=lrv,buffer=262144"),
+            ("Epidemic (reference)", "epidemic:buffer=262144"),
+        ],
+    },
+    Ablation {
+        name: "adaptive-lambda",
+        title: "fixed quota vs EEV-adaptive quota (future-work extension)",
+        grid: &[
+            ("EER lambda = 10 (fixed)", "eer"),
+            ("EER lambda = EEV clamp [4, 16]", "eer:adaptive=4..16"),
+        ],
+    },
+    Ablation {
+        name: "lambda-one",
+        title: "quota protocols at lambda = 1 (single copy)",
+        grid: &[
+            ("EER", "eer:lambda=1"),
+            ("CR", "cr:lambda=1"),
+            ("SprayAndWait", "spraywait:lambda=1"),
+            ("SprayAndFocus", "sprayfocus:lambda=1"),
+        ],
+    },
+];
+
+const USAGE: &str = "usage: ablation <alpha|ttl-aware|emd|window|cr-state|lambda-one|\
+                     buffer-policy|adaptive-lambda|detected-communities|grid <spec>...> \
+                     [--seeds K] [--nodes a,b,c] [--scenario paper|rwp|trace:<path>] \
+                     [--workload paper|hotspot|bursty] [--duration SECS]";
 
 /// CR with ground-truth districts vs. CR with communities learned online by
 /// the distributed SIMPLE detector (the paper's future-work item 2). Both
 /// variants run through the shared runner as a plain sweep matrix — only the
-/// [`CommunitySource`] differs.
+/// `CommunitySource` differs, so this stays a bespoke mode rather than a
+/// protocol-spec grid.
 fn detected_communities(argv: Vec<String>) {
     use ce_core::{pairwise_agreement, CommunityMap};
     use dtn_bench::{run_matrix_with, CommunitySource, ScenarioCache};
@@ -54,15 +150,17 @@ fn detected_communities(argv: Vec<String>) {
     let mut specs = Vec::new();
     for (label, source) in &variants {
         for &n in &args.node_counts {
-            specs.push(
-                RunSpec::on(
-                    *label,
-                    args.scenario_for(n),
-                    Protocol::new(ProtocolKind::Cr),
-                )
-                .with_workload(args.workload.clone())
-                .with_communities(source.clone()),
-            );
+            let mut spec = RunSpec::on(
+                *label,
+                args.scenario_for(n),
+                ProtocolSpec::paper(ProtocolKind::Cr),
+            )
+            .with_workload(args.workload.clone())
+            .with_communities(source.clone());
+            if let Some(d) = args.duration {
+                spec = spec.with_duration(d);
+            }
+            specs.push(spec);
         }
     }
     let cfg = SweepConfig {
@@ -79,7 +177,8 @@ fn detected_communities(argv: Vec<String>) {
         .map(|&n| {
             (1..=u64::from(args.seeds))
                 .map(|seed| {
-                    let ps = cache.get_spec(&args.scenario_for(n), &args.workload, seed, None);
+                    let ps =
+                        cache.get_spec(&args.scenario_for(n), &args.workload, seed, args.duration);
                     let truth = CommunityMap::new(ps.scenario.communities.clone());
                     pairwise_agreement(&truth, &cache.detected_communities(&ps))
                 })
@@ -120,17 +219,53 @@ fn detected_communities(argv: Vec<String>) {
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
-        eprintln!(
-            "usage: ablation <alpha|ttl-aware|emd|window|cr-state|lambda-one|buffer-policy|\
-             adaptive-lambda|detected-communities> [--seeds K] [--nodes a,b,c] \
-             [--scenario paper|rwp|trace:<path>] [--workload paper|hotspot|bursty]"
-        );
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
     let which = argv.remove(0);
     if which == "detected-communities" {
         return detected_communities(argv);
     }
+
+    // Resolve the grid: a named ablation's data, or — for `grid` — the
+    // specs given on the command line (labelled by their canonical form).
+    let (title, grid): (String, Vec<(String, ProtocolSpec)>) = if which == "grid" {
+        let mut pairs = Vec::new();
+        while let Some(first) = argv.first() {
+            if first.starts_with("--") {
+                break;
+            }
+            let raw = argv.remove(0);
+            match ProtocolSpec::parse(&raw) {
+                Ok(spec) => pairs.push((format!("{spec}"), spec)),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if pairs.len() < 2 {
+            eprintln!("ablation grid needs at least two protocol specs to compare");
+            std::process::exit(2);
+        }
+        ("ad-hoc protocol grid".to_string(), pairs)
+    } else {
+        let Some(a) = ABLATIONS.iter().find(|a| a.name == which) else {
+            eprintln!("unknown ablation {which}\n{USAGE}");
+            std::process::exit(2);
+        };
+        let pairs = a
+            .grid
+            .iter()
+            .map(|(label, spec)| {
+                let spec = ProtocolSpec::parse(spec)
+                    .unwrap_or_else(|e| panic!("invalid builtin grid entry `{spec}`: {e}"));
+                (label.to_string(), spec)
+            })
+            .collect();
+        (a.title.to_string(), pairs)
+    };
+
     let mut args = match CommonArgs::parse(argv.into_iter()) {
         Ok(a) => a,
         Err(e) => {
@@ -143,142 +278,15 @@ fn main() {
         args.node_counts = vec![80, 160];
     }
 
-    let (title, variants): (&str, Vec<(String, Protocol)>) = match which.as_str() {
-        "alpha" => (
-            "EER sensitivity to alpha",
-            [0.1, 0.28, 0.5, 0.75, 1.0]
-                .iter()
-                .map(|&a| {
-                    (
-                        format!("alpha = {a}"),
-                        Protocol::new(ProtocolKind::Eer).with_alpha(a),
-                    )
-                })
-                .collect(),
-        ),
-        "ttl-aware" => (
-            "TTL-aware expected EV (EER) vs rate EV (EBR)",
-            vec![
-                (
-                    "EER (EEV(t, a*TTL))".into(),
-                    Protocol::new(ProtocolKind::Eer),
-                ),
-                ("EBR (rate EV)".into(), Protocol::new(ProtocolKind::Ebr)),
-            ],
-        ),
-        "emd" => (
-            "Theorem-2 EMD vs mean intervals; forwarding hysteresis",
-            vec![
-                (
-                    "T2 + hysteresis (default)".into(),
-                    Protocol::new(ProtocolKind::Eer),
-                ),
-                (
-                    "T2, no hysteresis (paper-literal)".into(),
-                    Protocol::new(ProtocolKind::Eer).with_eer_config(EerConfig {
-                        forward_hysteresis: 0.0,
-                        ..EerConfig::default()
-                    }),
-                ),
-                (
-                    "mean intervals (MEED-style)".into(),
-                    Protocol::new(ProtocolKind::Eer).with_eer_config(EerConfig {
-                        emd_mode: EmdMode::MeanInterval,
-                        ..EerConfig::default()
-                    }),
-                ),
-            ],
-        ),
-        "window" => (
-            "history sliding-window length",
-            [4usize, 8, 16, 32, 64]
-                .iter()
-                .map(|&w| {
-                    (
-                        format!("window = {w}"),
-                        Protocol::new(ProtocolKind::Eer).with_window(w),
-                    )
-                })
-                .collect(),
-        ),
-        "cr-state" => (
-            "routing-state gossip overhead: EER (full MI) vs CR (intra-community MI)",
-            vec![
-                ("EER".into(), Protocol::new(ProtocolKind::Eer)),
-                ("CR".into(), Protocol::new(ProtocolKind::Cr)),
-            ],
-        ),
-        "buffer-policy" => (
-            "buffer management under pressure (256 KB buffers): drop-oldest vs \
-             least-remaining-value (future-work extension)",
-            vec![
-                (
-                    "EER drop-oldest".into(),
-                    Protocol::new(ProtocolKind::Eer).with_eer_config(EerConfig::default()),
-                ),
-                (
-                    "EER least-remaining-value".into(),
-                    Protocol::new(ProtocolKind::Eer).with_eer_config(EerConfig {
-                        buffer_policy: ce_core::BufferPolicy::LeastRemainingValue,
-                        ..EerConfig::default()
-                    }),
-                ),
-                (
-                    "Epidemic (reference)".into(),
-                    Protocol::new(ProtocolKind::Epidemic),
-                ),
-            ],
-        ),
-        "adaptive-lambda" => (
-            "fixed quota vs EEV-adaptive quota (future-work extension)",
-            vec![
-                (
-                    "EER lambda = 10 (fixed)".into(),
-                    Protocol::new(ProtocolKind::Eer),
-                ),
-                (
-                    "EER lambda = EEV clamp [4, 16]".into(),
-                    Protocol::new(ProtocolKind::Eer).with_eer_config(EerConfig {
-                        adaptive_lambda: Some((4, 16)),
-                        ..EerConfig::default()
-                    }),
-                ),
-            ],
-        ),
-        "lambda-one" => (
-            "quota protocols at lambda = 1 (single copy)",
-            vec![
-                (
-                    "EER".into(),
-                    Protocol::new(ProtocolKind::Eer).with_lambda(1),
-                ),
-                ("CR".into(), Protocol::new(ProtocolKind::Cr).with_lambda(1)),
-                (
-                    "SprayAndWait".into(),
-                    Protocol::new(ProtocolKind::SprayAndWait).with_lambda(1),
-                ),
-                (
-                    "SprayAndFocus".into(),
-                    Protocol::new(ProtocolKind::SprayAndFocus).with_lambda(1),
-                ),
-            ],
-        ),
-        other => {
-            eprintln!("unknown ablation {other}");
-            std::process::exit(2);
-        }
-    };
-
     let mut specs = Vec::new();
-    for (label, proto) in &variants {
+    for (label, proto) in &grid {
         for &n in &args.node_counts {
-            let spec = RunSpec::on(label.clone(), args.scenario_for(n), proto.clone())
+            let mut spec = RunSpec::on(label.clone(), args.scenario_for(n), proto.clone())
                 .with_workload(args.workload.clone());
-            specs.push(match which.as_str() {
-                // Buffer-policy runs squeeze the buffers so eviction happens.
-                "buffer-policy" => spec.with_buffer(256 * 1024),
-                _ => spec,
-            });
+            if let Some(d) = args.duration {
+                spec = spec.with_duration(d);
+            }
+            specs.push(spec);
         }
     }
     let cfg = SweepConfig {
@@ -287,7 +295,7 @@ fn main() {
     };
     eprintln!(
         "ablation {which}: {} variants x {:?} nodes x {} seeds",
-        variants.len(),
+        grid.len(),
         args.node_counts,
         args.seeds
     );
@@ -300,7 +308,7 @@ fn main() {
         "variant", "N", "deliv", "latency", "goodput", "relayed", "ctrl MB"
     );
     let mut series = Vec::new();
-    for (vi, (label, _)) in variants.iter().enumerate() {
+    for (vi, (label, _)) in grid.iter().enumerate() {
         let mut pts: Vec<(u32, MetricPoint)> = Vec::new();
         for (xi, &n) in args.node_counts.iter().enumerate() {
             let p = points[vi * per + xi];
@@ -319,5 +327,60 @@ fn main() {
     match write_csv(&csv, &series) {
         Ok(()) => eprintln!("\nwrote {}", csv.display()),
         Err(e) => eprintln!("\ncsv write failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_bench::ProtocolParams;
+
+    /// Every builtin grid entry must parse — the grids are data, so this is
+    /// the compile-time check the old hard-coded branches got for free.
+    #[test]
+    fn ablation_grids_parse() {
+        for a in ABLATIONS {
+            assert!(a.grid.len() >= 2, "{}: a grid needs >= 2 variants", a.name);
+            for (label, spec) in a.grid {
+                let parsed = ProtocolSpec::parse(spec)
+                    .unwrap_or_else(|e| panic!("{}: `{spec}` ({label}): {e}", a.name));
+                // Round-trip through the canonical form as an extra guard.
+                assert_eq!(
+                    ProtocolSpec::parse(&format!("{parsed}")).unwrap(),
+                    parsed,
+                    "{}: `{spec}` does not round-trip",
+                    a.name
+                );
+            }
+        }
+    }
+
+    /// The spec-driven grids reproduce the former hard-coded constants:
+    /// spot-check the entries that used to be Rust expressions.
+    #[test]
+    fn grids_match_former_constants() {
+        let find = |name: &str| ABLATIONS.iter().find(|a| a.name == name).unwrap();
+        // buffer-policy squeezed buffers to 256 KB via RunSpec::with_buffer.
+        for (_, spec) in find("buffer-policy").grid {
+            let s = ProtocolSpec::parse(spec).unwrap();
+            assert_eq!(s.buffer, Some(256 * 1024));
+        }
+        // adaptive-lambda's clamp range was (4, 16).
+        let s = ProtocolSpec::parse(find("adaptive-lambda").grid[1].1).unwrap();
+        match s.params {
+            ProtocolParams::Eer(c) => assert_eq!(c.adaptive_lambda, Some((4, 16))),
+            ref other => panic!("wrong params: {other:?}"),
+        }
+        // lambda-one degraded every quota protocol to a single copy.
+        for (_, spec) in find("lambda-one").grid {
+            let s = ProtocolSpec::parse(spec).unwrap();
+            match s.params {
+                ProtocolParams::Eer(c) => assert_eq!(c.lambda, 1),
+                ProtocolParams::Cr(c) => assert_eq!(c.lambda, 1),
+                ProtocolParams::SprayAndWait { lambda, .. } => assert_eq!(lambda, 1),
+                ProtocolParams::SprayAndFocus(c) => assert_eq!(c.lambda, 1),
+                ref other => panic!("unexpected family: {other:?}"),
+            }
+        }
     }
 }

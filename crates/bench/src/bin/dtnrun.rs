@@ -3,47 +3,52 @@
 //! percentiles, delivery-progress curve).
 //!
 //! See `dtnrun --help` (the [`USAGE`] string) for the flag reference.
-//! `--trace file.trace` is shorthand for `--scenario trace:file.trace`;
+//! `--protocol` takes the full spec grammar (`eer:lambda=8,ttl=3600`; see
+//! `dtn_bench::protocols`), so any tuning the registry knows is one flag
+//! away. `--trace file.trace` is shorthand for `--scenario trace:file.trace`;
 //! either way the contact process is loaded from the plain-text trace format
 //! (see `dtn_sim::trace`) instead of being generated — the path for
 //! replaying real-world contact datasets. Every run goes through the shared
-//! runner layer (`RunSpec → SimStats`).
+//! runner layer (`RunSpec → SimStats`), and the run header prints the
+//! *resolved* protocol spec so every log line is a reproducible command.
 
 use dtn_bench::{
-    run_on, BuiltScenario, Protocol, ProtocolKind, RunSpec, ScenarioCache, ScenarioSpec,
-    WorkloadSpec,
+    run_on, BuiltScenario, ProtocolSpec, RunSpec, ScenarioCache, ScenarioSpec, WorkloadSpec,
 };
 use dtn_sim::report::{delivery_progress, latencies, percentile};
 
 const USAGE: &str = "usage: dtnrun [flags]
 
-  --protocol NAME      protocol under test (default eer)
+  --protocol SPEC      protocol under test, with optional parameters
+                       (default eer); the grammar is
+                         name[:key=value[,key=value...]]
+                       e.g. eer:lambda=8,ttl=3600  prophet:beta=0.25
   --scenario FAMILY    paper | rwp | trace:<path>   (default paper)
   --workload KIND      paper | hotspot[:<k>] | bursty[:<on>:<off>]  (default paper)
   --nodes N            node count for generated scenarios (default 40)
   --seed S             mobility/traffic seed (default 1)
   --duration SECS      horizon override; invalid with trace replay
-  --lambda K           copy quota for quota protocols (default 10)
-  --alpha A            EER/CR horizon parameter (default 0.28)
+  --lambda K           copy quota shorthand (same as :lambda=K)
+  --alpha A            EER/CR horizon shorthand (same as :alpha=A)
   --trace PATH         shorthand for --scenario trace:PATH
   --buffer BYTES       per-node buffer capacity (default 1 MB)
   --progress-step SECS delivery-progress bucket (default 1000)
   --help, -h           print this help
 
 examples:
-  dtnrun --protocol eer --scenario rwp --nodes 40
+  dtnrun --protocol eer:lambda=8 --scenario rwp --nodes 40
   dtnrun --protocol cr --workload hotspot --duration 2000
-  dtnrun --protocol epidemic --scenario trace:contacts.trace";
+  dtnrun --protocol prophet:beta=0.25,gamma=0.99 --scenario trace:contacts.trace";
 
 struct Args {
-    protocol: ProtocolKind,
+    protocol: ProtocolSpec,
     scenario: Option<String>,
     workload: WorkloadSpec,
     nodes: u32,
     seed: u64,
     /// `None` = the scenario's default horizon; invalid with trace replay.
     duration: Option<f64>,
-    lambda: u32,
+    lambda: Option<u32>,
     alpha: Option<f64>,
     buffer: Option<u64>,
     progress_step: f64,
@@ -52,13 +57,13 @@ struct Args {
 /// `Ok(None)` means `--help` was requested.
 fn parse_args() -> Result<Option<Args>, String> {
     let mut out = Args {
-        protocol: ProtocolKind::Eer,
+        protocol: ProtocolSpec::parse("eer").expect("default spec"),
         scenario: None,
         workload: WorkloadSpec::PaperUniform,
         nodes: 40,
         seed: 1,
         duration: None,
-        lambda: 10,
+        lambda: None,
         alpha: None,
         buffer: None,
         progress_step: 1_000.0,
@@ -67,13 +72,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     while let Some(a) = it.next() {
         let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match a.as_str() {
-            "--protocol" => {
-                let v = val("--protocol")?;
-                out.protocol = ProtocolKind::parse(&v).ok_or(format!(
-                    "unknown protocol `{v}` (valid: {})",
-                    ProtocolKind::names()
-                ))?;
-            }
+            "--protocol" => out.protocol = ProtocolSpec::parse(&val("--protocol")?)?,
             "--scenario" => out.scenario = Some(val("--scenario")?),
             "--workload" => out.workload = WorkloadSpec::parse(&val("--workload")?)?,
             "--nodes" => out.nodes = val("--nodes")?.parse().map_err(|e| format!("{e}"))?,
@@ -81,7 +80,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--duration" => {
                 out.duration = Some(val("--duration")?.parse().map_err(|e| format!("{e}"))?)
             }
-            "--lambda" => out.lambda = val("--lambda")?.parse().map_err(|e| format!("{e}"))?,
+            "--lambda" => out.lambda = Some(val("--lambda")?.parse().map_err(|e| format!("{e}"))?),
             "--alpha" => out.alpha = Some(val("--alpha")?.parse().map_err(|e| format!("{e}"))?),
             "--trace" => out.scenario = Some(format!("trace:{}", val("--trace")?)),
             "--buffer" => out.buffer = Some(val("--buffer")?.parse().map_err(|e| format!("{e}"))?),
@@ -93,6 +92,22 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
+    }
+    // The shorthand flags fold into the spec *through the grammar*, so they
+    // get the same parse-time validation as `--protocol` (a zero quota or a
+    // quota on epidemic errors here, not deep in router construction), and
+    // they only apply when given, so `--protocol eer:lambda=8` is never
+    // silently reset to a default.
+    let fold = |spec: &ProtocolSpec, key: &str, value: String| -> Result<ProtocolSpec, String> {
+        let shown = spec.to_string();
+        let sep = if shown.contains(':') { ',' } else { ':' };
+        ProtocolSpec::parse(&format!("{shown}{sep}{key}={value}"))
+    };
+    if let Some(l) = out.lambda {
+        out.protocol = fold(&out.protocol, "lambda", l.to_string())?;
+    }
+    if let Some(a) = out.alpha {
+        out.protocol = fold(&out.protocol, "alpha", a.to_string())?;
     }
     Ok(Some(out))
 }
@@ -140,7 +155,8 @@ fn main() {
 
     let ts = ps.scenario.trace.stats();
     println!(
-        "scenario {scenario}, workload {}: {n} nodes, {:.0} s, {} contacts (mean duration {:.2} s), {} messages",
+        "protocol {}, scenario {scenario}, workload {}: {n} nodes, {:.0} s, {} contacts (mean duration {:.2} s), {} messages",
+        args.protocol,
         args.workload,
         duration,
         ts.contacts,
@@ -148,12 +164,8 @@ fn main() {
         ps.workload.len()
     );
 
-    let mut proto = Protocol::new(args.protocol).with_lambda(args.lambda);
-    if let Some(a) = args.alpha {
-        proto = proto.with_alpha(a);
-    }
-
-    let mut spec = RunSpec::on(args.protocol.name(), scenario, proto).with_workload(args.workload);
+    let mut spec = RunSpec::on(args.protocol.kind().name(), scenario, args.protocol.clone())
+        .with_workload(args.workload);
     if let Some(b) = args.buffer {
         spec = spec.with_buffer(b);
     }
@@ -162,7 +174,7 @@ fn main() {
     let stats = run_on(&ps, &spec, args.seed);
     let wall = t0.elapsed();
 
-    println!("\n=== {} ===", args.protocol.name());
+    println!("\n=== {} ===", args.protocol);
     println!("delivery ratio   {:.4}", stats.delivery_ratio());
     println!("latency (mean)   {:.1} s", stats.avg_latency());
     let lats = latencies(&stats, &created_at);

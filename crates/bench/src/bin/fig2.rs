@@ -7,7 +7,7 @@
 //! ```
 
 use dtn_bench::report::{print_series_table, settings_table, write_csv, CommonArgs};
-use dtn_bench::{run_matrix, Protocol, ProtocolKind, RunSpec, Series, SweepConfig};
+use dtn_bench::{run_matrix, ProtocolKind, ProtocolSpec, RunSpec, Series, SweepConfig};
 use std::path::Path;
 
 fn main() {
@@ -25,14 +25,16 @@ fn main() {
     let mut specs = Vec::new();
     for kind in ProtocolKind::FIG2 {
         for &n in &args.node_counts {
-            specs.push(
-                RunSpec::on(
-                    kind.name().to_string(),
-                    args.scenario_for(n),
-                    Protocol::new(kind).with_lambda(10),
-                )
-                .with_workload(args.workload.clone()),
-            );
+            let mut spec = RunSpec::on(
+                kind.name().to_string(),
+                args.scenario_for(n),
+                ProtocolSpec::paper(kind).with_lambda(10),
+            )
+            .with_workload(args.workload.clone());
+            if let Some(d) = args.duration {
+                spec = spec.with_duration(d);
+            }
+            specs.push(spec);
         }
     }
     let cfg = SweepConfig {

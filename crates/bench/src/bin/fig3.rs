@@ -6,7 +6,7 @@
 //! ```
 
 use dtn_bench::report::{print_series_table, settings_table, write_csv, CommonArgs};
-use dtn_bench::{run_matrix, Protocol, ProtocolKind, RunSpec, Series, SweepConfig};
+use dtn_bench::{run_matrix, ProtocolKind, ProtocolSpec, RunSpec, Series, SweepConfig};
 use std::path::Path;
 
 const LAMBDAS: [u32; 4] = [6, 8, 10, 12];
@@ -26,14 +26,16 @@ fn main() {
     let mut specs = Vec::new();
     for &lambda in &LAMBDAS {
         for &n in &args.node_counts {
-            specs.push(
-                RunSpec::on(
-                    format!("Lambda = {lambda}"),
-                    args.scenario_for(n),
-                    Protocol::new(ProtocolKind::Eer).with_lambda(lambda),
-                )
-                .with_workload(args.workload.clone()),
-            );
+            let mut spec = RunSpec::on(
+                format!("Lambda = {lambda}"),
+                args.scenario_for(n),
+                ProtocolSpec::paper(ProtocolKind::Eer).with_lambda(lambda),
+            )
+            .with_workload(args.workload.clone());
+            if let Some(d) = args.duration {
+                spec = spec.with_duration(d);
+            }
+            specs.push(spec);
         }
     }
     let cfg = SweepConfig {

@@ -15,11 +15,18 @@
 //!     [--trace <path>]
 //! ```
 //!
+//! `--protocols` takes full protocol specs in the `--protocol` grammar, so
+//! tuned variants of one protocol can race each other:
+//! `--protocols eer:lambda=4,eer:lambda=16,prophet:beta=0.25` (a comma
+//! starts a new spec when it is followed by a protocol name; `key=value`
+//! segments continue the previous spec). Unknown names list the registry.
+//!
 //! Defaults stay laptop-sized: 2 node counts × 2 seeds on a 2 000 s horizon.
 
 use dtn_bench::report::write_csv;
 use dtn_bench::{
-    run_matrix, Protocol, ProtocolKind, RunSpec, ScenarioSpec, Series, SweepConfig, WorkloadSpec,
+    run_matrix, ProtocolKind, ProtocolSpec, RunSpec, ScenarioSpec, Series, SweepConfig,
+    WorkloadSpec,
 };
 use std::path::Path;
 
@@ -27,9 +34,33 @@ struct Args {
     seeds: u32,
     node_counts: Vec<u32>,
     duration: f64,
-    protocols: Vec<ProtocolKind>,
+    protocols: Vec<ProtocolSpec>,
     workload: WorkloadSpec,
     trace: Option<String>,
+}
+
+/// Splits a `--protocols` list into individual spec strings. The separator
+/// is a comma, but a comma also separates `key=value` parameters *inside* a
+/// spec — so a segment continues the previous spec when it is a parameter
+/// (contains `=` with no `name:` prefix before it) and starts a new spec
+/// otherwise: `eer:lambda=4,ttl=600,cr` is two specs.
+fn split_spec_list(s: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for seg in s.split(',') {
+        let is_param = match (seg.find('='), seg.find(':')) {
+            (Some(eq), Some(colon)) => colon > eq,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        match out.last_mut() {
+            Some(prev) if is_param => {
+                prev.push(',');
+                prev.push_str(seg);
+            }
+            _ => out.push(seg.to_string()),
+        }
+    }
+    out
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -37,14 +68,17 @@ fn parse_args() -> Result<Option<Args>, String> {
         seeds: 2,
         node_counts: vec![40, 80],
         duration: 2_000.0,
-        protocols: vec![
+        protocols: [
             ProtocolKind::Eer,
             ProtocolKind::Cr,
             ProtocolKind::Ebr,
             ProtocolKind::SprayAndWait,
             ProtocolKind::Epidemic,
             ProtocolKind::Prophet,
-        ],
+        ]
+        .into_iter()
+        .map(ProtocolSpec::paper)
+        .collect(),
         workload: WorkloadSpec::PaperUniform,
         trace: None,
     };
@@ -63,14 +97,9 @@ fn parse_args() -> Result<Option<Args>, String> {
                 out.duration = val("--duration")?.parse().map_err(|e| format!("{e}"))?
             }
             "--protocols" => {
-                out.protocols = val("--protocols")?
-                    .split(',')
-                    .map(|s| {
-                        ProtocolKind::parse(s).ok_or(format!(
-                            "unknown protocol `{s}` (valid: {})",
-                            ProtocolKind::names()
-                        ))
-                    })
+                out.protocols = split_spec_list(&val("--protocols")?)
+                    .iter()
+                    .map(|s| ProtocolSpec::parse(s))
                     .collect::<Result<_, _>>()?
             }
             "--workload" => out.workload = WorkloadSpec::parse(&val("--workload")?)?,
@@ -96,7 +125,10 @@ fn main() {
         Ok(None) => {
             println!(
                 "usage: shootout [--seeds K] [--nodes a,b,c] [--duration SECS] \
-                 [--protocols eer,cr,...] [--workload paper|hotspot|bursty] [--trace <path>]"
+                 [--protocols eer,cr,...] [--workload paper|hotspot|bursty] [--trace <path>]\n\
+                 \n\
+                 --protocols takes full specs (eer:lambda=4,eer:lambda=16,prophet:beta=0.25);\n\
+                 a comma starts a new spec when followed by a protocol name."
             );
             return;
         }
@@ -144,13 +176,14 @@ fn main() {
     // drift from the spec order.
     let mut specs = Vec::new();
     let mut rows: Vec<(String, u32)> = Vec::new();
-    for kind in &args.protocols {
+    for proto in &args.protocols {
         for (family, cells) in &families {
             for cell in cells {
-                let label = format!("{} @ {family}", kind.name());
-                let mut spec =
-                    RunSpec::on(label.clone(), cell.scenario.clone(), Protocol::new(*kind))
-                        .with_workload(args.workload.clone());
+                // Labels carry the resolved spec, so two tuned variants of
+                // one protocol fold into distinct series.
+                let label = format!("{proto} @ {family}");
+                let mut spec = RunSpec::on(label.clone(), cell.scenario.clone(), proto.clone())
+                    .with_workload(args.workload.clone());
                 if let Some(d) = cell.duration {
                     spec = spec.with_duration(d);
                 }

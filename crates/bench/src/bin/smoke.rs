@@ -8,7 +8,7 @@
 //! ```
 
 use dtn_bench::{
-    run_spec, Protocol, ProtocolKind, RunSpec, ScenarioCache, ScenarioSpec, WorkloadSpec,
+    run_spec, ProtocolKind, ProtocolSpec, RunSpec, ScenarioCache, ScenarioSpec, WorkloadSpec,
 };
 use std::time::Instant;
 
@@ -91,7 +91,8 @@ fn main() {
     );
 
     for kind in ProtocolKind::ALL {
-        let spec = RunSpec::on(kind.name(), scenario.clone(), Protocol::new(kind))
+        let proto = ProtocolSpec::paper(kind);
+        let spec = RunSpec::on(kind.name(), scenario.clone(), proto.clone())
             .with_workload(workload.clone());
         let spec = match duration {
             Some(d) => spec.with_duration(d),
@@ -99,10 +100,12 @@ fn main() {
         };
         let t = Instant::now();
         let stats = run_spec(&cache, &spec, seed);
+        // Each row names the *resolved* spec in the `--protocol` grammar, so
+        // any line of the log is a reproducible dtnrun invocation.
         println!(
             "{:<14} dr={:.3} lat={:>6.1} gp={:.4} relayed={:>6} dup={:>4} aborted={:>5} \
              drops(buf/ttl/proto)={}/{}/{} ctrl={:>8}KB  [{:.2?}]",
-            kind.name(),
+            proto,
             stats.delivery_ratio(),
             stats.avg_latency(),
             stats.goodput(),

@@ -16,8 +16,11 @@
 //! replay), `shootout` (all protocols across scenario families in one
 //! matrix). All of them execute simulations through the [`runner`] layer's
 //! `RunSpec → SimStats` primitive ([`runner::run_spec`] / [`runner::run_on`]),
-//! and every scenario/workload is a first-class
-//! [`dtn_mobility::ScenarioSpec`]/[`dtn_mobility::WorkloadSpec`] value.
+//! every scenario/workload is a first-class
+//! [`dtn_mobility::ScenarioSpec`]/[`dtn_mobility::WorkloadSpec`] value, and
+//! every protocol — family *and* tuning parameters — is a first-class
+//! [`ProtocolSpec`] value with a CLI grammar
+//! (`--protocol eer:lambda=8,ttl=3600`; see [`protocols`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,7 +31,7 @@ pub mod runner;
 pub mod scenario;
 
 pub use dtn_mobility::{ScenarioSpec, TraceSource, WorkloadSpec};
-pub use protocols::{Protocol, ProtocolKind};
+pub use protocols::{ProtocolKind, ProtocolParams, ProtocolSpec};
 pub use report::{print_series_table, write_csv, Series};
 pub use runner::{
     run_matrix, run_matrix_with, run_on, run_spec, CommunitySource, RunSpec, SweepConfig,

@@ -80,20 +80,25 @@ pub struct CommonArgs {
     pub scenario: String,
     /// Message workload (`--workload`).
     pub workload: WorkloadSpec,
+    /// Horizon override in seconds (`--duration`); `None` = each scenario's
+    /// default. Rejected for trace replay (a recording runs at its native
+    /// horizon).
+    pub duration: Option<f64>,
     /// Print the paper's settings table and exit.
     pub print_settings: bool,
 }
 
 impl CommonArgs {
     /// Parses `--full`, `--seeds K`, `--nodes a,b,c`, `--quick`,
-    /// `--scenario FAMILY`, `--workload KIND`, `--print-settings` from
-    /// `args`.
+    /// `--scenario FAMILY`, `--workload KIND`, `--duration SECS`,
+    /// `--print-settings` from `args`.
     pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut out = CommonArgs {
             seeds: 3,
             node_counts: vec![40, 80, 120, 160, 200, 240],
             scenario: "paper".into(),
             workload: WorkloadSpec::PaperUniform,
+            duration: None,
             print_settings: false,
         };
         let mut it = args.peekable();
@@ -132,11 +137,20 @@ impl CommonArgs {
                     let v = it.next().ok_or("--workload needs a value")?;
                     out.workload = WorkloadSpec::parse(&v)?;
                 }
+                "--duration" => {
+                    let v = it.next().ok_or("--duration needs a value")?;
+                    let d: f64 = v.parse().map_err(|e| format!("--duration: {e}"))?;
+                    if !d.is_finite() || d <= 0.0 {
+                        return Err(format!("--duration: need a positive horizon, got {v}"));
+                    }
+                    out.duration = Some(d);
+                }
                 "--print-settings" => out.print_settings = true,
                 "--help" | "-h" => {
                     return Err("usage: [--full|--quick] [--seeds K] \
                                 [--nodes a,b,c] [--scenario paper|rwp|trace:<path>] \
-                                [--workload paper|hotspot|bursty] [--print-settings]"
+                                [--workload paper|hotspot|bursty] [--duration SECS] \
+                                [--print-settings]"
                         .into())
                 }
                 other => return Err(format!("unknown flag {other}")),
@@ -144,6 +158,17 @@ impl CommonArgs {
         }
         if out.seeds == 0 || out.node_counts.is_empty() {
             return Err("need at least one seed and one node count".into());
+        }
+        if out.duration.is_some()
+            && ScenarioSpec::parse(&out.scenario, 2)?
+                .default_duration()
+                .is_none()
+        {
+            return Err(
+                "--duration cannot be combined with trace replay: a replayed trace runs at \
+                 its recorded horizon"
+                    .into(),
+            );
         }
         Ok(out)
     }
@@ -253,6 +278,31 @@ mod tests {
         assert_eq!(n.seeds, 5);
         assert!(CommonArgs::parse(["--bogus".to_string()].into_iter()).is_err());
         assert!(CommonArgs::parse(["--seeds".to_string(), "0".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn duration_flag_parses_and_rejects_trace_replay() {
+        let d =
+            CommonArgs::parse(["--duration".to_string(), "1500".to_string()].into_iter()).unwrap();
+        assert_eq!(d.duration, Some(1500.0));
+        assert!(
+            CommonArgs::parse(["--duration".to_string(), "0".to_string()].into_iter()).is_err()
+        );
+        assert!(
+            CommonArgs::parse(["--duration".to_string(), "-5".to_string()].into_iter()).is_err()
+        );
+        // A replayed trace runs at its native horizon; combining it with a
+        // duration override is a parse-time error, whatever the flag order.
+        let err = CommonArgs::parse(
+            [
+                "--duration".to_string(),
+                "1500".to_string(),
+                "--scenario".to_string(),
+                "trace:/dev/null".to_string(),
+            ]
+            .into_iter(),
+        );
+        assert!(err.is_err());
     }
 
     #[test]

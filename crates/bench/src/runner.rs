@@ -10,8 +10,8 @@
 //! per-point results in deterministic order (results are keyed, not raced),
 //! so the thread count never changes the output.
 
-use crate::protocols::Protocol;
-use crate::scenario::{BuiltScenario, ScenarioCache};
+use crate::protocols::ProtocolSpec;
+use crate::scenario::{BuiltScenario, ScenarioCache, ScenarioKey};
 use ce_core::{detect_over_trace, detected_map, CommunityMap, DetectorConfig};
 use dtn_mobility::{ScenarioSpec, WorkloadSpec};
 use dtn_sim::{MetricPoint, SimConfig, SimStats, Simulation};
@@ -55,9 +55,10 @@ pub struct RunSpec {
     pub scenario: ScenarioSpec,
     /// The message workload laid over the scenario.
     pub workload: WorkloadSpec,
-    /// Protocol under test.
-    pub protocol: Protocol,
-    /// Per-node buffer capacity override in bytes (`None` = paper's 1 MB).
+    /// Protocol under test, as a first-class parameterized spec.
+    pub protocol: ProtocolSpec,
+    /// Per-node buffer capacity override in bytes (`None` = the protocol
+    /// spec's `buffer` knob if set, else the paper's 1 MB).
     pub buffer_capacity: Option<u64>,
     /// Scenario horizon override in seconds (`None` = the scenario's
     /// default — the paper's 10 000 s for generated families, the native
@@ -69,13 +70,13 @@ pub struct RunSpec {
 
 impl RunSpec {
     /// A paper bus-city cell with the paper's default parameters.
-    pub fn new(series: impl Into<String>, n_nodes: u32, protocol: Protocol) -> Self {
+    pub fn new(series: impl Into<String>, n_nodes: u32, protocol: ProtocolSpec) -> Self {
         Self::on(series, ScenarioSpec::paper(n_nodes), protocol)
     }
 
     /// A cell on an arbitrary scenario family with the paper's uniform
     /// workload.
-    pub fn on(series: impl Into<String>, scenario: ScenarioSpec, protocol: Protocol) -> Self {
+    pub fn on(series: impl Into<String>, scenario: ScenarioSpec, protocol: ProtocolSpec) -> Self {
         RunSpec {
             series: series.into(),
             scenario,
@@ -113,13 +114,32 @@ impl RunSpec {
         self
     }
 
-    /// Chooses where the run's community map comes from. Only consulted when
-    /// [`RunSpec::protocol`] carries no map of its own
-    /// (`Protocol::with_communities`) — a protocol-level map takes
-    /// precedence.
+    /// Chooses where the run's community map comes from. Only consulted for
+    /// protocols that need one ([`ProtocolSpec::needs_communities`], i.e.
+    /// CR).
     pub fn with_communities(mut self, source: CommunitySource) -> Self {
         self.communities = source;
         self
+    }
+
+    /// The full cell identity of `(self, seed)`: the scenario key extended
+    /// with the protocol's injective encoding plus the run-level qualifiers
+    /// (buffer override, community source). Two differently-tuned variants
+    /// of one [`ProtocolKind`](crate::ProtocolKind) — `eer:lambda=4` vs
+    /// `eer:lambda=16` — always key distinctly.
+    pub fn cell_key(&self, seed: u64) -> ScenarioKey {
+        let mut p = self.protocol.cache_key();
+        if let Some(b) = self.buffer_capacity {
+            p.push_str(&format!("+buf={b:x}"));
+        }
+        match &self.communities {
+            CommunitySource::GroundTruth => {}
+            CommunitySource::Detected => p.push_str("+comm=detected"),
+            // Caller-supplied maps have no canonical content encoding; the
+            // tag records that the cell is not ground-truth keyed.
+            CommunitySource::Fixed(_) => p.push_str("+comm=fixed"),
+        }
+        ScenarioKey::new(&self.scenario, &self.workload, seed, self.duration).with_protocol(p)
     }
 }
 
@@ -170,7 +190,7 @@ impl Default for SweepConfig {
 /// produces the same [`SimStats`], whichever thread or binary runs it.
 pub fn run_spec(cache: &ScenarioCache, spec: &RunSpec, seed: u64) -> SimStats {
     let ps = cache.get_spec(&spec.scenario, &spec.workload, seed, spec.duration);
-    if matches!(spec.communities, CommunitySource::Detected) {
+    if spec.protocol.needs_communities() && matches!(spec.communities, CommunitySource::Detected) {
         // Detection replays the whole trace; route it through the cache so
         // every cell (and any agreement metrics) share one pass per scenario.
         let fixed = RunSpec {
@@ -197,20 +217,26 @@ pub fn run_on(ps: &BuiltScenario, spec: &RunSpec, seed: u64) -> SimStats {
         spec.duration,
         ps.scenario.trace.duration
     );
-    let mut protocol = spec.protocol.clone();
-    if protocol.communities.is_none() {
-        protocol.communities = Some(spec.communities.resolve(ps));
-    }
+    // Community maps are resolved only for protocols that consume one (CR);
+    // the ground-truth clone and especially online detection are not free.
+    let communities = spec
+        .protocol
+        .needs_communities()
+        .then(|| spec.communities.resolve(ps));
     let mut cfg = SimConfig::paper(seed);
-    if let Some(bytes) = spec.buffer_capacity {
+    // An explicit RunSpec override wins over the protocol spec's knob.
+    if let Some(bytes) = spec.buffer_capacity.or(spec.protocol.buffer) {
         cfg.buffer_capacity = bytes;
     }
-    let sim = Simulation::new(
-        &ps.scenario.trace,
-        ps.workload.as_ref().clone(),
-        cfg,
-        |id, n| protocol.make_router(id, n),
-    );
+    let mut workload = ps.workload.as_ref().clone();
+    if let Some(ttl) = spec.protocol.ttl {
+        for m in &mut workload {
+            m.ttl = ttl;
+        }
+    }
+    let sim = Simulation::new(&ps.scenario.trace, workload, cfg, |id, n| {
+        spec.protocol.make_router(id, n, communities.as_ref())
+    });
     sim.run()
 }
 
@@ -245,11 +271,15 @@ pub fn run_matrix_with(
                     let spec = &specs[spec_idx];
                     let stats = run_spec(cache, spec, seed);
                     if cfg.verbose {
+                        // The protocol prints in its canonical grammar form,
+                        // so every progress line names a reproducible
+                        // `--protocol` argument.
                         eprintln!(
-                            "  [{}/{}] {} {} seed={} dr={:.3} lat={:.1} gp={:.4}",
+                            "  [{}/{}] {} [{}] {} seed={} dr={:.3} lat={:.1} gp={:.4}",
                             j + 1,
                             jobs.len(),
                             spec.series,
+                            spec.protocol,
                             spec.scenario,
                             seed,
                             stats.delivery_ratio(),
@@ -282,7 +312,7 @@ pub fn run_matrix_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocols::{Protocol, ProtocolKind};
+    use crate::protocols::{ProtocolKind, ProtocolSpec};
 
     /// The matrix runner produces one averaged point per spec and is
     /// deterministic across repeats.
@@ -292,9 +322,9 @@ mod tests {
             RunSpec::new(
                 "SprayAndWait",
                 10,
-                Protocol::new(ProtocolKind::SprayAndWait).with_lambda(4),
+                ProtocolSpec::paper(ProtocolKind::SprayAndWait).with_lambda(4),
             ),
-            RunSpec::new("Epidemic", 10, Protocol::new(ProtocolKind::Epidemic)),
+            RunSpec::new("Epidemic", 10, ProtocolSpec::paper(ProtocolKind::Epidemic)),
         ];
         let cfg = SweepConfig {
             seeds: 2,
@@ -327,7 +357,7 @@ mod tests {
         let specs = vec![RunSpec::new(
             "Direct",
             8,
-            Protocol::new(ProtocolKind::Direct),
+            ProtocolSpec::paper(ProtocolKind::Direct),
         )];
         let points = run_matrix(&specs, cfg);
         assert_eq!(points.len(), 1);
@@ -345,7 +375,8 @@ mod tests {
         };
         assert_eq!(cfg.effective_seeds(), 1);
         let specs = vec![
-            RunSpec::new("Direct", 8, Protocol::new(ProtocolKind::Direct)).with_duration(500.0),
+            RunSpec::new("Direct", 8, ProtocolSpec::paper(ProtocolKind::Direct))
+                .with_duration(500.0),
         ];
         let points = run_matrix(&specs, cfg);
         assert_eq!(points.len(), 1);
@@ -356,8 +387,8 @@ mod tests {
     #[test]
     fn duration_override_reaches_scenario() {
         let cache = ScenarioCache::new();
-        let spec =
-            RunSpec::new("Direct", 8, Protocol::new(ProtocolKind::Direct)).with_duration(500.0);
+        let spec = RunSpec::new("Direct", 8, ProtocolSpec::paper(ProtocolKind::Direct))
+            .with_duration(500.0);
         let _ = run_spec(&cache, &spec, 1);
         let ps = cache.get_with_duration(8, 1, Some(500.0));
         assert_eq!(ps.scenario.trace.duration, 500.0);

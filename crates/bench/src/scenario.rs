@@ -14,15 +14,27 @@ use dtn_sim::{ContactTrace, MessageSpec};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// Cache identity of a built scenario: the canonical encodings of the
-/// scenario and workload specs plus seed and resolved horizon. Injective
-/// over everything that shapes the build.
+/// Cache identity of a built scenario — and, with
+/// [`ScenarioKey::with_protocol`], of a full sweep cell. The canonical
+/// encodings of the scenario and workload specs plus seed and resolved
+/// horizon, optionally extended by a protocol encoding. Injective over
+/// everything that shapes the build (and, for cell keys, the run).
+///
+/// The [`ScenarioCache`] memoises builds under the *protocol-agnostic* form
+/// (scenario builds are shared across protocols); the runner derives the
+/// protocol-qualified form per cell
+/// ([`RunSpec::cell_key`](crate::RunSpec::cell_key)), so two differently
+/// tuned variants of one protocol — e.g. `eer:lambda=4` vs `eer:lambda=16` —
+/// can never collide in any map keyed by cells.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ScenarioKey {
     scenario: String,
     workload: String,
+    /// Canonical protocol encoding of the cell, empty for the
+    /// protocol-agnostic scenario identity the build cache uses.
+    protocol: String,
     seed: u64,
-    /// Bit pattern of the resolved duration; [`ScenarioKey::NATIVE`] when
+    /// Bit pattern of the resolved duration; `ScenarioKey::NATIVE` when
     /// the spec runs at its own native horizon (trace replay).
     duration_bits: u64,
 }
@@ -32,10 +44,11 @@ impl ScenarioKey {
     /// duration is known only after loading the recording).
     const NATIVE: u64 = u64::MAX;
 
-    /// Derives the key for a `(scenario, workload, seed, duration)` cell.
+    /// Derives the protocol-agnostic key for a
+    /// `(scenario, workload, seed, duration)` cell.
     /// `duration` of `None` resolves to the spec's default horizon so that
     /// `None` and an explicit default-length override share one entry. A
-    /// trace-replay spec always keys as [`ScenarioKey::NATIVE`]: the only
+    /// trace-replay spec always keys as `ScenarioKey::NATIVE`: the only
     /// override its build accepts is one equal to the recording's horizon,
     /// so `None` and that explicit value are the same scenario.
     pub fn new(
@@ -51,9 +64,19 @@ impl ScenarioKey {
         ScenarioKey {
             scenario: scenario.cache_key(),
             workload: workload.cache_key(),
+            protocol: String::new(),
             seed,
             duration_bits,
         }
+    }
+
+    /// Extends the key with a protocol encoding
+    /// ([`ProtocolSpec::cache_key`](crate::ProtocolSpec::cache_key) plus any
+    /// run-level qualifiers), turning a scenario identity into a full cell
+    /// identity.
+    pub fn with_protocol(mut self, encoding: impl Into<String>) -> Self {
+        self.protocol = encoding.into();
+        self
     }
 }
 

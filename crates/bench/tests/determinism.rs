@@ -3,7 +3,7 @@
 //! `(spec, seed)` instead of racing them, so `threads = 1` and `threads = 8`
 //! must produce bit-identical [`MetricPoint`]s for the same matrix.
 
-use dtn_bench::{run_matrix, Protocol, ProtocolKind, RunSpec, SweepConfig};
+use dtn_bench::{run_matrix, ProtocolKind, ProtocolSpec, RunSpec, SweepConfig};
 use dtn_sim::MetricPoint;
 
 /// A small but non-trivial matrix: four protocol families (including CR,
@@ -12,13 +12,13 @@ use dtn_sim::MetricPoint;
 fn matrix() -> Vec<RunSpec> {
     let mut specs = Vec::new();
     for (label, proto) in [
-        ("Epidemic", Protocol::new(ProtocolKind::Epidemic)),
+        ("Epidemic", ProtocolSpec::paper(ProtocolKind::Epidemic)),
         (
             "SprayAndWait",
-            Protocol::new(ProtocolKind::SprayAndWait).with_lambda(4),
+            ProtocolSpec::paper(ProtocolKind::SprayAndWait).with_lambda(4),
         ),
-        ("EER", Protocol::new(ProtocolKind::Eer).with_lambda(6)),
-        ("CR", Protocol::new(ProtocolKind::Cr).with_lambda(6)),
+        ("EER", ProtocolSpec::paper(ProtocolKind::Eer).with_lambda(6)),
+        ("CR", ProtocolSpec::paper(ProtocolKind::Cr).with_lambda(6)),
     ] {
         for n in [8u32, 12] {
             specs.push(RunSpec::new(label, n, proto.clone()).with_duration(1_500.0));

@@ -1,0 +1,240 @@
+//! ProtocolSpec contract tests: the CLI grammar round-trips (`parse ∘
+//! Display` is the identity over the whole parameter space), the paper
+//! defaults reproduce the formerly hard-wired constants for every family,
+//! and tuned variants of one protocol occupy distinct cell keys while the
+//! sweep stays thread-invariant.
+
+use ce_core::{BufferPolicy, EmdMode};
+use dtn_bench::{
+    run_matrix_with, ProtocolKind, ProtocolParams, ProtocolSpec, RunSpec, ScenarioCache,
+    SweepConfig,
+};
+use proptest::prelude::*;
+
+/// Deterministically builds a valid spec from raw strategy draws: a family
+/// index plus enough scalars to perturb every tunable the grammar exposes.
+#[allow(clippy::too_many_arguments)]
+fn build_spec(
+    kind_i: u32,
+    lambda: u32,
+    window: usize,
+    frac: f64,  // in [0, 1)
+    secs: f64,  // positive seconds-scale value
+    sel_a: u8,  // 3-way selector
+    sel_b: u8,  // 3-way selector
+    small: u32, // small positive integer
+) -> ProtocolSpec {
+    let kind = ProtocolKind::ALL[kind_i as usize % ProtocolKind::ALL.len()];
+    let mut spec = ProtocolSpec::paper(kind);
+    match &mut spec.params {
+        ProtocolParams::Eer(c) => {
+            c.lambda = lambda;
+            c.alpha = 0.05 + frac;
+            c.window = window;
+            c.forward_hysteresis = secs;
+            c.refresh = secs * 0.5;
+            if sel_a == 1 {
+                c.emd_mode = EmdMode::MeanInterval;
+            }
+            if sel_b == 1 {
+                c.buffer_policy = BufferPolicy::LeastRemainingValue;
+            }
+            if sel_a == 2 {
+                c.adaptive_lambda = Some((small, small + 7));
+            }
+        }
+        ProtocolParams::Cr(c) => {
+            c.lambda = lambda;
+            c.alpha = 0.05 + frac;
+            c.window = window;
+            c.forward_hysteresis = secs;
+            c.probability_hysteresis = frac;
+            c.refresh = secs * 2.0;
+            if sel_b == 1 {
+                c.buffer_policy = BufferPolicy::LeastRemainingValue;
+            }
+        }
+        ProtocolParams::Ebr(c) => {
+            c.lambda = lambda;
+            c.alpha = frac;
+            c.window = secs;
+        }
+        ProtocolParams::MaxProp(c) => {
+            c.hop_threshold = small;
+            c.cost_refresh = secs;
+        }
+        ProtocolParams::SprayAndWait { lambda: l, binary } => {
+            *l = lambda;
+            *binary = sel_a != 1;
+        }
+        ProtocolParams::SprayAndFocus(c) => {
+            c.lambda = lambda;
+            c.utility_threshold = secs;
+            c.transitivity_penalty = secs * 3.0;
+        }
+        ProtocolParams::Prophet(c) => {
+            c.p_init = 0.05 + frac * 0.9;
+            c.beta = frac;
+            c.gamma = 0.5 + frac * 0.49;
+            c.time_unit = secs;
+        }
+        ProtocolParams::Epidemic | ProtocolParams::Direct | ProtocolParams::FirstContact => {}
+    }
+    if sel_a == 0 {
+        spec.buffer = Some(u64::from(small) * 4096);
+    }
+    if sel_b == 2 {
+        spec.ttl = Some(secs * 10.0);
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `ProtocolSpec::parse ∘ Display` is the identity over randomly tuned
+    /// specs of every family, and the injective cache encoding agrees.
+    #[test]
+    fn parse_display_is_identity(
+        (kind_i, lambda, window) in (0u32..10, 1u32..64, 1usize..128),
+        (frac, secs) in (0.0f64..1.0, 0.25f64..5000.0),
+        (sel_a, sel_b, small) in (0u8..3, 0u8..3, 1u32..32),
+    ) {
+        let spec = build_spec(kind_i, lambda, window, frac, secs, sel_a, sel_b, small);
+        let shown = spec.to_string();
+        let parsed = ProtocolSpec::parse(&shown)
+            .unwrap_or_else(|e| panic!("`{shown}` failed to re-parse: {e}"));
+        prop_assert_eq!(&parsed, &spec, "`{}` did not round-trip", shown);
+        prop_assert_eq!(parsed.cache_key(), spec.cache_key());
+    }
+}
+
+/// `ProtocolSpec::paper(k)` reproduces the constants that used to be
+/// hard-wired into the registry and the router constructors, for all 10
+/// kinds.
+#[test]
+fn paper_defaults_match_former_constants() {
+    for kind in ProtocolKind::ALL {
+        let spec = ProtocolSpec::paper(kind);
+        assert_eq!(spec.kind(), kind);
+        assert_eq!(spec.ttl, None);
+        assert_eq!(spec.buffer, None);
+        match &spec.params {
+            ProtocolParams::Eer(c) => {
+                assert_eq!(c.lambda, 10);
+                assert_eq!(c.alpha, 0.28);
+                assert_eq!(c.window, ce_core::DEFAULT_WINDOW);
+                assert_eq!(c.forward_hysteresis, 180.0);
+                assert_eq!(c.refresh, 45.0);
+                assert_eq!(c.emd_mode, EmdMode::Theorem2);
+                assert_eq!(c.buffer_policy, BufferPolicy::OldestReceived);
+                assert_eq!(c.adaptive_lambda, None);
+            }
+            ProtocolParams::Cr(c) => {
+                assert_eq!(c.lambda, 10);
+                assert_eq!(c.alpha, 0.28);
+                assert_eq!(c.window, ce_core::DEFAULT_WINDOW);
+                assert_eq!(c.forward_hysteresis, 180.0);
+                assert_eq!(c.probability_hysteresis, 0.1);
+                assert_eq!(c.refresh, 60.0);
+                assert_eq!(c.buffer_policy, BufferPolicy::OldestReceived);
+            }
+            ProtocolParams::Ebr(c) => {
+                assert_eq!(c.lambda, 10);
+                assert_eq!(c.alpha, 0.85);
+                assert_eq!(c.window, 30.0);
+            }
+            ProtocolParams::MaxProp(c) => {
+                assert_eq!(c.hop_threshold, 7);
+                assert_eq!(c.cost_refresh, 60.0);
+            }
+            ProtocolParams::SprayAndWait { lambda, binary } => {
+                assert_eq!(*lambda, 10);
+                assert!(*binary, "the paper baseline is binary spray");
+            }
+            ProtocolParams::SprayAndFocus(c) => {
+                assert_eq!(c.lambda, 10);
+                assert_eq!(c.utility_threshold, 30.0);
+                assert_eq!(c.transitivity_penalty, 300.0);
+            }
+            ProtocolParams::Prophet(c) => {
+                assert_eq!(c.p_init, 0.75);
+                assert_eq!(c.beta, 0.25);
+                assert_eq!(c.gamma, 0.98);
+                assert_eq!(c.time_unit, 30.0);
+            }
+            ProtocolParams::Epidemic | ProtocolParams::Direct | ProtocolParams::FirstContact => {}
+        }
+    }
+}
+
+/// Two λ values of one protocol occupy distinct `ScenarioKey`s (cell keys),
+/// share the underlying scenario build, and reduce to bit-identical results
+/// under 1 vs 8 worker threads.
+#[test]
+fn lambda_variants_key_distinctly_and_stay_thread_invariant() {
+    let lo = RunSpec::new(
+        "eer:lambda=4",
+        8,
+        ProtocolSpec::parse("eer:lambda=4").unwrap(),
+    )
+    .with_duration(1_200.0);
+    let hi = RunSpec::new(
+        "eer:lambda=16",
+        8,
+        ProtocolSpec::parse("eer:lambda=16").unwrap(),
+    )
+    .with_duration(1_200.0);
+
+    // Distinct cells, stable identity, and the scenario part alone would
+    // collide — the protocol encoding is what separates them.
+    assert_ne!(lo.cell_key(1), hi.cell_key(1));
+    assert_eq!(lo.cell_key(1), lo.cell_key(1));
+    assert_ne!(lo.cell_key(1), lo.cell_key(2), "seed is part of the key");
+
+    let specs = vec![lo, hi];
+    let run = |threads: usize, cache: &ScenarioCache| {
+        run_matrix_with(
+            cache,
+            &specs,
+            SweepConfig {
+                seeds: 2,
+                threads,
+                verbose: false,
+            },
+        )
+    };
+    let cache = ScenarioCache::new();
+    let single = run(1, &cache);
+    // Both λ variants run on the *identical* contact process: one scenario
+    // build per seed, not one per (λ, seed).
+    assert_eq!(cache.len(), 2, "scenario builds must be shared across λ");
+    let multi = run(8, &ScenarioCache::new());
+    assert_eq!(single.len(), 2);
+    for (a, b) in single.iter().zip(&multi) {
+        assert_eq!(a.runs, 2);
+        assert_eq!(a.delivery_ratio.to_bits(), b.delivery_ratio.to_bits());
+        assert_eq!(a.latency.to_bits(), b.latency.to_bits());
+        assert_eq!(a.goodput.to_bits(), b.goodput.to_bits());
+        assert_eq!(a.relayed.to_bits(), b.relayed.to_bits());
+        assert_eq!(a.control_mb.to_bits(), b.control_mb.to_bits());
+    }
+}
+
+/// A spec-level TTL override reaches the simulation: shorter lifetimes mean
+/// TTL drops appear and delivery cannot improve.
+#[test]
+fn ttl_override_shapes_the_run() {
+    let cache = ScenarioCache::new();
+    let base = RunSpec::new("eer", 8, ProtocolSpec::parse("eer").unwrap()).with_duration(1_500.0);
+    let short = RunSpec::new("eer:ttl=90", 8, ProtocolSpec::parse("eer:ttl=90").unwrap())
+        .with_duration(1_500.0);
+    let a = dtn_bench::run_spec(&cache, &base, 1);
+    let b = dtn_bench::run_spec(&cache, &short, 1);
+    assert_eq!(cache.len(), 1, "same scenario serves both TTL variants");
+    assert!(
+        b.delivered <= a.delivered,
+        "a 90 s TTL cannot beat the paper's 20 min TTL"
+    );
+    assert!(b.drops_ttl >= a.drops_ttl);
+}

@@ -5,7 +5,7 @@
 //! collision the old `(n_nodes, seed, duration)` key allowed).
 
 use dtn_bench::{
-    run_matrix_with, Protocol, ProtocolKind, RunSpec, ScenarioCache, ScenarioSpec, SweepConfig,
+    run_matrix_with, ProtocolKind, ProtocolSpec, RunSpec, ScenarioCache, ScenarioSpec, SweepConfig,
     WorkloadSpec,
 };
 use dtn_sim::{Contact, ContactTrace, MetricPoint};
@@ -33,8 +33,8 @@ fn family_matrix() -> Vec<RunSpec> {
     let trace = replay_trace();
     let mut specs = Vec::new();
     for (label, proto) in [
-        ("EER", Protocol::new(ProtocolKind::Eer).with_lambda(6)),
-        ("Epidemic", Protocol::new(ProtocolKind::Epidemic)),
+        ("EER", ProtocolSpec::paper(ProtocolKind::Eer).with_lambda(6)),
+        ("Epidemic", ProtocolSpec::paper(ProtocolKind::Epidemic)),
     ] {
         specs.push(
             RunSpec::on(
@@ -163,7 +163,7 @@ fn rwp_runs_end_to_end() {
     let spec = RunSpec::on(
         "EER",
         ScenarioSpec::rwp(16),
-        Protocol::new(ProtocolKind::Eer),
+        ProtocolSpec::paper(ProtocolKind::Eer),
     )
     .with_duration(1_500.0);
     let stats = dtn_bench::run_spec(&cache, &spec, 1);

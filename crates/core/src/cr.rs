@@ -37,7 +37,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// CR tuning parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CrConfig {
     /// Quota λ: initial replicas per message.
     pub lambda: u32,

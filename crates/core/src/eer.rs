@@ -48,7 +48,7 @@ pub enum EmdMode {
 }
 
 /// EER tuning parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EerConfig {
     /// Quota λ: initial replicas per message (paper's figures use 6–12).
     pub lambda: u32,

@@ -15,7 +15,7 @@ use dtn_sim::{ContactCtx, Message, NodeId, Router, TransferPlan};
 use std::any::Any;
 
 /// EBR tuning parameters (defaults from the EBR paper).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EbrConfig {
     /// Quota λ: initial number of replicas per message.
     pub lambda: u32,

@@ -36,7 +36,7 @@ pub use epidemic::Epidemic;
 pub use first_contact::FirstContact;
 pub use maxprop::{MaxProp, MaxPropConfig};
 pub use prophet::{Prophet, ProphetConfig};
-pub use spray_focus::SprayAndFocus;
+pub use spray_focus::{SprayAndFocus, SprayFocusConfig};
 pub use spray_wait::SprayAndWait;
 
 /// Re-export for convenience in router factories.

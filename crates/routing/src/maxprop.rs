@@ -24,7 +24,7 @@ use std::any::Any;
 use std::collections::HashSet;
 
 /// MaxProp parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MaxPropConfig {
     /// Messages with fewer hops than this are prioritised by hop count and
     /// protected from eviction.

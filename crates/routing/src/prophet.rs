@@ -9,7 +9,7 @@ use dtn_sim::{ContactCtx, NodeId, Router, SimTime, TransferPlan};
 use std::any::Any;
 
 /// PRoPHET tuning parameters (defaults from the original paper / the ONE).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ProphetConfig {
     /// Initialisation constant `P_init`.
     pub p_init: f64,

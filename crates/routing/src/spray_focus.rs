@@ -10,14 +10,11 @@ use crate::util::deliver_forward;
 use dtn_sim::{ContactCtx, Message, NodeId, Router, SimTime, TransferPlan};
 use std::any::Any;
 
-/// Spray-and-Focus router.
-#[derive(Debug)]
-pub struct SprayAndFocus {
-    lambda: u32,
-    /// Last time this node met each other node (`None` = never).
-    last_enc: Vec<Option<SimTime>>,
-    /// Snapshot of current peers' timer ages taken at contact-up.
-    peer_age: Vec<(NodeId, Vec<f64>)>,
+/// Spray-and-Focus tuning parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SprayFocusConfig {
+    /// Quota λ: initial number of replicas per message.
+    pub lambda: u32,
     /// Forwarding threshold in seconds: forward when the peer's timer is
     /// smaller than ours by more than this.
     pub utility_threshold: f64,
@@ -28,19 +25,63 @@ pub struct SprayAndFocus {
     pub transitivity_penalty: f64,
 }
 
+impl Default for SprayFocusConfig {
+    fn default() -> Self {
+        SprayFocusConfig {
+            lambda: 10,
+            utility_threshold: 30.0,
+            transitivity_penalty: 300.0,
+        }
+    }
+}
+
+/// Spray-and-Focus router.
+#[derive(Debug)]
+pub struct SprayAndFocus {
+    lambda: u32,
+    /// Last time this node met each other node (`None` = never).
+    last_enc: Vec<Option<SimTime>>,
+    /// Snapshot of current peers' timer ages taken at contact-up.
+    peer_age: Vec<(NodeId, Vec<f64>)>,
+    /// Forwarding threshold in seconds (see
+    /// [`SprayFocusConfig::utility_threshold`]).
+    pub utility_threshold: f64,
+    /// Transitivity penalty in seconds (see
+    /// [`SprayFocusConfig::transitivity_penalty`]).
+    pub transitivity_penalty: f64,
+}
+
 impl SprayAndFocus {
-    /// Creates a Spray-and-Focus router for a network of `n` nodes.
+    /// Creates a Spray-and-Focus router for a network of `n` nodes with the
+    /// default utility parameters.
     ///
     /// # Panics
     /// Panics if `lambda` is zero.
     pub fn new(lambda: u32, n: u32) -> Self {
-        assert!(lambda >= 1);
+        Self::with_config(
+            SprayFocusConfig {
+                lambda,
+                ..SprayFocusConfig::default()
+            },
+            n,
+        )
+    }
+
+    /// Creates a Spray-and-Focus router with explicit parameters.
+    ///
+    /// # Panics
+    /// Panics if `cfg.lambda` is zero.
+    pub fn with_config(cfg: SprayFocusConfig, n: u32) -> Self {
+        assert!(
+            cfg.lambda >= 1,
+            "Spray-and-Focus needs a quota of at least 1"
+        );
         SprayAndFocus {
-            lambda,
+            lambda: cfg.lambda,
             last_enc: vec![None; n as usize],
             peer_age: Vec::new(),
-            utility_threshold: 30.0,
-            transitivity_penalty: 300.0,
+            utility_threshold: cfg.utility_threshold,
+            transitivity_penalty: cfg.transitivity_penalty,
         }
     }
 

@@ -10,7 +10,7 @@
 //!
 //! ## Hot-path layout
 //!
-//! Link state lives in a slab of [`LinkSlot`]s recycled across contacts, not
+//! Link state lives in a slab of `LinkSlot`s recycled across contacts, not
 //! in a hash map: a contact gets a slot plus a globally unique *epoch*, and
 //! events carry the slot index, so the per-transfer path never hashes. The
 //! per-direction "already sent during this contact" set is an epoch-stamped
@@ -489,6 +489,11 @@ impl Simulation {
         } else {
             let give = match action {
                 TransferAction::Forward => entry.copies,
+                // The plan was validated against the copy count at
+                // plan-application time (`validate_plan` rejects out-of-range
+                // gives loudly), but a concurrent transfer on another link
+                // can legitimately shrink the sender's copies while this one
+                // was in flight — clamp to what is actually left.
                 TransferAction::Split { give } => give.min(entry.copies).max(1),
                 TransferAction::Copy => 1,
             };
@@ -755,9 +760,30 @@ impl Simulation {
         if to != entry.msg.dst && self.buffers[to.idx()].contains(plan.msg) {
             return false;
         }
-        match plan.action {
-            TransferAction::Split { give } => give >= 1 && give <= entry.copies,
-            _ => true,
+        // Out-of-bounds splits are router bugs, not transient staleness: the
+        // plan was produced against this exact buffer state. Silently
+        // accepting them would corrupt copy conservation (a zero give would
+        // be bumped to 1 at completion; an oversized give would drain the
+        // sender to zero while minting copies at the receiver), so they fail
+        // loudly here, at plan-application time.
+        if let TransferAction::Split { give } = plan.action {
+            assert!(
+                give >= 1,
+                "router {} proposed Split {{ give: 0 }} for message {:?} at node {from:?}: \
+                 a split must hand over at least one copy (use Copy or drop the plan)",
+                self.routers[from.idx()].label(),
+                plan.msg,
+            );
+            assert!(
+                give <= entry.copies,
+                "router {} proposed Split {{ give: {give} }} for message {:?} at node {from:?}, \
+                 which holds only {} copies: a split cannot hand over more copies than the \
+                 sender owns",
+                self.routers[from.idx()].label(),
+                plan.msg,
+                entry.copies,
+            );
         }
+        true
     }
 }

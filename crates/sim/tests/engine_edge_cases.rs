@@ -252,3 +252,62 @@ fn no_contacts_no_deliveries() {
     assert_eq!(stats.relayed, 0);
     assert_eq!(stats.drops_ttl, 2, "both messages expire unserved");
 }
+
+/// A router that proposes a fixed, possibly out-of-bounds `Split { give }`
+/// for whatever it holds — the fixture for the plan-validation panics.
+struct BadSplitter {
+    give: u32,
+}
+impl Router for BadSplitter {
+    fn label(&self) -> &'static str {
+        "bad-splitter"
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn initial_copies(&self, _msg: &Message) -> u32 {
+        4
+    }
+    fn pick_transfer(&mut self, ctx: &mut ContactCtx<'_>) -> Option<TransferPlan> {
+        ctx.buf
+            .iter()
+            .find(|e| ctx.can_offer(e.msg.id))
+            .map(|e| TransferPlan::split(e.msg.id, self.give))
+    }
+}
+
+fn bad_split_sim(give: u32) -> SimStats {
+    let trace = ContactTrace::new(3, 100.0, vec![Contact::new(0, 1, 10.0, 50.0)]);
+    // Destination 2 is never met, so the split to node 1 is a real relay,
+    // not a delivery short-circuit.
+    let wl = vec![msg(0, 2, 1.0, 25_000, 90.0)];
+    Simulation::new(&trace, wl, SimConfig::paper(0), |_, _| {
+        Box::new(BadSplitter { give })
+    })
+    .run()
+}
+
+/// `Split { give: 0 }` is a router bug and must fail loudly instead of being
+/// silently bumped to one copy.
+#[test]
+#[should_panic(expected = "Split { give: 0 }")]
+fn zero_copy_split_panics() {
+    let _ = bad_split_sim(0);
+}
+
+/// A split handing over more copies than the sender holds must fail loudly
+/// instead of silently corrupting copy conservation.
+#[test]
+#[should_panic(expected = "holds only 4 copies")]
+fn oversized_split_panics() {
+    let _ = bad_split_sim(9);
+}
+
+/// The boundary case stays valid: giving exactly the held copy count is a
+/// legal (forward-everything) split — no panic, and the copies move.
+#[test]
+fn full_split_is_legal() {
+    let stats = bad_split_sim(4);
+    assert!(stats.relayed >= 1, "the full split must transfer");
+    assert_eq!(stats.delivered, 0, "destination is never met");
+}
