@@ -31,10 +31,10 @@
 //!   command line run side-by-side as series, e.g.
 //!   `ablation grid eer:lambda=4 eer:lambda=16 prophet:beta=0.25`.
 
-use dtn_bench::report::{write_csv, CommonArgs};
-use dtn_bench::{run_matrix, ProtocolKind, ProtocolSpec, RunSpec, Series, SweepConfig};
-use dtn_sim::MetricPoint;
-use std::path::Path;
+use dtn_bench::report::CommonArgs;
+use dtn_bench::{
+    run_matrix_records, ProtocolKind, ProtocolSpec, ReportSpec, RunSpec, ScenarioCache, SweepConfig,
+};
 
 /// One named, data-driven ablation: a title and a grid of
 /// `(series label, protocol spec)` pairs in the CLI grammar.
@@ -121,7 +121,8 @@ const ABLATIONS: &[Ablation] = &[
 const USAGE: &str = "usage: ablation <alpha|ttl-aware|emd|window|cr-state|lambda-one|\
                      buffer-policy|adaptive-lambda|detected-communities|grid <spec>...> \
                      [--seeds K] [--nodes a,b,c] [--scenario paper|rwp|trace:<path>] \
-                     [--workload paper|hotspot|bursty] [--duration SECS]";
+                     [--workload paper|hotspot|bursty] [--duration SECS] \
+                     [--out json:PATH|csv:PATH|md:PATH ...]";
 
 /// CR with ground-truth districts vs. CR with communities learned online by
 /// the distributed SIMPLE detector (the paper's future-work item 2). Both
@@ -130,7 +131,7 @@ const USAGE: &str = "usage: ablation <alpha|ttl-aware|emd|window|cr-state|lambda
 /// protocol-spec grid.
 fn detected_communities(argv: Vec<String>) {
     use ce_core::{pairwise_agreement, CommunityMap};
-    use dtn_bench::{run_matrix_with, CommunitySource, ScenarioCache};
+    use dtn_bench::CommunitySource;
 
     let mut args = match CommonArgs::parse(argv.into_iter()) {
         Ok(a) => a,
@@ -167,15 +168,22 @@ fn detected_communities(argv: Vec<String>) {
         seeds: args.seeds,
         ..SweepConfig::default()
     };
-    let points = run_matrix_with(&cache, &specs, cfg);
+    let mut report = ReportSpec::new("Ablation: CR with ground-truth vs detected communities");
+    report.records = run_matrix_records(&cache, &specs, cfg);
+    // Positional view, not cells(): a trace scenario ignores the node
+    // count, so its per-n sweep points merge into one cell.
+    let points = report.points(cfg.effective_seeds() as usize);
 
     // Truth-vs-detected agreement per node count, from the same cached
     // scenarios — and the same memoised detection passes — the sweep ran on.
+    // Averaged over the seeds the sweep *actually* ran (effective_seeds
+    // clamps `--seeds 0` to 1), so the column can never divide by zero.
+    let seeds_run = cfg.effective_seeds();
     let agreements: Vec<f64> = args
         .node_counts
         .iter()
         .map(|&n| {
-            (1..=u64::from(args.seeds))
+            (1..=u64::from(seeds_run))
                 .map(|seed| {
                     let ps =
                         cache.get_spec(&args.scenario_for(n), &args.workload, seed, args.duration);
@@ -183,36 +191,31 @@ fn detected_communities(argv: Vec<String>) {
                     pairwise_agreement(&truth, &cache.detected_communities(&ps))
                 })
                 .sum::<f64>()
-                / f64::from(args.seeds)
+                / f64::from(seeds_run)
         })
         .collect();
 
-    println!("\nAblation: CR with ground-truth vs detected communities");
+    // The agreement axis is not a per-run metric (it compares two community
+    // maps, not a protocol's performance), so this table stays bespoke; the
+    // file outputs below still flow through the shared pipeline.
+    println!("\n{}", report.title);
     println!(
         "{:<12}{:>6}{:>11}{:>9}{:>9}{:>9}{:>12}",
         "variant", "N", "agreement", "deliv", "latency", "goodput", "ctrl MB"
     );
     let per = args.node_counts.len();
-    let mut series: Vec<Series> = Vec::new();
     for (vi, (label, _)) in variants.iter().enumerate() {
-        let mut pts = Vec::new();
         for (xi, (&n, &agreement)) in args.node_counts.iter().zip(&agreements).enumerate() {
             let p = points[vi * per + xi];
             println!(
                 "{label:<12}{n:>6}{agreement:>11.3}{:>9.3}{:>9.1}{:>9.4}{:>12.2}",
                 p.delivery_ratio, p.latency, p.goodput, p.control_mb
             );
-            pts.push((n, p));
         }
-        series.push(Series {
-            label: (*label).into(),
-            points: pts,
-        });
     }
-    let csv = Path::new("results/ablation_detected_communities.csv");
-    match write_csv(csv, &series) {
-        Ok(()) => eprintln!("\nwrote {}", csv.display()),
-        Err(e) => eprintln!("\ncsv write failed: {e}"),
+    eprintln!();
+    if !report.write_all(&args.outs_or(&["csv:results/ablation_detected_communities.csv"])) {
+        std::process::exit(1);
     }
 }
 
@@ -299,34 +302,14 @@ fn main() {
         args.node_counts,
         args.seeds
     );
-    let points = run_matrix(&specs, cfg);
-    let per = args.node_counts.len();
+    let mut report = ReportSpec::new(format!("Ablation: {title}"));
+    report.records = run_matrix_records(&ScenarioCache::new(), &specs, cfg);
 
-    println!("\nAblation: {title}");
-    println!(
-        "{:<36}{:>6}{:>9}{:>9}{:>9}{:>10}{:>11}",
-        "variant", "N", "deliv", "latency", "goodput", "relayed", "ctrl MB"
-    );
-    let mut series = Vec::new();
-    for (vi, (label, _)) in grid.iter().enumerate() {
-        let mut pts: Vec<(u32, MetricPoint)> = Vec::new();
-        for (xi, &n) in args.node_counts.iter().enumerate() {
-            let p = points[vi * per + xi];
-            println!(
-                "{label:<36}{n:>6}{:>9.3}{:>9.1}{:>9.4}{:>10.0}{:>11.2}",
-                p.delivery_ratio, p.latency, p.goodput, p.relayed, p.control_mb
-            );
-            pts.push((n, p));
-        }
-        series.push(Series {
-            label: label.clone(),
-            points: pts,
-        });
-    }
-    let csv = Path::new("results").join(format!("ablation_{which}.csv"));
-    match write_csv(&csv, &series) {
-        Ok(()) => eprintln!("\nwrote {}", csv.display()),
-        Err(e) => eprintln!("\ncsv write failed: {e}"),
+    print!("{}", report.render_table());
+    eprintln!();
+    let default_out = format!("csv:results/ablation_{which}.csv");
+    if !report.write_all(&args.outs_or(&[&default_out])) {
+        std::process::exit(1);
     }
 }
 

@@ -12,6 +12,7 @@
 //! runner layer (`RunSpec → SimStats`), and the run header prints the
 //! *resolved* protocol spec so every log line is a reproducible command.
 
+use dtn_bench::report::{OutputSpec, ReportSpec, RunRecord};
 use dtn_bench::{
     run_on, BuiltScenario, ProtocolSpec, RunSpec, ScenarioCache, ScenarioSpec, WorkloadSpec,
 };
@@ -33,12 +34,15 @@ const USAGE: &str = "usage: dtnrun [flags]
   --trace PATH         shorthand for --scenario trace:PATH
   --buffer BYTES       per-node buffer capacity (default 1 MB)
   --progress-step SECS delivery-progress bucket (default 1000)
+  --out FORMAT:PATH    emit the run through the report pipeline
+                       (json:|csv:|md:, repeatable)
   --help, -h           print this help
 
 examples:
   dtnrun --protocol eer:lambda=8 --scenario rwp --nodes 40
   dtnrun --protocol cr --workload hotspot --duration 2000
-  dtnrun --protocol prophet:beta=0.25,gamma=0.99 --scenario trace:contacts.trace";
+  dtnrun --protocol prophet:beta=0.25,gamma=0.99 --scenario trace:contacts.trace
+  dtnrun --protocol eer --out json:results/run.json --out md:results/run.md";
 
 struct Args {
     protocol: ProtocolSpec,
@@ -52,6 +56,7 @@ struct Args {
     alpha: Option<f64>,
     buffer: Option<u64>,
     progress_step: f64,
+    outs: Vec<OutputSpec>,
 }
 
 /// `Ok(None)` means `--help` was requested.
@@ -67,6 +72,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         alpha: None,
         buffer: None,
         progress_step: 1_000.0,
+        outs: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -89,6 +95,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                     .parse()
                     .map_err(|e| format!("{e}"))?
             }
+            "--out" => out.outs.push(OutputSpec::parse(&val("--out")?)?),
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
@@ -169,6 +176,11 @@ fn main() {
     if let Some(b) = args.buffer {
         spec = spec.with_buffer(b);
     }
+    if let Some(d) = args.duration {
+        // Record the override in the spec so the report's cell key carries
+        // the true horizon (run_on asserts it matches the built scenario).
+        spec = spec.with_duration(d);
+    }
 
     let t0 = std::time::Instant::now();
     let stats = run_on(&ps, &spec, args.seed);
@@ -206,5 +218,19 @@ fn main() {
         if k % 2 == 0 {
             println!("  t={:>7.0}  delivered={v}", k as f64 * args.progress_step);
         }
+    }
+
+    // The machine-readable view of the same run: one record through the
+    // shared report pipeline.
+    let mut report = ReportSpec::new(format!("dtnrun: {} on {}", args.protocol, spec.scenario));
+    report.push(RunRecord::capture(
+        &spec,
+        &ps,
+        args.seed,
+        &stats,
+        wall.as_secs_f64(),
+    ));
+    if !report.write_all(&args.outs) {
+        std::process::exit(1);
     }
 }

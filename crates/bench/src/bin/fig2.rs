@@ -6,9 +6,11 @@
 //! cargo run -p dtn-bench --release --bin fig2 -- [--full|--quick] [--seeds K]
 //! ```
 
-use dtn_bench::report::{print_series_table, settings_table, write_csv, CommonArgs};
-use dtn_bench::{run_matrix, ProtocolKind, ProtocolSpec, RunSpec, Series, SweepConfig};
-use std::path::Path;
+use dtn_bench::report::{print_series_table, settings_table, CommonArgs};
+use dtn_bench::{
+    run_matrix_records, ProtocolKind, ProtocolSpec, ReportSpec, RunSpec, ScenarioCache, Series,
+    SweepConfig,
+};
 
 fn main() {
     let args = match CommonArgs::parse(std::env::args().skip(1)) {
@@ -47,11 +49,18 @@ fn main() {
         args.node_counts.len(),
         args.seeds
     );
-    let points = run_matrix(&specs, cfg);
-    let mut series = Vec::new();
+    let mut report = ReportSpec::new("Figure 2: performance comparison (lambda = 10)");
+    report.records = run_matrix_records(&ScenarioCache::new(), &specs, cfg);
+
+    // The paper's three-panel view: the positional one-point-per-spec
+    // reduction (protocol-major spec order). Not cells() — a trace scenario
+    // ignores the node count, so its sweep points merge into one cell.
+    let points = report.points(cfg.effective_seeds() as usize);
     let per = args.node_counts.len();
-    for (pi, kind) in ProtocolKind::FIG2.iter().enumerate() {
-        series.push(Series {
+    let series: Vec<Series> = ProtocolKind::FIG2
+        .iter()
+        .enumerate()
+        .map(|(pi, kind)| Series {
             label: kind.name().to_string(),
             points: args
                 .node_counts
@@ -59,19 +68,14 @@ fn main() {
                 .copied()
                 .zip(points[pi * per..(pi + 1) * per].iter().copied())
                 .collect(),
-        });
-    }
+        })
+        .collect();
     print!(
         "{}",
-        print_series_table(
-            "Figure 2: performance comparison (lambda = 10)",
-            &args.node_counts,
-            &series
-        )
+        print_series_table(&report.title, &args.node_counts, &series)
     );
-    let csv = Path::new("results/fig2.csv");
-    match write_csv(csv, &series) {
-        Ok(()) => eprintln!("\nwrote {}", csv.display()),
-        Err(e) => eprintln!("\ncsv write failed: {e}"),
+    eprintln!();
+    if !report.write_all(&args.outs_or(&["csv:results/fig2.csv"])) {
+        std::process::exit(1);
     }
 }

@@ -5,9 +5,11 @@
 //! cargo run -p dtn-bench --release --bin fig3 -- [--full|--quick] [--seeds K]
 //! ```
 
-use dtn_bench::report::{print_series_table, settings_table, write_csv, CommonArgs};
-use dtn_bench::{run_matrix, ProtocolKind, ProtocolSpec, RunSpec, Series, SweepConfig};
-use std::path::Path;
+use dtn_bench::report::{print_series_table, settings_table, CommonArgs};
+use dtn_bench::{
+    run_matrix_records, ProtocolKind, ProtocolSpec, ReportSpec, RunSpec, ScenarioCache, Series,
+    SweepConfig,
+};
 
 const LAMBDAS: [u32; 4] = [6, 8, 10, 12];
 
@@ -48,7 +50,13 @@ fn main() {
         args.node_counts.len(),
         args.seeds
     );
-    let points = run_matrix(&specs, cfg);
+    let mut report = ReportSpec::new("Figure 3: effects of lambda on EER");
+    report.records = run_matrix_records(&ScenarioCache::new(), &specs, cfg);
+
+    // The paper's three-panel view: the positional one-point-per-spec
+    // reduction (lambda-major spec order). Not cells() — a trace scenario
+    // ignores the node count, so its sweep points merge into one cell.
+    let points = report.points(cfg.effective_seeds() as usize);
     let per = args.node_counts.len();
     let series: Vec<Series> = LAMBDAS
         .iter()
@@ -65,15 +73,10 @@ fn main() {
         .collect();
     print!(
         "{}",
-        print_series_table(
-            "Figure 3: effects of lambda on EER",
-            &args.node_counts,
-            &series
-        )
+        print_series_table(&report.title, &args.node_counts, &series)
     );
-    let csv = Path::new("results/fig3.csv");
-    match write_csv(csv, &series) {
-        Ok(()) => eprintln!("\nwrote {}", csv.display()),
-        Err(e) => eprintln!("\ncsv write failed: {e}"),
+    eprintln!();
+    if !report.write_all(&args.outs_or(&["csv:results/fig3.csv"])) {
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,44 @@
+//! `reportcheck` — schema validator for the JSON documents the report
+//! pipeline emits (`cen-dtn.report` reports and `cen-dtn.bench`
+//! trajectories like `BENCH_shootout.json`).
+//!
+//! ```text
+//! cargo run -p bench --bin reportcheck -- FILE [FILE...]
+//! ```
+//!
+//! For each file it checks the schema name and version, the presence of the
+//! per-record / per-cell required fields, and that **every** number in the
+//! document is finite (the emitters turn NaN/inf into `null`, which fails
+//! here). Exits non-zero on the first invalid file — the CI gate for
+//! `shootout --out json:...` and its bench trajectory.
+
+use dtn_bench::report::validate_document;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() || files.iter().any(|f| f == "--help" || f == "-h") {
+        eprintln!("usage: reportcheck FILE [FILE...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_document(&text) {
+            Ok(summary) => println!("{file}: OK ({summary})"),
+            Err(e) => {
+                eprintln!("{file}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -4,7 +4,7 @@
 //! The paper's figures compare protocols on a single scenario (the bus-city);
 //! the shootout puts scenario *families* side-by-side as series: paper
 //! bus-city, random waypoint, and (optionally) a replayed trace, each crossed
-//! with the selected protocols and node counts. One `run_matrix` call drives
+//! with the selected protocols and node counts. One matrix call drives
 //! the whole grid, so the thread count never changes the output and every
 //! protocol sees the identical contact process per family.
 //!
@@ -12,7 +12,7 @@
 //! cargo run -p dtn-bench --release --bin shootout -- \
 //!     [--seeds K] [--nodes a,b,c] [--duration SECS] \
 //!     [--protocols eer,cr,...] [--workload paper|hotspot|bursty] \
-//!     [--trace <path>]
+//!     [--trace <path>] [--out json:PATH|csv:PATH|md:PATH ...]
 //! ```
 //!
 //! `--protocols` takes full protocol specs in the `--protocol` grammar, so
@@ -21,12 +21,18 @@
 //! starts a new spec when it is followed by a protocol name; `key=value`
 //! segments continue the previous spec). Unknown names list the registry.
 //!
+//! All output flows through the report pipeline: by default the report is
+//! written as `results/shootout.json` + `results/shootout.csv` (`--out`
+//! overrides), and a `BENCH_shootout.json` trajectory — per-cell headline
+//! means plus runner wall-clock — is always emitted so performance is
+//! comparable across code revisions (`reportcheck` validates both).
+//!
 //! Defaults stay laptop-sized: 2 node counts × 2 seeds on a 2 000 s horizon.
 
-use dtn_bench::report::write_csv;
+use dtn_bench::report::{write_text, OutputSpec, ReportSpec};
 use dtn_bench::{
-    run_matrix, ProtocolKind, ProtocolSpec, RunSpec, ScenarioSpec, Series, SweepConfig,
-    WorkloadSpec,
+    run_matrix_records, ProtocolKind, ProtocolSpec, RunSpec, ScenarioCache, ScenarioSpec,
+    SweepConfig, WorkloadSpec,
 };
 use std::path::Path;
 
@@ -37,6 +43,7 @@ struct Args {
     protocols: Vec<ProtocolSpec>,
     workload: WorkloadSpec,
     trace: Option<String>,
+    outs: Vec<OutputSpec>,
 }
 
 /// Splits a `--protocols` list into individual spec strings. The separator
@@ -81,6 +88,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         .collect(),
         workload: WorkloadSpec::PaperUniform,
         trace: None,
+        outs: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -109,12 +117,19 @@ fn parse_args() -> Result<Option<Args>, String> {
                 std::fs::metadata(&p).map_err(|e| format!("cannot read {p}: {e}"))?;
                 out.trace = Some(p);
             }
+            "--out" => out.outs.push(OutputSpec::parse(&val("--out")?)?),
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     if out.node_counts.is_empty() || out.protocols.is_empty() {
         return Err("need at least one node count and one protocol".into());
+    }
+    if out.outs.is_empty() {
+        out.outs = vec![
+            OutputSpec::parse("json:results/shootout.json").expect("builtin"),
+            OutputSpec::parse("csv:results/shootout.csv").expect("builtin"),
+        ];
     }
     Ok(Some(out))
 }
@@ -125,10 +140,13 @@ fn main() {
         Ok(None) => {
             println!(
                 "usage: shootout [--seeds K] [--nodes a,b,c] [--duration SECS] \
-                 [--protocols eer,cr,...] [--workload paper|hotspot|bursty] [--trace <path>]\n\
+                 [--protocols eer,cr,...] [--workload paper|hotspot|bursty] [--trace <path>] \
+                 [--out json:PATH|csv:PATH|md:PATH ...]\n\
                  \n\
                  --protocols takes full specs (eer:lambda=4,eer:lambda=16,prophet:beta=0.25);\n\
-                 a comma starts a new spec when followed by a protocol name."
+                 a comma starts a new spec when followed by a protocol name.\n\
+                 --out routes the report (default: json+csv under results/); the\n\
+                 BENCH_shootout.json perf trajectory is always written."
             );
             return;
         }
@@ -142,7 +160,6 @@ fn main() {
     // the recording's native horizon and node count, so it contributes one
     // point per protocol rather than one per node count.
     struct Cell {
-        n: u32,
         scenario: ScenarioSpec,
         duration: Option<f64>,
     }
@@ -150,7 +167,6 @@ fn main() {
         args.node_counts
             .iter()
             .map(|&n| Cell {
-                n,
                 scenario: f(n),
                 duration: Some(args.duration),
             })
@@ -164,31 +180,25 @@ fn main() {
         families.push((
             "trace",
             vec![Cell {
-                n: 0,
                 scenario: ScenarioSpec::trace_path(path),
                 duration: None,
             }],
         ));
     }
 
-    // Build the matrix and, in lockstep, the (label, n) row metadata used
-    // to fold results back into series — one loop, so the pairing can never
-    // drift from the spec order.
     let mut specs = Vec::new();
-    let mut rows: Vec<(String, u32)> = Vec::new();
     for proto in &args.protocols {
         for (family, cells) in &families {
             for cell in cells {
                 // Labels carry the resolved spec, so two tuned variants of
                 // one protocol fold into distinct series.
                 let label = format!("{proto} @ {family}");
-                let mut spec = RunSpec::on(label.clone(), cell.scenario.clone(), proto.clone())
+                let mut spec = RunSpec::on(label, cell.scenario.clone(), proto.clone())
                     .with_workload(args.workload.clone());
                 if let Some(d) = cell.duration {
                     spec = spec.with_duration(d);
                 }
                 specs.push(spec);
-                rows.push((label, cell.n));
             }
         }
     }
@@ -205,33 +215,29 @@ fn main() {
         cfg.effective_seeds(),
         specs.len()
     );
-    let points = run_matrix(&specs, cfg);
+    let records = run_matrix_records(&ScenarioCache::new(), &specs, cfg);
 
-    println!(
-        "\nProtocol shootout across scenario families ({} workload, {:.0} s horizon)",
+    let mut report = ReportSpec::new(format!(
+        "Protocol shootout across scenario families ({} workload, {:.0} s horizon)",
         args.workload, args.duration
-    );
-    println!(
-        "{:<24}{:>6}{:>9}{:>9}{:>9}{:>10}{:>11}",
-        "series", "N", "deliv", "latency", "goodput", "relayed", "ctrl MB"
-    );
-    let mut series: Vec<Series> = Vec::new();
-    for ((label, n), p) in rows.into_iter().zip(points) {
-        println!(
-            "{label:<24}{n:>6}{:>9.3}{:>9.1}{:>9.4}{:>10.0}{:>11.2}",
-            p.delivery_ratio, p.latency, p.goodput, p.relayed, p.control_mb
-        );
-        match series.last_mut() {
-            Some(s) if s.label == label => s.points.push((n, p)),
-            _ => series.push(Series {
-                label,
-                points: vec![(n, p)],
-            }),
+    ));
+    report.records = records;
+
+    print!("{}", report.render_table());
+    eprintln!();
+    let all_written = report.write_all(&args.outs);
+
+    // The perf trajectory rides along unconditionally: cells + wall-clock,
+    // comparable run-over-run.
+    let bench_path = Path::new("BENCH_shootout.json");
+    match write_text(bench_path, &report.to_bench_json_string("shootout")) {
+        Ok(()) => eprintln!("wrote {}", bench_path.display()),
+        Err(e) => {
+            eprintln!("trajectory write failed: {e}");
+            std::process::exit(1);
         }
     }
-    let csv = Path::new("results/shootout.csv");
-    match write_csv(csv, &series) {
-        Ok(()) => eprintln!("\nwrote {}", csv.display()),
-        Err(e) => eprintln!("\ncsv write failed: {e}"),
+    if !all_written {
+        std::process::exit(1);
     }
 }

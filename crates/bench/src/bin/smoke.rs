@@ -4,9 +4,14 @@
 //! ```text
 //! cargo run -p bench --release --bin smoke -- [n_nodes] [seed] \
 //!     [--scenario paper|rwp|trace:<path>] \
-//!     [--workload paper|hotspot|bursty] [--duration SECS]
+//!     [--workload paper|hotspot|bursty] [--duration SECS] \
+//!     [--out json:PATH|csv:PATH|md:PATH ...]
 //! ```
+//!
+//! Each protocol's run is captured as a report record, so `--out` emits the
+//! whole pass through the shared pipeline (single-seed cells).
 
+use dtn_bench::report::{OutputSpec, ReportSpec, RunRecord};
 use dtn_bench::{
     run_spec, ProtocolKind, ProtocolSpec, RunSpec, ScenarioCache, ScenarioSpec, WorkloadSpec,
 };
@@ -18,6 +23,7 @@ fn main() {
     let mut scenario_arg = String::from("paper");
     let mut workload = WorkloadSpec::PaperUniform;
     let mut duration: Option<f64> = None;
+    let mut outs: Vec<OutputSpec> = Vec::new();
     let mut positional = 0;
 
     let mut it = std::env::args().skip(1);
@@ -44,10 +50,12 @@ fn main() {
                         .unwrap_or_else(|e| die(format!("--duration: {e}"))),
                 )
             }
+            "--out" => outs.push(OutputSpec::parse(&val("--out")).unwrap_or_else(|e| die(e))),
             "--help" | "-h" => {
                 println!(
                     "usage: smoke [n_nodes] [seed] [--scenario paper|rwp|trace:<path>] \
-                     [--workload paper|hotspot|bursty] [--duration SECS]"
+                     [--workload paper|hotspot|bursty] [--duration SECS] \
+                     [--out json:PATH|csv:PATH|md:PATH ...]"
                 );
                 return;
             }
@@ -90,6 +98,9 @@ fn main() {
         t0.elapsed()
     );
 
+    let mut report = ReportSpec::new(format!(
+        "Smoke: every protocol on {scenario} ({workload} workload, seed {seed})"
+    ));
     for kind in ProtocolKind::ALL {
         let proto = ProtocolSpec::paper(kind);
         let spec = RunSpec::on(kind.name(), scenario.clone(), proto.clone())
@@ -100,6 +111,14 @@ fn main() {
         };
         let t = Instant::now();
         let stats = run_spec(&cache, &spec, seed);
+        let wall = t.elapsed();
+        report.push(RunRecord::capture(
+            &spec,
+            &ps,
+            seed,
+            &stats,
+            wall.as_secs_f64(),
+        ));
         // Each row names the *resolved* spec in the `--protocol` grammar, so
         // any line of the log is a reproducible dtnrun invocation.
         println!(
@@ -116,7 +135,10 @@ fn main() {
             stats.drops_ttl,
             stats.drops_protocol,
             stats.control_bytes / 1024,
-            t.elapsed()
+            wall
         );
+    }
+    if !report.write_all(&outs) {
+        std::process::exit(1);
     }
 }

@@ -14,13 +14,22 @@
 //! Binaries: `fig2`, `fig3`, `fig4`, `ablation` (see `--help` of each),
 //! `smoke` (one-shot sanity run), `dtnrun` (single-run report / trace
 //! replay), `shootout` (all protocols across scenario families in one
-//! matrix). All of them execute simulations through the [`runner`] layer's
+//! matrix), `reportcheck` (schema validator for emitted JSON). All of them
+//! execute simulations through the [`runner`] layer's
 //! `RunSpec → SimStats` primitive ([`runner::run_spec`] / [`runner::run_on`]),
 //! every scenario/workload is a first-class
 //! [`dtn_mobility::ScenarioSpec`]/[`dtn_mobility::WorkloadSpec`] value, and
 //! every protocol — family *and* tuning parameters — is a first-class
 //! [`ProtocolSpec`] value with a CLI grammar
 //! (`--protocol eer:lambda=8,ttl=3600`; see [`protocols`]).
+//!
+//! Results are first-class too: every run is captured as a
+//! [`report::RunRecord`] (full spec provenance + stats + wall-clock), every
+//! binary's output flows through [`report::ReportSpec`] — multi-seed
+//! statistics per cell, JSON/CSV/Markdown emitters behind repeatable
+//! `--out FORMAT:PATH` flags — and `shootout` writes a
+//! `BENCH_shootout.json` trajectory so performance is tracked across
+//! revisions (see [`report`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,8 +41,12 @@ pub mod scenario;
 
 pub use dtn_mobility::{ScenarioSpec, TraceSource, WorkloadSpec};
 pub use protocols::{ProtocolKind, ProtocolParams, ProtocolSpec};
-pub use report::{print_series_table, write_csv, Series};
+pub use report::{
+    print_series_table, write_csv, CellSummary, MetricSummary, OutputSpec, ReportSpec, RunRecord,
+    Series,
+};
 pub use runner::{
-    run_matrix, run_matrix_with, run_on, run_spec, CommunitySource, RunSpec, SweepConfig,
+    run_matrix, run_matrix_records, run_matrix_with, run_on, run_spec, CommunitySource, RunSpec,
+    SweepConfig,
 };
 pub use scenario::{BuiltScenario, ScenarioCache, ScenarioKey};

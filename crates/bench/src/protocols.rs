@@ -49,6 +49,26 @@
 //! identity and every printed spec is a reproducible `--protocol` argument.
 //! [`ProtocolSpec::cache_key`] is a fully injective encoding (all parameters,
 //! floats by bit pattern) used to key sweep cells.
+//!
+//! ```
+//! use dtn_bench::{ProtocolKind, ProtocolSpec};
+//!
+//! let spec = ProtocolSpec::parse("eer:lambda=8,ttl=3600").unwrap();
+//! assert_eq!(spec.kind(), ProtocolKind::Eer);
+//! assert_eq!(spec.ttl, Some(3600.0));
+//!
+//! // Display is canonical: parse ∘ Display is the identity, so any printed
+//! // spec is a reproducible `--protocol` argument.
+//! assert_eq!(ProtocolSpec::parse(&spec.to_string()).unwrap(), spec);
+//!
+//! // Validation happens at parse time: unknown keys list the valid ones.
+//! let err = ProtocolSpec::parse("eer:bogus=1").unwrap_err();
+//! assert!(err.contains("lambda"));
+//!
+//! // Tuned variants of one family never share a sweep-cell key.
+//! let tuned = ProtocolSpec::parse("eer:lambda=16").unwrap();
+//! assert_ne!(spec.cache_key(), tuned.cache_key());
+//! ```
 
 use ce_core::{BufferPolicy, CommunityMap, Cr, CrConfig, Eer, EerConfig, EmdMode};
 use dtn_routing::{

@@ -1,4 +1,58 @@
-//! Result tables and CSV output.
+//! First-class experiment reports.
+//!
+//! Everything a binary prints or writes flows through one audited pipeline:
+//!
+//! ```text
+//! RunSpec ──run──▶ SimStats ──capture──▶ RunRecord ──ReportSpec::cells──▶ CellSummary
+//!                                            │                                │
+//!                                            ▼                                ▼
+//!                                      JSON records            JSON/CSV/Markdown emitters,
+//!                                                              console tables, BENCH_*.json
+//! ```
+//!
+//! * [`record`] — [`RunRecord`] (full `(scenario, workload, protocol, seed,
+//!   duration)` provenance + stats + wall-clock) and [`ReportSpec`], which
+//!   aggregates records across seeds into [`CellSummary`]s
+//!   (mean/stddev/min/max/95 % CI per metric).
+//! * [`metrics`] — the registry enumerating every metric's key, unit and
+//!   definition; emitters and the README glossary both derive from it.
+//! * [`emit`] — schema-versioned JSON (with a parser: `parse ∘ emit` is the
+//!   identity on records), long-format CSV, paper-style Markdown and the
+//!   `BENCH_*.json` trajectory format, selected via repeatable `--out`
+//!   flags ([`OutputSpec`]).
+//! * [`json`] — the offline JSON document model the emitters build on.
+//!
+//! This module additionally keeps the legacy figure-table helpers
+//! ([`Series`], [`print_series_table`], [`write_csv`]) and the shared CLI
+//! argument parser ([`CommonArgs`]).
+//!
+//! ```
+//! use dtn_bench::report::{ReportSpec, RunRecord};
+//! use dtn_bench::{run_spec, ProtocolSpec, RunSpec, ScenarioCache};
+//!
+//! // Spec parsing → run → report: the whole pipeline in five lines.
+//! let spec = RunSpec::new("EER", 8, ProtocolSpec::parse("eer:lambda=4").unwrap())
+//!     .with_duration(300.0);
+//! let cache = ScenarioCache::new();
+//! let ps = cache.get_spec(&spec.scenario, &spec.workload, 1, spec.duration);
+//! let stats = run_spec(&cache, &spec, 1);
+//! let mut report = ReportSpec::new("quick report");
+//! report.push(RunRecord::capture(&spec, &ps, 1, &stats, 0.0));
+//!
+//! // Emit → parse is the identity on the records.
+//! let text = report.to_json_string();
+//! assert_eq!(ReportSpec::from_json_str(&text).unwrap(), report);
+//! assert!(report.to_markdown().contains("EER"));
+//! ```
+
+pub mod emit;
+pub mod json;
+pub mod metrics;
+pub mod record;
+
+pub use emit::{validate_document, write_text, OutputFormat, OutputSpec};
+pub use metrics::{glossary_markdown, MetricDef, HEADLINE, METRICS};
+pub use record::{CellSummary, MetricSummary, ReportSpec, RunRecord, SCHEMA_VERSION};
 
 use dtn_mobility::{ScenarioSpec, TraceSource, WorkloadSpec};
 use dtn_sim::MetricPoint;
@@ -51,10 +105,13 @@ pub fn print_series_table(title: &str, xs: &[u32], series: &[Series]) -> String 
 
 /// Writes the series as CSV:
 /// `series,n_nodes,delivery_ratio,latency,goodput,runs`.
+///
+/// Parent directories are created as needed; failures — including a parent
+/// that exists but is not a directory, and a bare filename whose empty
+/// `parent()` used to make the old implementation error spuriously — come
+/// back as an [`std::io::Error`] naming the offending path (see
+/// [`write_text`]).
 pub fn write_csv(path: &Path, series: &[Series]) -> std::io::Result<()> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
     let mut out = String::from("series,n_nodes,delivery_ratio,latency,goodput,runs\n");
     for s in series {
         for (x, p) in &s.points {
@@ -65,7 +122,7 @@ pub fn write_csv(path: &Path, series: &[Series]) -> std::io::Result<()> {
             );
         }
     }
-    std::fs::write(path, out)
+    write_text(path, &out)
 }
 
 /// Parses common CLI flags shared by the figure binaries.
@@ -84,6 +141,9 @@ pub struct CommonArgs {
     /// default. Rejected for trace replay (a recording runs at its native
     /// horizon).
     pub duration: Option<f64>,
+    /// Report outputs (`--out FORMAT:PATH`, repeatable). When empty, each
+    /// binary falls back to its default output files.
+    pub outs: Vec<OutputSpec>,
     /// Print the paper's settings table and exit.
     pub print_settings: bool,
 }
@@ -91,7 +151,7 @@ pub struct CommonArgs {
 impl CommonArgs {
     /// Parses `--full`, `--seeds K`, `--nodes a,b,c`, `--quick`,
     /// `--scenario FAMILY`, `--workload KIND`, `--duration SECS`,
-    /// `--print-settings` from `args`.
+    /// `--out FORMAT:PATH` (repeatable), `--print-settings` from `args`.
     pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut out = CommonArgs {
             seeds: 3,
@@ -99,6 +159,7 @@ impl CommonArgs {
             scenario: "paper".into(),
             workload: WorkloadSpec::PaperUniform,
             duration: None,
+            outs: Vec::new(),
             print_settings: false,
         };
         let mut it = args.peekable();
@@ -145,11 +206,16 @@ impl CommonArgs {
                     }
                     out.duration = Some(d);
                 }
+                "--out" => {
+                    let v = it.next().ok_or("--out needs FORMAT:PATH")?;
+                    out.outs.push(OutputSpec::parse(&v)?);
+                }
                 "--print-settings" => out.print_settings = true,
                 "--help" | "-h" => {
                     return Err("usage: [--full|--quick] [--seeds K] \
                                 [--nodes a,b,c] [--scenario paper|rwp|trace:<path>] \
                                 [--workload paper|hotspot|bursty] [--duration SECS] \
+                                [--out json:PATH|csv:PATH|md:PATH ...] \
                                 [--print-settings]"
                         .into())
                 }
@@ -177,6 +243,19 @@ impl CommonArgs {
     /// ignores `n` (the recording fixes the node count).
     pub fn scenario_for(&self, n: u32) -> ScenarioSpec {
         ScenarioSpec::parse(&self.scenario, n).expect("validated at parse time")
+    }
+
+    /// The report outputs to write: the `--out` targets when given,
+    /// otherwise `defaults` (in the same `FORMAT:PATH` grammar).
+    pub fn outs_or(&self, defaults: &[&str]) -> Vec<OutputSpec> {
+        if self.outs.is_empty() {
+            defaults
+                .iter()
+                .map(|s| OutputSpec::parse(s).expect("builtin default output"))
+                .collect()
+        } else {
+            self.outs.clone()
+        }
     }
 }
 
@@ -303,6 +382,27 @@ mod tests {
             .into_iter(),
         );
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn out_flag_parses_and_defaults_apply() {
+        let a = CommonArgs::parse(
+            [
+                "--out".to_string(),
+                "json:results/a.json".to_string(),
+                "--out".to_string(),
+                "md:a.md".to_string(),
+            ]
+            .into_iter(),
+        )
+        .unwrap();
+        assert_eq!(a.outs.len(), 2);
+        assert_eq!(a.outs_or(&["csv:default.csv"]).len(), 2, "--out wins");
+        let d = CommonArgs::parse(std::iter::empty()).unwrap();
+        let outs = d.outs_or(&["csv:default.csv"]);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].format, OutputFormat::Csv);
+        assert!(CommonArgs::parse(["--out".to_string(), "tsv:x".to_string()].into_iter()).is_err());
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! Run records, multi-seed aggregation and cell summaries.
+//!
+//! A [`RunRecord`] is the provenance-complete result of one executed cell:
+//! the canonical `(scenario, workload, protocol, seed, duration)` identity
+//! (the same injective encodings the scenario cache keys on, via
+//! [`RunSpec::cell_key`]), the run's [`StatsSnapshot`] and its wall-clock
+//! cost. A [`ReportSpec`] is an ordered collection of records under a title;
+//! [`ReportSpec::cells`] groups them across seeds into [`CellSummary`]s
+//! carrying per-metric statistics ([`MetricSummary`]: mean, sample stddev,
+//! min, max and a 95 % normal-approximation confidence interval).
+//!
+//! ```
+//! use dtn_bench::report::{ReportSpec, RunRecord};
+//! use dtn_bench::{run_spec, ProtocolSpec, RunSpec, ScenarioCache};
+//!
+//! let cache = ScenarioCache::new();
+//! let spec = RunSpec::new("EER", 8, ProtocolSpec::parse("eer").unwrap())
+//!     .with_duration(300.0);
+//! let mut report = ReportSpec::new("doc example");
+//! for seed in 1..=2 {
+//!     let ps = cache.get_spec(&spec.scenario, &spec.workload, seed, spec.duration);
+//!     let stats = run_spec(&cache, &spec, seed);
+//!     report.push(RunRecord::capture(&spec, &ps, seed, &stats, 0.0));
+//! }
+//! let cells = report.cells();
+//! assert_eq!(cells.len(), 1, "two seeds of one spec fold into one cell");
+//! assert_eq!(cells[0].seeds, vec![1, 2]);
+//! assert!(cells[0].metric("delivery_ratio").unwrap().mean >= 0.0);
+//! ```
+
+use super::metrics::{metric, MetricDef, METRICS};
+use crate::runner::RunSpec;
+use crate::scenario::BuiltScenario;
+use dtn_sim::{MetricPoint, SimStats, StatsSnapshot};
+
+/// Format version stamped into every emitted document; bump when the field
+/// set changes shape.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Schema name stamped into report documents.
+pub const REPORT_SCHEMA: &str = "cen-dtn.report";
+
+/// Schema name stamped into bench-trajectory documents
+/// (`BENCH_shootout.json`).
+pub const BENCH_SCHEMA: &str = "cen-dtn.bench";
+
+/// One executed `(spec, seed)` cell with full provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Row label the producing binary assigned (series name).
+    pub series: String,
+    /// Canonical scenario spec (`ScenarioSpec`'s `Display`), reproducible as
+    /// a `--scenario` argument.
+    pub scenario: String,
+    /// Canonical workload spec (`WorkloadSpec`'s `Display`).
+    pub workload: String,
+    /// Canonical protocol spec (`ProtocolSpec`'s `Display`), reproducible as
+    /// a `--protocol` argument.
+    pub protocol: String,
+    /// Mobility/traffic seed of this run.
+    pub seed: u64,
+    /// Resolved node count (for trace replay, the recording's).
+    pub n_nodes: u32,
+    /// Resolved horizon in seconds.
+    pub duration: f64,
+    /// Injective full-cell identity from [`RunSpec::cell_key`] (includes the
+    /// seed).
+    pub cell: String,
+    /// [`RunRecord::cell`] with the seed elided — the identity multi-seed
+    /// aggregation groups by.
+    pub group: String,
+    /// The run's scalar counters.
+    pub stats: StatsSnapshot,
+    /// Host wall-clock seconds the run took.
+    pub wall_s: f64,
+}
+
+impl RunRecord {
+    /// Captures the record for one executed cell: `spec` supplies the
+    /// canonical identity, `ps` the resolved scenario shape, `stats` the
+    /// result and `wall_s` the measured execution time.
+    pub fn capture(
+        spec: &RunSpec,
+        ps: &BuiltScenario,
+        seed: u64,
+        stats: &SimStats,
+        wall_s: f64,
+    ) -> Self {
+        let key = spec.cell_key(seed);
+        RunRecord {
+            series: spec.series.clone(),
+            scenario: spec.scenario.to_string(),
+            workload: spec.workload.to_string(),
+            protocol: spec.protocol.to_string(),
+            seed,
+            n_nodes: ps.n_nodes,
+            duration: ps.scenario.trace.duration,
+            cell: key.encoded(),
+            group: key.group_encoded(),
+            stats: stats.snapshot(),
+            wall_s,
+        }
+    }
+
+    /// The value of the registered metric `key` for this run, if known.
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        metric(key).map(|m| (m.extract)(self))
+    }
+}
+
+/// Distribution statistics of one metric over a cell's seeds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetricSummary {
+    /// Arithmetic mean across runs.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator); `0` for a single run.
+    pub stddev: f64,
+    /// Smallest per-run value.
+    pub min: f64,
+    /// Largest per-run value.
+    pub max: f64,
+    /// Half-width of the 95 % confidence interval of the mean
+    /// (`1.96 · stddev / √n`, normal approximation); `0` for a single run —
+    /// and exactly `0` whenever every run agrees (stddev `0`).
+    pub ci95: f64,
+    /// Number of runs summarized.
+    pub n: u32,
+}
+
+impl MetricSummary {
+    /// Summarizes a non-empty slice of per-run values.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize zero runs");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let stddev = if values.len() < 2 {
+            0.0
+        } else {
+            (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+        };
+        MetricSummary {
+            mean,
+            stddev,
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            ci95: 1.96 * stddev / n.sqrt(),
+            n: values.len() as u32,
+        }
+    }
+}
+
+/// Cross-seed aggregate of one cell family: every record sharing a
+/// [`RunRecord::group`], summarized per registered metric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellSummary {
+    /// The shared group identity ([`RunRecord::group`]).
+    pub group: String,
+    /// Series label (from the first record of the group).
+    pub series: String,
+    /// Canonical scenario spec.
+    pub scenario: String,
+    /// Canonical workload spec.
+    pub workload: String,
+    /// Canonical protocol spec.
+    pub protocol: String,
+    /// Resolved node count.
+    pub n_nodes: u32,
+    /// Resolved horizon in seconds.
+    pub duration: f64,
+    /// Seeds aggregated, ascending.
+    pub seeds: Vec<u64>,
+    /// Per-metric statistics, in registry order (one entry per
+    /// [`METRICS`] element).
+    pub metrics: Vec<(&'static str, MetricSummary)>,
+}
+
+impl CellSummary {
+    /// The summary of the registered metric `key`, if present.
+    pub fn metric(&self, key: &str) -> Option<&MetricSummary> {
+        self.metrics.iter().find(|(k, _)| *k == key).map(|(_, s)| s)
+    }
+
+    /// Bridges the summary to the legacy [`MetricPoint`] (headline means),
+    /// so figure tables and plots keep working off the report pipeline.
+    pub fn point(&self) -> MetricPoint {
+        let mean = |key: &str| self.metric(key).map_or(0.0, |m| m.mean);
+        MetricPoint {
+            delivery_ratio: mean("delivery_ratio"),
+            latency: mean("latency_s"),
+            goodput: mean("goodput"),
+            relayed: mean("relayed"),
+            control_mb: mean("control_mb"),
+            runs: self.seeds.len() as u32,
+        }
+    }
+}
+
+/// A titled, ordered collection of run records — the unit every emitter
+/// (JSON, CSV, Markdown, console tables) consumes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReportSpec {
+    /// Human title (figure caption, ablation name, ...).
+    pub title: String,
+    /// Records in execution-plan order.
+    pub records: Vec<RunRecord>,
+}
+
+impl ReportSpec {
+    /// An empty report under `title`.
+    pub fn new(title: impl Into<String>) -> Self {
+        ReportSpec {
+            title: title.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: RunRecord) {
+        self.records.push(record);
+    }
+
+    /// Groups the records by [`RunRecord::group`] (first-appearance order)
+    /// and summarizes every registered metric per group. Records of one
+    /// group are seed-sorted before summarizing, so the output is
+    /// independent of insertion order. One indexed pass over the records —
+    /// linear in `records × metrics`, whatever the group count.
+    pub fn cells(&self) -> Vec<CellSummary> {
+        let mut index: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        let mut groups: Vec<Vec<&RunRecord>> = Vec::new();
+        for r in &self.records {
+            let i = *index.entry(r.group.as_str()).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[i].push(r);
+        }
+        groups
+            .into_iter()
+            .map(|mut runs| {
+                runs.sort_by_key(|r| r.seed);
+                let first = runs[0];
+                let metrics = METRICS
+                    .iter()
+                    .map(|m: &MetricDef| {
+                        let values: Vec<f64> = runs.iter().map(|r| (m.extract)(r)).collect();
+                        (m.key, MetricSummary::of(&values))
+                    })
+                    .collect();
+                CellSummary {
+                    group: first.group.clone(),
+                    series: first.series.clone(),
+                    scenario: first.scenario.clone(),
+                    workload: first.workload.clone(),
+                    protocol: first.protocol.clone(),
+                    n_nodes: first.n_nodes,
+                    duration: first.duration,
+                    seeds: runs.iter().map(|r| r.seed).collect(),
+                    metrics,
+                }
+            })
+            .collect()
+    }
+
+    /// Total wall-clock seconds across all records.
+    pub fn wall_s_total(&self) -> f64 {
+        self.records.iter().map(|r| r.wall_s).sum()
+    }
+
+    /// The execution-plan view: one legacy [`MetricPoint`] per consecutive
+    /// `seeds_per_spec` records — i.e. one point per `RunSpec`, in spec
+    /// order, exactly as `run_matrix` reduces. Positional consumers (the
+    /// figure panels, which index points by `spec × node count`) must use
+    /// this rather than [`ReportSpec::cells`]: cells merge records sharing
+    /// a group identity, and distinct specs *can* share one — trace replay
+    /// ignores the node count, so every sweep point of a trace family is
+    /// the same cell.
+    ///
+    /// # Panics
+    /// Panics if `seeds_per_spec` is zero or does not divide the record
+    /// count (the records did not come from a
+    /// `seeds_per_spec`-seeded matrix).
+    pub fn points(&self, seeds_per_spec: usize) -> Vec<MetricPoint> {
+        assert!(
+            seeds_per_spec > 0 && self.records.len().is_multiple_of(seeds_per_spec),
+            "{} records cannot be {} runs per spec",
+            self.records.len(),
+            seeds_per_spec
+        );
+        self.records
+            .chunks(seeds_per_spec)
+            .map(|runs| {
+                MetricPoint::from_snapshots(&runs.iter().map(|r| r.stats).collect::<Vec<_>>())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn synthetic_record(series: &str, seed: u64, delivered: u64) -> RunRecord {
+        RunRecord {
+            series: series.into(),
+            scenario: "paper:40".into(),
+            workload: "paper".into(),
+            protocol: "eer".into(),
+            seed,
+            n_nodes: 40,
+            duration: 1000.0,
+            cell: format!("scenario=paper|workload=paper|protocol=eer+{series}|seed={seed}|dur=0"),
+            group: format!("scenario=paper|workload=paper|protocol=eer+{series}|dur=0"),
+            stats: StatsSnapshot {
+                created: 100,
+                delivered,
+                relayed: delivered * 3,
+                latency_sum: delivered as f64 * 120.0,
+                hops_sum: delivered * 2,
+                control_bytes: 1024 * 1024,
+                ..Default::default()
+            },
+            wall_s: 0.25,
+        }
+    }
+
+    #[test]
+    fn summary_statistics_are_correct() {
+        let s = MetricSummary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.n, 3);
+        assert!(
+            (s.stddev - 1.0).abs() < 1e-12,
+            "sample stddev of 1,2,3 is 1"
+        );
+        assert!((s.ci95 - 1.96 / 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_run_has_zero_spread() {
+        let s = MetricSummary::of(&[0.7]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.min, 0.7);
+        assert_eq!(s.max, 0.7);
+    }
+
+    #[test]
+    fn cells_group_by_identity_not_order() {
+        let mut report = ReportSpec::new("t");
+        // Interleave two series and push seeds out of order.
+        report.push(synthetic_record("a", 2, 60));
+        report.push(synthetic_record("b", 1, 40));
+        report.push(synthetic_record("a", 1, 50));
+        let cells = report.cells();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].series, "a", "first-appearance order");
+        assert_eq!(cells[0].seeds, vec![1, 2], "seed-sorted inside the cell");
+        assert_eq!(cells[0].metrics.len(), METRICS.len());
+        let dr = cells[0].metric("delivery_ratio").unwrap();
+        assert!((dr.mean - 0.55).abs() < 1e-12);
+        assert_eq!(dr.min, 0.5);
+        assert_eq!(dr.max, 0.6);
+    }
+
+    /// Regression (trace replay in the figure binaries): when distinct
+    /// sweep specs share a group identity — a trace scenario ignores the
+    /// node count, so every sweep point is the same cell — `cells()` merges
+    /// them, but the positional `points()` view must still return one point
+    /// per spec so `spec × node count` indexing cannot go out of bounds.
+    #[test]
+    fn points_stay_positional_when_cells_merge() {
+        let mut report = ReportSpec::new("t");
+        // Same series and group for both "node counts" of one trace spec.
+        report.push(synthetic_record("a", 1, 50));
+        report.push(synthetic_record("a", 1, 60));
+        assert_eq!(report.cells().len(), 1, "identical cells merge");
+        let points = report.points(1);
+        assert_eq!(points.len(), 2, "but the plan view is one point per spec");
+        assert!((points[0].delivery_ratio - 0.5).abs() < 1e-12);
+        assert!((points[1].delivery_ratio - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_bridges_headline_means() {
+        let mut report = ReportSpec::new("t");
+        report.push(synthetic_record("a", 1, 50));
+        report.push(synthetic_record("a", 2, 60));
+        let p = report.cells()[0].point();
+        assert_eq!(p.runs, 2);
+        assert!((p.delivery_ratio - 0.55).abs() < 1e-12);
+        assert!((p.latency - 120.0).abs() < 1e-12);
+        assert!((p.control_mb - 1.0).abs() < 1e-12);
+    }
+}

@@ -8,9 +8,28 @@
 //! a matrix of such cells: [`run_matrix`] fans them out over worker threads
 //! with `std::thread::scope` and a shared atomic work index, then reduces
 //! per-point results in deterministic order (results are keyed, not raced),
-//! so the thread count never changes the output.
+//! so the thread count never changes the output. [`run_matrix_records`] is
+//! the same fan-out returning provenance-full
+//! [`RunRecord`]s for the report pipeline.
+//!
+//! ```
+//! use dtn_bench::{run_matrix, ProtocolSpec, RunSpec, SweepConfig};
+//!
+//! // Two protocols on the paper's 8-node bus-city, one seed each.
+//! let specs = vec![
+//!     RunSpec::new("EER", 8, ProtocolSpec::parse("eer:lambda=4").unwrap())
+//!         .with_duration(300.0),
+//!     RunSpec::new("Epidemic", 8, ProtocolSpec::parse("epidemic").unwrap())
+//!         .with_duration(300.0),
+//! ];
+//! let cfg = SweepConfig { seeds: 1, threads: 2, verbose: false };
+//! let points = run_matrix(&specs, cfg);
+//! assert_eq!(points.len(), 2, "one averaged point per spec");
+//! assert!(points.iter().all(|p| p.runs == 1));
+//! ```
 
 use crate::protocols::ProtocolSpec;
+use crate::report::RunRecord;
 use crate::scenario::{BuiltScenario, ScenarioCache, ScenarioKey};
 use ce_core::{detect_over_trace, detected_map, CommunityMap, DetectorConfig};
 use dtn_mobility::{ScenarioSpec, WorkloadSpec};
@@ -254,57 +273,73 @@ pub fn run_matrix_with(
     specs: &[RunSpec],
     cfg: SweepConfig,
 ) -> Vec<MetricPoint> {
+    let records = run_matrix_records(cache, specs, cfg);
+    records
+        .chunks(cfg.effective_seeds() as usize)
+        .map(|runs| MetricPoint::from_snapshots(&runs.iter().map(|r| r.stats).collect::<Vec<_>>()))
+        .collect()
+}
+
+/// The record-producing core of the matrix runner: executes every
+/// `(spec, seed)` cell over the worker pool and returns one provenance-full
+/// [`RunRecord`] per cell — including measured wall-clock — flat, in
+/// deterministic `(spec, seed)` order (`specs.len() × seeds` entries).
+///
+/// The simulation results are bit-deterministic whatever the thread count;
+/// only each record's `wall_s` varies between invocations (it measures the
+/// host, not the network).
+pub fn run_matrix_records(
+    cache: &ScenarioCache,
+    specs: &[RunSpec],
+    cfg: SweepConfig,
+) -> Vec<RunRecord> {
     let jobs: Vec<(usize, u64)> = (0..specs.len())
         .flat_map(|i| (0..cfg.effective_seeds()).map(move |s| (i, u64::from(s) + 1)))
         .collect();
     let next = AtomicUsize::new(0);
-    let results: Vec<Vec<(u64, SimStats)>> = {
-        let mut slots: Vec<std::sync::Mutex<Vec<(u64, SimStats)>>> = Vec::new();
-        slots.resize_with(specs.len(), Default::default);
-        std::thread::scope(|scope| {
-            for _ in 0..cfg.effective_threads() {
-                scope.spawn(|| loop {
-                    let j = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(spec_idx, seed)) = jobs.get(j) else {
-                        break;
-                    };
-                    let spec = &specs[spec_idx];
-                    let stats = run_spec(cache, spec, seed);
-                    if cfg.verbose {
-                        // The protocol prints in its canonical grammar form,
-                        // so every progress line names a reproducible
-                        // `--protocol` argument.
-                        eprintln!(
-                            "  [{}/{}] {} [{}] {} seed={} dr={:.3} lat={:.1} gp={:.4}",
-                            j + 1,
-                            jobs.len(),
-                            spec.series,
-                            spec.protocol,
-                            spec.scenario,
-                            seed,
-                            stats.delivery_ratio(),
-                            stats.avg_latency(),
-                            stats.goodput()
-                        );
-                    }
-                    slots[spec_idx].lock().unwrap().push((seed, stats));
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|m| {
-                let mut v = m.into_inner().unwrap();
-                v.sort_by_key(|(seed, _)| *seed);
-                v
-            })
-            .collect()
-    };
-    results
+    let mut slots: Vec<std::sync::Mutex<Vec<RunRecord>>> = Vec::new();
+    slots.resize_with(specs.len(), Default::default);
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.effective_threads() {
+            scope.spawn(|| loop {
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(spec_idx, seed)) = jobs.get(j) else {
+                    break;
+                };
+                let spec = &specs[spec_idx];
+                let t0 = std::time::Instant::now();
+                let stats = run_spec(cache, spec, seed);
+                let wall_s = t0.elapsed().as_secs_f64();
+                // A cache hit: run_spec resolved this same quadruple.
+                let ps = cache.get_spec(&spec.scenario, &spec.workload, seed, spec.duration);
+                let record = RunRecord::capture(spec, &ps, seed, &stats, wall_s);
+                if cfg.verbose {
+                    // The protocol prints in its canonical grammar form,
+                    // so every progress line names a reproducible
+                    // `--protocol` argument.
+                    eprintln!(
+                        "  [{}/{}] {} [{}] {} seed={} dr={:.3} lat={:.1} gp={:.4}",
+                        j + 1,
+                        jobs.len(),
+                        spec.series,
+                        spec.protocol,
+                        spec.scenario,
+                        seed,
+                        stats.delivery_ratio(),
+                        stats.avg_latency(),
+                        stats.goodput()
+                    );
+                }
+                slots[spec_idx].lock().unwrap().push(record);
+            });
+        }
+    });
+    slots
         .into_iter()
-        .map(|runs| {
-            let stats: Vec<SimStats> = runs.into_iter().map(|(_, s)| s).collect();
-            MetricPoint::from_runs(&stats)
+        .flat_map(|m| {
+            let mut v = m.into_inner().unwrap();
+            v.sort_by_key(|r| r.seed);
+            v
         })
         .collect()
 }

@@ -78,6 +78,37 @@ impl ScenarioKey {
         self.protocol = encoding.into();
         self
     }
+
+    /// The key's canonical string form — injective over everything the key
+    /// holds (the component encodings are canonical and none of them can
+    /// produce the `|seed=` / `|dur=` separator pattern, so joining them is
+    /// lossless). This is the cell identity the report layer records.
+    pub fn encoded(&self) -> String {
+        format!(
+            "{}|seed={}|{}",
+            self.group_encoded_prefix(),
+            self.seed,
+            self.encoded_suffix()
+        )
+    }
+
+    /// [`ScenarioKey::encoded`] with the seed elided: the identity of a
+    /// *cell family* that multi-seed statistics aggregate over. Two records
+    /// belong to the same summary cell iff their group encodings match.
+    pub fn group_encoded(&self) -> String {
+        format!("{}|{}", self.group_encoded_prefix(), self.encoded_suffix())
+    }
+
+    fn group_encoded_prefix(&self) -> String {
+        format!(
+            "scenario={}|workload={}|protocol={}",
+            self.scenario, self.workload, self.protocol
+        )
+    }
+
+    fn encoded_suffix(&self) -> String {
+        format!("dur={:016x}", self.duration_bits)
+    }
 }
 
 /// One fully built experiment input: the contact trace, community ground

@@ -7,6 +7,25 @@
 //! model. Both are deterministic functions of `(spec, seed, duration)` and
 //! expose a canonical [`cache_key`](ScenarioSpec::cache_key) string so
 //! downstream caches can memoise builds without a lossy `(n, seed)` tuple.
+//!
+//! ```
+//! use dtn_mobility::{ScenarioSpec, WorkloadSpec};
+//!
+//! // Parse → build: an 8-node random-waypoint scenario on a 300 s horizon
+//! // with a hotspot workload laid over it.
+//! let spec = ScenarioSpec::parse("rwp", 8).unwrap();
+//! let scenario = spec.build(1, Some(300.0)).unwrap();
+//! assert_eq!(scenario.trace.n_nodes, 8);
+//! let workload = WorkloadSpec::parse("hotspot").unwrap()
+//!     .generate(8, scenario.trace.duration, 1);
+//! assert!(!workload.is_empty());
+//!
+//! // Builds are deterministic functions of (spec, seed, duration) ...
+//! let again = spec.build(1, Some(300.0)).unwrap();
+//! assert_eq!(scenario.trace.contacts.len(), again.trace.contacts.len());
+//! // ... and distinct specs can never share a cache key.
+//! assert_ne!(spec.cache_key(), ScenarioSpec::paper(8).cache_key());
+//! ```
 
 use crate::contacts::{generate_trace, ContactGenConfig};
 use crate::geometry::{Point, Rect};

@@ -63,7 +63,7 @@ pub use engine::{SimConfig, Simulation};
 pub use ids::{MessageId, NodeId, NodePair};
 pub use message::{Message, MessageSpec, TrafficConfig};
 pub use router::{ContactCtx, NodeCtx, Router, SentSet, TransferAction, TransferPlan};
-pub use stats::{MetricPoint, SimStats};
+pub use stats::{MetricPoint, SimStats, StatsSnapshot};
 pub use time::SimTime;
 pub use trace::{Contact, ContactTrace, TraceError, TraceStats};
 
@@ -74,7 +74,7 @@ pub mod prelude {
     pub use crate::ids::{MessageId, NodeId, NodePair};
     pub use crate::message::{Message, MessageSpec, TrafficConfig};
     pub use crate::router::{ContactCtx, NodeCtx, Router, SentSet, TransferAction, TransferPlan};
-    pub use crate::stats::{MetricPoint, SimStats};
+    pub use crate::stats::{MetricPoint, SimStats, StatsSnapshot};
     pub use crate::time::SimTime;
     pub use crate::trace::{Contact, ContactTrace, TraceStats};
 }

@@ -17,6 +17,15 @@
 //! | [`routing`] (`dtn-routing`) | Epidemic, Direct, First-Contact, PRoPHET, Spray-and-Wait/Focus, EBR, MaxProp |
 //! | [`core`] (`ce-core`) | the paper's EER and CR protocols and their estimators |
 //!
+//! The experiment harness (crate `bench`, not re-exported here — it is a
+//! binary-oriented crate) drives everything above through first-class
+//! `ScenarioSpec`/`WorkloadSpec`/`ProtocolSpec` values and captures results
+//! as serializable run records with multi-seed statistics
+//! (`bench::report`); see `docs/ARCHITECTURE.md` for the full data flow.
+//! The serializable face of a run's statistics,
+//! [`StatsSnapshot`](sim::StatsSnapshot), is part of [`sim`] and this
+//! facade's [`prelude`].
+//!
 //! ## Quickstart
 //!
 //! ```
