@@ -5,6 +5,7 @@
 use ce_core::{CommunityMap, ContactHistory, MemdSolver, MiMatrix};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dtn_mobility::scenario::ScenarioConfig;
+use dtn_sim::observe::{EventLog, LatencyHistogramProbe, TimeSeriesProbe};
 use dtn_sim::{NodeId, SimConfig, SimTime, Simulation, TrafficConfig};
 use std::hint::black_box;
 
@@ -113,6 +114,8 @@ fn bench_engine(c: &mut Criterion) {
     };
     let scenario = cfg.build(1);
     let workload = TrafficConfig::paper(2000.0).generate(40, 1);
+    // The observer-free engine: events are folded inline into SimStats and
+    // discarded — the refactored equivalent of the old inline-mutation path.
     c.bench_function("engine_epidemic_n40_2000s", |b| {
         b.iter(|| {
             let stats = Simulation::new(
@@ -122,6 +125,24 @@ fn bench_engine(c: &mut Criterion) {
                 |_, _| Box::new(dtn_routing::Epidemic::new()),
             )
             .run();
+            black_box(stats.relayed)
+        })
+    });
+    // The same run with the full probe set attached: batched dispatch to a
+    // time-series probe, a latency histogram and a raw event log. The gap
+    // between this and the bench above is the total observation cost.
+    c.bench_function("engine_epidemic_n40_2000s_probed", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(
+                &scenario.trace,
+                workload.clone(),
+                SimConfig::paper(1),
+                |_, _| Box::new(dtn_routing::Epidemic::new()),
+            );
+            sim.add_observer(Box::new(TimeSeriesProbe::new(60.0)));
+            sim.add_observer(Box::new(LatencyHistogramProbe::new()));
+            sim.add_observer(Box::new(EventLog::default()));
+            let (stats, _obs) = sim.run_observed();
             black_box(stats.relayed)
         })
     });

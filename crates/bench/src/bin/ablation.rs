@@ -285,7 +285,8 @@ fn main() {
     for (label, proto) in &grid {
         for &n in &args.node_counts {
             let mut spec = RunSpec::on(label.clone(), args.scenario_for(n), proto.clone())
-                .with_workload(args.workload.clone());
+                .with_workload(args.workload.clone())
+                .with_probes(args.probes.clone());
             if let Some(d) = args.duration {
                 spec = spec.with_duration(d);
             }

@@ -14,7 +14,8 @@
 
 use dtn_bench::report::{OutputSpec, ReportSpec, RunRecord};
 use dtn_bench::{
-    run_on, BuiltScenario, ProtocolSpec, RunSpec, ScenarioCache, ScenarioSpec, WorkloadSpec,
+    run_on_observed, BuiltScenario, ProbeSpec, ProtocolSpec, RunSpec, ScenarioCache, ScenarioSpec,
+    WorkloadSpec,
 };
 use dtn_sim::report::{delivery_progress, latencies, percentile};
 
@@ -34,6 +35,10 @@ const USAGE: &str = "usage: dtnrun [flags]
   --trace PATH         shorthand for --scenario trace:PATH
   --buffer BYTES       per-node buffer capacity (default 1 MB)
   --progress-step SECS delivery-progress bucket (default 1000)
+  --probe SPEC         attach an observer to the run (repeatable):
+                         timeseries[:dt=SECS]  delivery/overhead/occupancy
+                                               curves sampled in-run
+                         latency               log2 histogram, exact p50/p95/p99
   --out FORMAT:PATH    emit the run through the report pipeline
                        (json:|csv:|md:, repeatable)
   --help, -h           print this help
@@ -42,7 +47,7 @@ examples:
   dtnrun --protocol eer:lambda=8 --scenario rwp --nodes 40
   dtnrun --protocol cr --workload hotspot --duration 2000
   dtnrun --protocol prophet:beta=0.25,gamma=0.99 --scenario trace:contacts.trace
-  dtnrun --protocol eer --out json:results/run.json --out md:results/run.md";
+  dtnrun --protocol eer --probe timeseries:dt=60 --out json:results/run.json";
 
 struct Args {
     protocol: ProtocolSpec,
@@ -56,6 +61,7 @@ struct Args {
     alpha: Option<f64>,
     buffer: Option<u64>,
     progress_step: f64,
+    probes: Vec<ProbeSpec>,
     outs: Vec<OutputSpec>,
 }
 
@@ -72,6 +78,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         alpha: None,
         buffer: None,
         progress_step: 1_000.0,
+        probes: Vec::new(),
         outs: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -95,6 +102,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                     .parse()
                     .map_err(|e| format!("{e}"))?
             }
+            "--probe" => out.probes.push(ProbeSpec::parse(&val("--probe")?)?),
             "--out" => out.outs.push(OutputSpec::parse(&val("--out")?)?),
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other} (try --help)")),
@@ -172,7 +180,8 @@ fn main() {
     );
 
     let mut spec = RunSpec::on(args.protocol.kind().name(), scenario, args.protocol.clone())
-        .with_workload(args.workload);
+        .with_workload(args.workload)
+        .with_probes(args.probes.clone());
     if let Some(b) = args.buffer {
         spec = spec.with_buffer(b);
     }
@@ -183,13 +192,14 @@ fn main() {
     }
 
     let t0 = std::time::Instant::now();
-    let stats = run_on(&ps, &spec, args.seed);
+    let out = run_on_observed(&ps, &spec, args.seed);
     let wall = t0.elapsed();
+    let stats = &out.stats;
 
     println!("\n=== {} ===", args.protocol);
     println!("delivery ratio   {:.4}", stats.delivery_ratio());
     println!("latency (mean)   {:.1} s", stats.avg_latency());
-    let lats = latencies(&stats, &created_at);
+    let lats = latencies(stats, &created_at);
     for p in [50.0, 90.0, 99.0] {
         if let Some(v) = percentile(lats.clone(), p) {
             println!("latency (p{p:.0})    {v:.1} s");
@@ -213,21 +223,50 @@ fn main() {
         "\ndelivery progress (cumulative, every {:.0} s):",
         args.progress_step
     );
-    let prog = delivery_progress(&stats, duration, args.progress_step);
+    let prog = delivery_progress(stats, duration, args.progress_step);
     for (k, v) in prog.iter().enumerate() {
         if k % 2 == 0 {
             println!("  t={:>7.0}  delivered={v}", k as f64 * args.progress_step);
         }
     }
 
+    // Probe outputs, sampled *during* the run by the observer pipeline.
+    if let Some(ts) = &out.timeseries {
+        println!("\ntime series (probe, dt = {:.0} s):", ts.dt);
+        let stride = ts.samples.len().div_ceil(20).max(1);
+        for s in ts.samples.iter().step_by(stride) {
+            println!(
+                "  t={:>7.0}  dr={:.4} overhead={:>7.2} buffered={:>6} KB ({} msgs)",
+                s.t,
+                s.delivery_ratio(),
+                s.overhead_ratio(),
+                s.buffered_bytes / 1024,
+                s.buffered_msgs
+            );
+        }
+    }
+    if let Some(hist) = &out.latency {
+        println!(
+            "\nlatency histogram (probe): n={} p50={:.1} p95={:.1} p99={:.1} max={:.1}",
+            hist.count, hist.p50, hist.p95, hist.p99, hist.max
+        );
+        for (i, &n) in hist.buckets.iter().enumerate() {
+            if n > 0 {
+                let lo = (1u64 << i) - 1;
+                let hi = (1u64 << (i + 1)) - 1;
+                println!("  [{lo:>5}, {hi:>5}) s  {n}");
+            }
+        }
+    }
+
     // The machine-readable view of the same run: one record through the
-    // shared report pipeline.
+    // shared report pipeline, carrying the probe outputs.
     let mut report = ReportSpec::new(format!("dtnrun: {} on {}", args.protocol, spec.scenario));
-    report.push(RunRecord::capture(
+    report.push(RunRecord::capture_output(
         &spec,
         &ps,
         args.seed,
-        &stats,
+        &out,
         wall.as_secs_f64(),
     ));
     if !report.write_all(&args.outs) {

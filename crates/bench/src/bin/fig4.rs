@@ -33,7 +33,8 @@ fn main() {
                 args.scenario_for(n),
                 ProtocolSpec::paper(ProtocolKind::Cr).with_lambda(lambda),
             )
-            .with_workload(args.workload.clone());
+            .with_workload(args.workload.clone())
+            .with_probes(args.probes.clone());
             if let Some(d) = args.duration {
                 spec = spec.with_duration(d);
             }

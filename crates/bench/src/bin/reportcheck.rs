@@ -7,9 +7,12 @@
 //! ```
 //!
 //! For each file it checks the schema name and version, the presence of the
-//! per-record / per-cell required fields, and that **every** number in the
+//! per-record / per-cell required fields, that **every** number in the
 //! document is finite (the emitters turn NaN/inf into `null`, which fails
-//! here). Exits non-zero on the first invalid file — the CI gate for
+//! here), and the probe sections' invariants — time-series counters must be
+//! cumulative and agree with the record's end-of-run stats, latency
+//! histogram buckets must sum to the delivery count with ordered
+//! percentiles. Exits non-zero on the first invalid file — the CI gate for
 //! `shootout --out json:...` and its bench trajectory.
 
 use dtn_bench::report::validate_document;

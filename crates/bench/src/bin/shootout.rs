@@ -31,8 +31,8 @@
 
 use dtn_bench::report::{write_text, OutputSpec, ReportSpec};
 use dtn_bench::{
-    run_matrix_records, ProtocolKind, ProtocolSpec, RunSpec, ScenarioCache, ScenarioSpec,
-    SweepConfig, WorkloadSpec,
+    run_matrix_records, ProbeSpec, ProtocolKind, ProtocolSpec, RunSpec, ScenarioCache,
+    ScenarioSpec, SweepConfig, WorkloadSpec,
 };
 use std::path::Path;
 
@@ -43,6 +43,7 @@ struct Args {
     protocols: Vec<ProtocolSpec>,
     workload: WorkloadSpec,
     trace: Option<String>,
+    probes: Vec<ProbeSpec>,
     outs: Vec<OutputSpec>,
 }
 
@@ -88,6 +89,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         .collect(),
         workload: WorkloadSpec::PaperUniform,
         trace: None,
+        probes: Vec::new(),
         outs: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -117,6 +119,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                 std::fs::metadata(&p).map_err(|e| format!("cannot read {p}: {e}"))?;
                 out.trace = Some(p);
             }
+            "--probe" => out.probes.push(ProbeSpec::parse(&val("--probe")?)?),
             "--out" => out.outs.push(OutputSpec::parse(&val("--out")?)?),
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other}")),
@@ -141,6 +144,7 @@ fn main() {
             println!(
                 "usage: shootout [--seeds K] [--nodes a,b,c] [--duration SECS] \
                  [--protocols eer,cr,...] [--workload paper|hotspot|bursty] [--trace <path>] \
+                 [--probe timeseries[:dt=SECS]|latency ...] \
                  [--out json:PATH|csv:PATH|md:PATH ...]\n\
                  \n\
                  --protocols takes full specs (eer:lambda=4,eer:lambda=16,prophet:beta=0.25);\n\
@@ -194,7 +198,8 @@ fn main() {
                 // one protocol fold into distinct series.
                 let label = format!("{proto} @ {family}");
                 let mut spec = RunSpec::on(label, cell.scenario.clone(), proto.clone())
-                    .with_workload(args.workload.clone());
+                    .with_workload(args.workload.clone())
+                    .with_probes(args.probes.clone());
                 if let Some(d) = cell.duration {
                     spec = spec.with_duration(d);
                 }

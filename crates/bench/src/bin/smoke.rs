@@ -13,7 +13,8 @@
 
 use dtn_bench::report::{OutputSpec, ReportSpec, RunRecord};
 use dtn_bench::{
-    run_spec, ProtocolKind, ProtocolSpec, RunSpec, ScenarioCache, ScenarioSpec, WorkloadSpec,
+    run_spec_observed, ProbeSpec, ProtocolKind, ProtocolSpec, RunSpec, ScenarioCache, ScenarioSpec,
+    WorkloadSpec,
 };
 use std::time::Instant;
 
@@ -23,6 +24,7 @@ fn main() {
     let mut scenario_arg = String::from("paper");
     let mut workload = WorkloadSpec::PaperUniform;
     let mut duration: Option<f64> = None;
+    let mut probes: Vec<ProbeSpec> = Vec::new();
     let mut outs: Vec<OutputSpec> = Vec::new();
     let mut positional = 0;
 
@@ -50,11 +52,13 @@ fn main() {
                         .unwrap_or_else(|e| die(format!("--duration: {e}"))),
                 )
             }
+            "--probe" => probes.push(ProbeSpec::parse(&val("--probe")).unwrap_or_else(|e| die(e))),
             "--out" => outs.push(OutputSpec::parse(&val("--out")).unwrap_or_else(|e| die(e))),
             "--help" | "-h" => {
                 println!(
                     "usage: smoke [n_nodes] [seed] [--scenario paper|rwp|trace:<path>] \
                      [--workload paper|hotspot|bursty] [--duration SECS] \
+                     [--probe timeseries[:dt=SECS]|latency ...] \
                      [--out json:PATH|csv:PATH|md:PATH ...]"
                 );
                 return;
@@ -104,19 +108,21 @@ fn main() {
     for kind in ProtocolKind::ALL {
         let proto = ProtocolSpec::paper(kind);
         let spec = RunSpec::on(kind.name(), scenario.clone(), proto.clone())
-            .with_workload(workload.clone());
+            .with_workload(workload.clone())
+            .with_probes(probes.clone());
         let spec = match duration {
             Some(d) => spec.with_duration(d),
             None => spec,
         };
         let t = Instant::now();
-        let stats = run_spec(&cache, &spec, seed);
+        let (run_ps, out) = run_spec_observed(&cache, &spec, seed);
         let wall = t.elapsed();
-        report.push(RunRecord::capture(
+        let stats = &out.stats;
+        report.push(RunRecord::capture_output(
             &spec,
-            &ps,
+            &run_ps,
             seed,
-            &stats,
+            &out,
             wall.as_secs_f64(),
         ));
         // Each row names the *resolved* spec in the `--protocol` grammar, so

@@ -30,23 +30,32 @@
 //! `--out FORMAT:PATH` flags — and `shootout` writes a
 //! `BENCH_shootout.json` trajectory so performance is tracked across
 //! revisions (see [`report`]).
+//!
+//! Observation is first-class as well: a [`ProbeSpec`] (CLI grammar
+//! `--probe timeseries:dt=60`, `--probe latency`; see [`probes`]) attaches
+//! [`dtn_sim::observe`] probes to every run, so delivery-over-time curves
+//! and exact latency percentiles come out of the *same single run* that
+//! produces the end-of-run counters — probes never change a run's
+//! [`dtn_sim::SimStats`], bit for bit.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod probes;
 pub mod protocols;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 
 pub use dtn_mobility::{ScenarioSpec, TraceSource, WorkloadSpec};
+pub use probes::ProbeSpec;
 pub use protocols::{ProtocolKind, ProtocolParams, ProtocolSpec};
 pub use report::{
     print_series_table, write_csv, CellSummary, MetricSummary, OutputSpec, ReportSpec, RunRecord,
     Series,
 };
 pub use runner::{
-    run_matrix, run_matrix_records, run_matrix_with, run_on, run_spec, CommunitySource, RunSpec,
-    SweepConfig,
+    run_matrix, run_matrix_records, run_matrix_with, run_on, run_on_observed, run_spec,
+    run_spec_observed, CommunitySource, RunOutput, RunSpec, SweepConfig,
 };
 pub use scenario::{BuiltScenario, ScenarioCache, ScenarioKey};

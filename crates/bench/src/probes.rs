@@ -1,0 +1,196 @@
+//! First-class probe specifications.
+//!
+//! A [`ProbeSpec`] is a *value* describing an observation attached to a run
+//! — which [`dtn_sim::observe`] probe to instantiate and with which
+//! parameters — mirroring the `ScenarioSpec`/`WorkloadSpec`/`ProtocolSpec`
+//! design: a validated CLI grammar, a canonical `Display`
+//! (`parse ∘ Display` is the identity, proptest'd), and an injective
+//! [`ProbeSpec::cache_key`] that the runner folds into each cell identity so
+//! probed and unprobed variants of one cell never collide in any keyed map.
+//!
+//! # CLI grammar
+//!
+//! ```text
+//! --probe timeseries            delivery/overhead/occupancy curves, dt = 60 s
+//! --probe timeseries:dt=250     the same at a 250 s cadence
+//! --probe latency               log₂ latency histogram with exact p50/p95/p99
+//! ```
+//!
+//! The flag is repeatable; each spec attaches one observer to every run of
+//! the sweep. Probes are pure observation — the engine guarantees a probed
+//! run's [`SimStats`](dtn_sim::SimStats) is bitwise identical to the
+//! unprobed run.
+//!
+//! ```
+//! use dtn_bench::ProbeSpec;
+//!
+//! let p = ProbeSpec::parse("timeseries:dt=250").unwrap();
+//! assert_eq!(p, ProbeSpec::TimeSeries { dt: 250.0 });
+//! // Display is canonical and round-trips.
+//! assert_eq!(ProbeSpec::parse(&p.to_string()).unwrap(), p);
+//! // The default cadence prints bare.
+//! assert_eq!(ProbeSpec::parse("timeseries").unwrap().to_string(), "timeseries");
+//! // Unknown names and keys are parse-time errors listing the valid ones.
+//! assert!(ProbeSpec::parse("histogram").unwrap_err().contains("timeseries"));
+//! assert!(ProbeSpec::parse("timeseries:rate=2").unwrap_err().contains("dt"));
+//! ```
+
+use std::fmt;
+
+/// Default sampling cadence of the time-series probe, in seconds.
+pub const DEFAULT_TIMESERIES_DT: f64 = 60.0;
+
+/// One observation attached to a run — the probe-layer sibling of
+/// `ScenarioSpec`/`WorkloadSpec`/`ProtocolSpec`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProbeSpec {
+    /// Sample delivery-ratio / overhead / buffer-occupancy curves every
+    /// `dt` seconds ([`dtn_sim::TimeSeriesProbe`]).
+    TimeSeries {
+        /// Sampling cadence in seconds (finite, positive).
+        dt: f64,
+    },
+    /// Collect per-delivery latencies into a log₂-bucketed histogram with
+    /// exact p50/p95/p99 ([`dtn_sim::LatencyHistogramProbe`]).
+    LatencyHist,
+}
+
+impl ProbeSpec {
+    /// Parses the `--probe` grammar: `timeseries[:dt=SECS]` (alias `ts`) or
+    /// `latency` (alias `hist`). Validation happens here: a non-positive or
+    /// non-finite cadence, an unknown key or an unknown probe name all fail
+    /// with a message naming the valid forms.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (name, params) = match s.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (s, None),
+        };
+        match name.to_ascii_lowercase().as_str() {
+            "timeseries" | "ts" => {
+                let mut dt = DEFAULT_TIMESERIES_DT;
+                if let Some(params) = params {
+                    for kv in params.split(',') {
+                        let (key, value) = kv.split_once('=').ok_or_else(|| {
+                            format!("probe `{s}`: expected key=value, got `{kv}`")
+                        })?;
+                        match key {
+                            "dt" => {
+                                dt = value.parse().map_err(|e| format!("probe `{s}`: dt: {e}"))?;
+                                // The engine's floor: finer cadences flood
+                                // the event queue (far below it, they could
+                                // not even advance the clock).
+                                if !dt.is_finite() || dt < dtn_sim::engine::MIN_SAMPLE_INTERVAL {
+                                    return Err(format!(
+                                        "probe `{s}`: dt must be at least {} s of simulated \
+                                         time, got {value}",
+                                        dtn_sim::engine::MIN_SAMPLE_INTERVAL
+                                    ));
+                                }
+                            }
+                            other => {
+                                return Err(format!(
+                                    "probe `{s}`: unknown key `{other}` (valid: dt)"
+                                ))
+                            }
+                        }
+                    }
+                }
+                Ok(ProbeSpec::TimeSeries { dt })
+            }
+            "latency" | "hist" => {
+                if let Some(params) = params {
+                    return Err(format!(
+                        "probe `{s}`: the latency histogram takes no parameters \
+                         (got `{params}`)"
+                    ));
+                }
+                Ok(ProbeSpec::LatencyHist)
+            }
+            other => Err(format!(
+                "unknown probe `{other}` (valid: timeseries[:dt=SECS], latency)"
+            )),
+        }
+    }
+
+    /// Injective cache-key component: every parameter encoded, floats by bit
+    /// pattern. The runner appends this to a cell's identity, so a probed
+    /// cell can never collide with an unprobed (or differently-probed) one.
+    pub fn cache_key(&self) -> String {
+        match self {
+            ProbeSpec::TimeSeries { dt } => format!("timeseries:dt={:016x}", dt.to_bits()),
+            ProbeSpec::LatencyHist => "latency".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ProbeSpec {
+    /// The canonical grammar form: name plus non-default parameters.
+    /// `parse ∘ Display` is the identity, so every printed spec is a
+    /// reproducible `--probe` argument.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeSpec::TimeSeries { dt } => {
+                if *dt == DEFAULT_TIMESERIES_DT {
+                    write!(f, "timeseries")
+                } else {
+                    write!(f, "timeseries:dt={dt}")
+                }
+            }
+            ProbeSpec::LatencyHist => write!(f, "latency"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_and_aliases() {
+        assert_eq!(
+            ProbeSpec::parse("timeseries").unwrap(),
+            ProbeSpec::TimeSeries {
+                dt: DEFAULT_TIMESERIES_DT
+            }
+        );
+        assert_eq!(
+            ProbeSpec::parse("ts:dt=5").unwrap(),
+            ProbeSpec::TimeSeries { dt: 5.0 }
+        );
+        assert_eq!(ProbeSpec::parse("latency").unwrap(), ProbeSpec::LatencyHist);
+        assert_eq!(ProbeSpec::parse("HIST").unwrap(), ProbeSpec::LatencyHist);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(ProbeSpec::parse("timeseries:dt=0").is_err());
+        assert!(ProbeSpec::parse("timeseries:dt=-3").is_err());
+        // Below the engine's minimum cadence (1 ms of simulated time).
+        assert!(ProbeSpec::parse("timeseries:dt=0.0001").is_err());
+        assert!(ProbeSpec::parse("timeseries:dt=0.001").is_ok());
+        assert!(ProbeSpec::parse("timeseries:dt=nan").is_err());
+        assert!(ProbeSpec::parse("timeseries:dt=inf").is_err());
+        assert!(ProbeSpec::parse("timeseries:bogus=1").is_err());
+        assert!(ProbeSpec::parse("timeseries:dt").is_err());
+        assert!(ProbeSpec::parse("latency:k=1").is_err());
+        assert!(ProbeSpec::parse("nope").is_err());
+    }
+
+    #[test]
+    fn display_is_canonical() {
+        assert_eq!(ProbeSpec::TimeSeries { dt: 60.0 }.to_string(), "timeseries");
+        assert_eq!(
+            ProbeSpec::TimeSeries { dt: 250.0 }.to_string(),
+            "timeseries:dt=250"
+        );
+        assert_eq!(ProbeSpec::LatencyHist.to_string(), "latency");
+    }
+
+    #[test]
+    fn cache_keys_are_injective_over_dt() {
+        let a = ProbeSpec::TimeSeries { dt: 60.0 }.cache_key();
+        let b = ProbeSpec::TimeSeries { dt: 60.0000001 }.cache_key();
+        assert_ne!(a, b, "distinct cadences must key distinctly");
+        assert_ne!(a, ProbeSpec::LatencyHist.cache_key());
+    }
+}

@@ -17,9 +17,9 @@
 //! * [`metrics`] — the registry enumerating every metric's key, unit and
 //!   definition; emitters and the README glossary both derive from it.
 //! * [`emit`] — schema-versioned JSON (with a parser: `parse ∘ emit` is the
-//!   identity on records), long-format CSV, paper-style Markdown and the
-//!   `BENCH_*.json` trajectory format, selected via repeatable `--out`
-//!   flags ([`OutputSpec`]).
+//!   identity on records, probe sections included), long-format CSV,
+//!   paper-style Markdown and the `BENCH_*.json` trajectory format,
+//!   selected via repeatable `--out` flags ([`OutputSpec`]).
 //! * [`json`] — the offline JSON document model the emitters build on.
 //!
 //! This module additionally keeps the legacy figure-table helpers
@@ -54,6 +54,7 @@ pub use emit::{validate_document, write_text, OutputFormat, OutputSpec};
 pub use metrics::{glossary_markdown, MetricDef, HEADLINE, METRICS};
 pub use record::{CellSummary, MetricSummary, ReportSpec, RunRecord, SCHEMA_VERSION};
 
+use crate::probes::ProbeSpec;
 use dtn_mobility::{ScenarioSpec, TraceSource, WorkloadSpec};
 use dtn_sim::MetricPoint;
 use std::fmt::Write as _;
@@ -144,6 +145,10 @@ pub struct CommonArgs {
     /// Report outputs (`--out FORMAT:PATH`, repeatable). When empty, each
     /// binary falls back to its default output files.
     pub outs: Vec<OutputSpec>,
+    /// Probes attached to every run (`--probe SPEC`, repeatable; see
+    /// [`crate::probes`]). Binaries with a curve mode (fig2) add their own
+    /// default when this is empty.
+    pub probes: Vec<ProbeSpec>,
     /// Print the paper's settings table and exit.
     pub print_settings: bool,
 }
@@ -151,7 +156,8 @@ pub struct CommonArgs {
 impl CommonArgs {
     /// Parses `--full`, `--seeds K`, `--nodes a,b,c`, `--quick`,
     /// `--scenario FAMILY`, `--workload KIND`, `--duration SECS`,
-    /// `--out FORMAT:PATH` (repeatable), `--print-settings` from `args`.
+    /// `--out FORMAT:PATH` (repeatable), `--probe SPEC` (repeatable),
+    /// `--print-settings` from `args`.
     pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut out = CommonArgs {
             seeds: 3,
@@ -160,6 +166,7 @@ impl CommonArgs {
             workload: WorkloadSpec::PaperUniform,
             duration: None,
             outs: Vec::new(),
+            probes: Vec::new(),
             print_settings: false,
         };
         let mut it = args.peekable();
@@ -210,12 +217,17 @@ impl CommonArgs {
                     let v = it.next().ok_or("--out needs FORMAT:PATH")?;
                     out.outs.push(OutputSpec::parse(&v)?);
                 }
+                "--probe" => {
+                    let v = it.next().ok_or("--probe needs a spec")?;
+                    out.probes.push(ProbeSpec::parse(&v)?);
+                }
                 "--print-settings" => out.print_settings = true,
                 "--help" | "-h" => {
                     return Err("usage: [--full|--quick] [--seeds K] \
                                 [--nodes a,b,c] [--scenario paper|rwp|trace:<path>] \
                                 [--workload paper|hotspot|bursty] [--duration SECS] \
                                 [--out json:PATH|csv:PATH|md:PATH ...] \
+                                [--probe timeseries[:dt=SECS]|latency ...] \
                                 [--print-settings]"
                         .into())
                 }

@@ -29,13 +29,14 @@
 //! ```
 
 use super::metrics::{metric, MetricDef, METRICS};
-use crate::runner::RunSpec;
+use crate::runner::{RunOutput, RunSpec};
 use crate::scenario::BuiltScenario;
-use dtn_sim::{MetricPoint, SimStats, StatsSnapshot};
+use dtn_sim::{LatencyHistogram, MetricPoint, SimStats, StatsSnapshot, TimeSeries};
 
 /// Format version stamped into every emitted document; bump when the field
-/// set changes shape.
-pub const SCHEMA_VERSION: u32 = 1;
+/// set changes shape. Version 2 added the optional per-record time-series
+/// and latency-histogram sections (probe outputs).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Schema name stamped into report documents.
 pub const REPORT_SCHEMA: &str = "cen-dtn.report";
@@ -73,12 +74,19 @@ pub struct RunRecord {
     pub stats: StatsSnapshot,
     /// Host wall-clock seconds the run took.
     pub wall_s: f64,
+    /// Sampled delivery/overhead/occupancy curve, when a
+    /// [`ProbeSpec::TimeSeries`](crate::ProbeSpec::TimeSeries) rode along.
+    pub timeseries: Option<TimeSeries>,
+    /// Latency histogram with exact percentiles, when a
+    /// [`ProbeSpec::LatencyHist`](crate::ProbeSpec::LatencyHist) rode along.
+    pub latency: Option<LatencyHistogram>,
 }
 
 impl RunRecord {
     /// Captures the record for one executed cell: `spec` supplies the
     /// canonical identity, `ps` the resolved scenario shape, `stats` the
-    /// result and `wall_s` the measured execution time.
+    /// result and `wall_s` the measured execution time. Probe outputs are
+    /// absent; use [`RunRecord::capture_output`] for observed runs.
     pub fn capture(
         spec: &RunSpec,
         ps: &BuiltScenario,
@@ -99,6 +107,24 @@ impl RunRecord {
             group: key.group_encoded(),
             stats: stats.snapshot(),
             wall_s,
+            timeseries: None,
+            latency: None,
+        }
+    }
+
+    /// [`RunRecord::capture`] from a full [`RunOutput`], carrying any probe
+    /// results (time series, latency histogram) into the record.
+    pub fn capture_output(
+        spec: &RunSpec,
+        ps: &BuiltScenario,
+        seed: u64,
+        out: &RunOutput,
+        wall_s: f64,
+    ) -> Self {
+        RunRecord {
+            timeseries: out.timeseries.clone(),
+            latency: out.latency.clone(),
+            ..Self::capture(spec, ps, seed, &out.stats, wall_s)
         }
     }
 
@@ -149,6 +175,72 @@ impl MetricSummary {
     }
 }
 
+/// One time point of a [`CellTimeSeries`]: cross-seed statistics of the
+/// sampled curve metrics at time `t`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TsPoint {
+    /// Sample time in seconds.
+    pub t: f64,
+    /// Delivery ratio across seeds at `t`.
+    pub delivery_ratio: MetricSummary,
+    /// Overhead ratio across seeds at `t`.
+    pub overhead_ratio: MetricSummary,
+    /// Global buffer occupancy across seeds at `t`, in megabytes.
+    pub buffered_mb: MetricSummary,
+}
+
+/// Cross-seed aggregate of a cell's sampled time series: the delivery /
+/// overhead / occupancy curves, one [`MetricSummary`] per sample time.
+/// Present only when *every* record of the cell carries a time series with
+/// the same cadence; curves are truncated to the shortest seed's length.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellTimeSeries {
+    /// Shared sampling cadence in seconds.
+    pub dt: f64,
+    /// Points in time order.
+    pub points: Vec<TsPoint>,
+}
+
+impl CellTimeSeries {
+    /// Aggregates the records' per-seed curves, or `None` when any record
+    /// lacks one or cadences disagree.
+    fn aggregate(runs: &[&RunRecord]) -> Option<Self> {
+        let first = runs[0].timeseries.as_ref()?;
+        if !runs
+            .iter()
+            .all(|r| r.timeseries.as_ref().is_some_and(|t| t.dt == first.dt))
+        {
+            return None;
+        }
+        let len = runs
+            .iter()
+            .map(|r| r.timeseries.as_ref().unwrap().samples.len())
+            .min()
+            .unwrap_or(0);
+        let points = (0..len)
+            .map(|i| {
+                let at = |f: &dyn Fn(&dtn_sim::TsSample) -> f64| -> MetricSummary {
+                    let values: Vec<f64> = runs
+                        .iter()
+                        .map(|r| f(&r.timeseries.as_ref().unwrap().samples[i]))
+                        .collect();
+                    MetricSummary::of(&values)
+                };
+                TsPoint {
+                    t: first.samples[i].t,
+                    delivery_ratio: at(&|s| s.delivery_ratio()),
+                    overhead_ratio: at(&|s| s.overhead_ratio()),
+                    buffered_mb: at(&|s| s.buffered_bytes as f64 / (1024.0 * 1024.0)),
+                }
+            })
+            .collect();
+        Some(CellTimeSeries {
+            dt: first.dt,
+            points,
+        })
+    }
+}
+
 /// Cross-seed aggregate of one cell family: every record sharing a
 /// [`RunRecord::group`], summarized per registered metric.
 #[derive(Clone, Debug, PartialEq)]
@@ -169,9 +261,14 @@ pub struct CellSummary {
     pub duration: f64,
     /// Seeds aggregated, ascending.
     pub seeds: Vec<u64>,
-    /// Per-metric statistics, in registry order (one entry per
-    /// [`METRICS`] element).
+    /// Per-metric statistics, in registry order — one entry per *measured*
+    /// [`METRICS`] element. Probe-dependent metrics (latency percentiles,
+    /// peak occupancy) are omitted when the cell's records lack the probe:
+    /// an unmeasured value is absent, never a fabricated zero.
     pub metrics: Vec<(&'static str, MetricSummary)>,
+    /// Cross-seed aggregate of the sampled time series, when every record
+    /// of the cell carries one at a shared cadence.
+    pub timeseries: Option<CellTimeSeries>,
 }
 
 impl CellSummary {
@@ -241,6 +338,7 @@ impl ReportSpec {
                 let first = runs[0];
                 let metrics = METRICS
                     .iter()
+                    .filter(|m| runs.iter().all(|r| m.is_available(r)))
                     .map(|m: &MetricDef| {
                         let values: Vec<f64> = runs.iter().map(|r| (m.extract)(r)).collect();
                         (m.key, MetricSummary::of(&values))
@@ -256,6 +354,7 @@ impl ReportSpec {
                     duration: first.duration,
                     seeds: runs.iter().map(|r| r.seed).collect(),
                     metrics,
+                    timeseries: CellTimeSeries::aggregate(&runs),
                 }
             })
             .collect()
@@ -320,6 +419,8 @@ mod tests {
                 ..Default::default()
             },
             wall_s: 0.25,
+            timeseries: None,
+            latency: None,
         }
     }
 
@@ -357,7 +458,9 @@ mod tests {
         assert_eq!(cells.len(), 2);
         assert_eq!(cells[0].series, "a", "first-appearance order");
         assert_eq!(cells[0].seeds, vec![1, 2], "seed-sorted inside the cell");
-        assert_eq!(cells[0].metrics.len(), METRICS.len());
+        // Unprobed records: every always-measured metric, nothing more.
+        let measured = METRICS.iter().filter(|m| m.available.is_none()).count();
+        assert_eq!(cells[0].metrics.len(), measured);
         let dr = cells[0].metric("delivery_ratio").unwrap();
         assert!((dr.mean - 0.55).abs() < 1e-12);
         assert_eq!(dr.min, 0.5);
@@ -380,6 +483,53 @@ mod tests {
         assert_eq!(points.len(), 2, "but the plan view is one point per spec");
         assert!((points[0].delivery_ratio - 0.5).abs() < 1e-12);
         assert!((points[1].delivery_ratio - 0.6).abs() < 1e-12);
+    }
+
+    /// Cells aggregate time series only when every seed carries one at a
+    /// shared cadence; the aggregate truncates to the shortest curve.
+    #[test]
+    fn cell_timeseries_requires_matching_cadences() {
+        use dtn_sim::{TimeSeries, TsSample};
+        let ts = |dt: f64, n: u64, delivered: u64| TimeSeries {
+            dt,
+            samples: (0..n)
+                .map(|k| TsSample {
+                    t: k as f64 * dt,
+                    created: 10,
+                    delivered: delivered * k / n.max(1),
+                    ..Default::default()
+                })
+                .collect(),
+        };
+        let mut a = synthetic_record("a", 1, 50);
+        a.timeseries = Some(ts(60.0, 5, 4));
+        let mut b = synthetic_record("a", 2, 60);
+        b.timeseries = Some(ts(60.0, 3, 6));
+
+        let mut report = ReportSpec::new("t");
+        report.push(a.clone());
+        report.push(b.clone());
+        let cell_ts = report.cells()[0].timeseries.clone().expect("aggregated");
+        assert_eq!(cell_ts.dt, 60.0);
+        assert_eq!(cell_ts.points.len(), 3, "truncated to the shortest curve");
+        assert_eq!(cell_ts.points[0].delivery_ratio.n, 2);
+
+        // A cadence mismatch (or a missing series) disables the aggregate.
+        let mut c = b.clone();
+        c.seed = 3;
+        c.timeseries = Some(ts(30.0, 3, 6));
+        let mut mixed = ReportSpec::new("t");
+        mixed.push(a.clone());
+        mixed.push(c);
+        assert!(mixed.cells()[0].timeseries.is_none());
+
+        let mut d = b;
+        d.seed = 4;
+        d.timeseries = None;
+        let mut partial = ReportSpec::new("t");
+        partial.push(a);
+        partial.push(d);
+        assert!(partial.cells()[0].timeseries.is_none());
     }
 
     #[test]

@@ -28,12 +28,16 @@
 //! assert!(points.iter().all(|p| p.runs == 1));
 //! ```
 
+use crate::probes::ProbeSpec;
 use crate::protocols::ProtocolSpec;
 use crate::report::RunRecord;
 use crate::scenario::{BuiltScenario, ScenarioCache, ScenarioKey};
 use ce_core::{detect_over_trace, detected_map, CommunityMap, DetectorConfig};
 use dtn_mobility::{ScenarioSpec, WorkloadSpec};
-use dtn_sim::{MetricPoint, SimConfig, SimStats, Simulation};
+use dtn_sim::{
+    LatencyHistogram, LatencyHistogramProbe, MetricPoint, SimConfig, SimStats, Simulation,
+    TimeSeries, TimeSeriesProbe,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -85,6 +89,11 @@ pub struct RunSpec {
     pub duration: Option<f64>,
     /// Community map source for protocols that need one (CR).
     pub communities: CommunitySource,
+    /// Observers attached to every run of this cell (time-series curves,
+    /// latency histograms). Pure observation: probes never change the
+    /// run's [`SimStats`]. At most one probe per kind takes effect
+    /// ([`RunSpec::effective_probes`]).
+    pub probes: Vec<ProbeSpec>,
 }
 
 impl RunSpec {
@@ -104,6 +113,7 @@ impl RunSpec {
             buffer_capacity: None,
             duration: None,
             communities: CommunitySource::default(),
+            probes: Vec::new(),
         }
     }
 
@@ -141,6 +151,35 @@ impl RunSpec {
         self
     }
 
+    /// Attaches a probe to every run of this cell.
+    pub fn with_probe(mut self, probe: ProbeSpec) -> Self {
+        self.probes.push(probe);
+        self
+    }
+
+    /// Replaces the full probe list.
+    pub fn with_probes(mut self, probes: Vec<ProbeSpec>) -> Self {
+        self.probes = probes;
+        self
+    }
+
+    /// The probes actually attached to a run: the *first* of each kind. A
+    /// record carries at most one time series and one latency histogram, so
+    /// later duplicates are ignored rather than silently computed and
+    /// dropped; the cell key encodes exactly this effective list.
+    pub fn effective_probes(&self) -> Vec<ProbeSpec> {
+        let mut out: Vec<ProbeSpec> = Vec::new();
+        for p in &self.probes {
+            if !out
+                .iter()
+                .any(|q| std::mem::discriminant(q) == std::mem::discriminant(p))
+            {
+                out.push(*p);
+            }
+        }
+        out
+    }
+
     /// The full cell identity of `(self, seed)`: the scenario key extended
     /// with the protocol's injective encoding plus the run-level qualifiers
     /// (buffer override, community source). Two differently-tuned variants
@@ -157,6 +196,21 @@ impl RunSpec {
             // Caller-supplied maps have no canonical content encoding; the
             // tag records that the cell is not ground-truth keyed.
             CommunitySource::Fixed(_) => p.push_str("+comm=fixed"),
+        }
+        // Probes are part of the cell identity: a probed record carries data
+        // an unprobed one does not, so the two must never share a key (the
+        // underlying SimStats are identical either way). Keyed on the
+        // *effective* list, sorted — attachment order neither changes what a
+        // record carries nor may it split one probe set into two cells.
+        let mut probe_keys: Vec<String> = self
+            .effective_probes()
+            .iter()
+            .map(ProbeSpec::cache_key)
+            .collect();
+        probe_keys.sort_unstable();
+        for key in probe_keys {
+            p.push_str("+probe=");
+            p.push_str(&key);
         }
         ScenarioKey::new(&self.scenario, &self.workload, seed, self.duration).with_protocol(p)
     }
@@ -203,11 +257,37 @@ impl Default for SweepConfig {
     }
 }
 
+/// Everything one executed cell produced: the run's [`SimStats`] plus the
+/// output of every probe the spec attached (`None` when the corresponding
+/// [`ProbeSpec`] was not requested).
+#[derive(Clone, Debug, Default)]
+pub struct RunOutput {
+    /// The run's statistics — identical with or without probes attached.
+    pub stats: SimStats,
+    /// Sampled delivery/overhead/occupancy curves
+    /// ([`ProbeSpec::TimeSeries`]).
+    pub timeseries: Option<TimeSeries>,
+    /// Latency histogram with exact percentiles
+    /// ([`ProbeSpec::LatencyHist`]).
+    pub latency: Option<LatencyHistogram>,
+}
+
 /// Executes one `(spec, seed)` cell, resolving the scenario through `cache`.
 ///
 /// This is the deterministic core primitive: the same `(spec, seed)` always
 /// produces the same [`SimStats`], whichever thread or binary runs it.
 pub fn run_spec(cache: &ScenarioCache, spec: &RunSpec, seed: u64) -> SimStats {
+    run_spec_observed(cache, spec, seed).1.stats
+}
+
+/// [`run_spec`] returning the resolved [`BuiltScenario`] alongside the full
+/// [`RunOutput`], so callers that need the scenario shape (record capture,
+/// report headers) do not pay a second cache lookup per cell.
+pub fn run_spec_observed(
+    cache: &ScenarioCache,
+    spec: &RunSpec,
+    seed: u64,
+) -> (BuiltScenario, RunOutput) {
     let ps = cache.get_spec(&spec.scenario, &spec.workload, seed, spec.duration);
     if spec.protocol.needs_communities() && matches!(spec.communities, CommunitySource::Detected) {
         // Detection replays the whole trace; route it through the cache so
@@ -216,9 +296,11 @@ pub fn run_spec(cache: &ScenarioCache, spec: &RunSpec, seed: u64) -> SimStats {
             communities: CommunitySource::Fixed(cache.detected_communities(&ps)),
             ..spec.clone()
         };
-        return run_on(&ps, &fixed, seed);
+        let out = run_on_observed(&ps, &fixed, seed);
+        return (ps, out);
     }
-    run_on(&ps, spec, seed)
+    let out = run_on_observed(&ps, spec, seed);
+    (ps, out)
 }
 
 /// Executes `spec` against an explicitly supplied scenario — the path for
@@ -228,6 +310,12 @@ pub fn run_spec(cache: &ScenarioCache, spec: &RunSpec, seed: u64) -> SimStats {
 /// already-built scenario (that resolution happens in [`run_spec`]), so a
 /// mismatch between the two is a caller bug.
 pub fn run_on(ps: &BuiltScenario, spec: &RunSpec, seed: u64) -> SimStats {
+    run_on_observed(ps, spec, seed).stats
+}
+
+/// [`run_on`] with probe outputs: attaches one observer per
+/// [`RunSpec::probes`] entry, runs, and extracts each probe's result.
+pub fn run_on_observed(ps: &BuiltScenario, spec: &RunSpec, seed: u64) -> RunOutput {
     assert!(
         spec.duration
             .is_none_or(|d| (d - ps.scenario.trace.duration).abs() < 1e-9),
@@ -253,10 +341,38 @@ pub fn run_on(ps: &BuiltScenario, spec: &RunSpec, seed: u64) -> SimStats {
             m.ttl = ttl;
         }
     }
-    let sim = Simulation::new(&ps.scenario.trace, workload, cfg, |id, n| {
+    let mut sim = Simulation::new(&ps.scenario.trace, workload, cfg, |id, n| {
         spec.protocol.make_router(id, n, communities.as_ref())
     });
-    sim.run()
+    // Only the effective probe list is attached — the first of each kind;
+    // duplicates would be paid for (tick chains, occupancy scans) and then
+    // dropped at extraction, since a record carries one output per kind.
+    for probe in spec.effective_probes() {
+        match probe {
+            ProbeSpec::TimeSeries { dt } => sim.add_observer(Box::new(TimeSeriesProbe::new(dt))),
+            ProbeSpec::LatencyHist => sim.add_observer(Box::new(LatencyHistogramProbe::new())),
+        }
+    }
+    let (stats, observers) = sim.run_observed();
+    let mut out = RunOutput {
+        stats,
+        timeseries: None,
+        latency: None,
+    };
+    for obs in &observers {
+        if out.timeseries.is_none() {
+            if let Some(p) = obs.as_any().downcast_ref::<TimeSeriesProbe>() {
+                out.timeseries = Some(p.series().clone());
+                continue;
+            }
+        }
+        if out.latency.is_none() {
+            if let Some(p) = obs.as_any().downcast_ref::<LatencyHistogramProbe>() {
+                out.latency = Some(p.histogram().clone());
+            }
+        }
+    }
+    out
 }
 
 /// Executes every `(spec, seed)` combination and reduces each spec's runs
@@ -308,11 +424,12 @@ pub fn run_matrix_records(
                 };
                 let spec = &specs[spec_idx];
                 let t0 = std::time::Instant::now();
-                let stats = run_spec(cache, spec, seed);
+                // One resolution per cell: the observed primitive hands back
+                // the scenario it already pulled through the cache.
+                let (ps, out) = run_spec_observed(cache, spec, seed);
                 let wall_s = t0.elapsed().as_secs_f64();
-                // A cache hit: run_spec resolved this same quadruple.
-                let ps = cache.get_spec(&spec.scenario, &spec.workload, seed, spec.duration);
-                let record = RunRecord::capture(spec, &ps, seed, &stats, wall_s);
+                let record = RunRecord::capture_output(spec, &ps, seed, &out, wall_s);
+                let stats = &out.stats;
                 if cfg.verbose {
                     // The protocol prints in its canonical grammar form,
                     // so every progress line names a reproducible
@@ -416,6 +533,41 @@ mod tests {
         let points = run_matrix(&specs, cfg);
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].runs, 1, "seeds: 0 must still run one seed");
+    }
+
+    /// Duplicate probes of one kind collapse to the first: the cell key and
+    /// the attached observers always agree, and the run's data matches what
+    /// the key advertises.
+    #[test]
+    fn duplicate_probes_collapse_to_first_of_each_kind() {
+        use crate::probes::ProbeSpec;
+        let base = RunSpec::new("Direct", 8, ProtocolSpec::paper(ProtocolKind::Direct))
+            .with_duration(400.0);
+        let once = base
+            .clone()
+            .with_probe(ProbeSpec::TimeSeries { dt: 50.0 })
+            .with_probe(ProbeSpec::LatencyHist);
+        let duplicated = base
+            .with_probe(ProbeSpec::TimeSeries { dt: 50.0 })
+            .with_probe(ProbeSpec::LatencyHist)
+            .with_probe(ProbeSpec::TimeSeries { dt: 999.0 })
+            .with_probe(ProbeSpec::LatencyHist);
+        assert_eq!(duplicated.effective_probes(), once.effective_probes());
+        assert_eq!(duplicated.cell_key(1), once.cell_key(1));
+        // Attachment order does not split a probe set into two cells.
+        let reordered = RunSpec::new("Direct", 8, ProtocolSpec::paper(ProtocolKind::Direct))
+            .with_duration(400.0)
+            .with_probe(ProbeSpec::LatencyHist)
+            .with_probe(ProbeSpec::TimeSeries { dt: 50.0 });
+        assert_eq!(reordered.cell_key(1), once.cell_key(1));
+
+        let cache = ScenarioCache::new();
+        let (_, a) = run_spec_observed(&cache, &once, 1);
+        let (_, b) = run_spec_observed(&cache, &duplicated, 1);
+        assert_eq!(a.stats.snapshot(), b.stats.snapshot());
+        assert_eq!(a.timeseries, b.timeseries, "first-of-kind cadence wins");
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.timeseries.unwrap().dt, 50.0);
     }
 
     /// A duration override flows through the cache into the built scenario.

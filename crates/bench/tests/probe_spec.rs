@@ -1,0 +1,41 @@
+//! Property tests of the probe-spec grammar: `parse ∘ Display` is the
+//! identity over the whole spec space, and cache keys are injective.
+
+use dtn_bench::ProbeSpec;
+use proptest::prelude::*;
+
+/// Strategy over every representable probe spec (cadences cover sub-second
+//  to multi-day magnitudes).
+fn any_probe() -> impl Strategy<Value = ProbeSpec> {
+    (0u8..2, 0.001f64..200_000.0).prop_map(|(kind, dt)| match kind {
+        0 => ProbeSpec::TimeSeries { dt },
+        _ => ProbeSpec::LatencyHist,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every spec the type can express survives a round trip through its
+    /// canonical printed form — so any printed spec is a reproducible
+    /// `--probe` argument.
+    #[test]
+    fn parse_display_is_identity(spec in any_probe()) {
+        let shown = spec.to_string();
+        let parsed = ProbeSpec::parse(&shown)
+            .unwrap_or_else(|e| panic!("canonical form `{shown}` failed to parse: {e}"));
+        prop_assert_eq!(parsed, spec, "parse ∘ Display must be the identity ({})", shown);
+    }
+
+    /// Distinct specs never share a cache key (and equal specs always do):
+    /// the key is an injective encoding.
+    #[test]
+    fn cache_key_is_injective(a in any_probe(), b in any_probe()) {
+        if a == b {
+            prop_assert_eq!(a.cache_key(), b.cache_key());
+        } else {
+            prop_assert_ne!(a.cache_key(), b.cache_key(),
+                "distinct specs {} and {} share a cache key", a, b);
+        }
+    }
+}

@@ -8,9 +8,10 @@
 
 use dtn_bench::report::{glossary_markdown, validate_document, METRICS};
 use dtn_bench::{
-    run_matrix_records, ProtocolSpec, ReportSpec, RunRecord, RunSpec, ScenarioCache, SweepConfig,
+    run_matrix_records, ProbeSpec, ProtocolSpec, ReportSpec, RunRecord, RunSpec, ScenarioCache,
+    SweepConfig,
 };
-use dtn_sim::StatsSnapshot;
+use dtn_sim::{LatencyHistogram, StatsSnapshot, TimeSeries, TsSample};
 use std::path::Path;
 
 fn real_report() -> ReportSpec {
@@ -60,8 +61,42 @@ fn synthetic_report() -> ReportSpec {
                     hops_sum: 2 * (base + seed * 4),
                 },
                 wall_s: 0.125,
+                timeseries: None,
+                latency: None,
             });
         }
+    }
+    report
+}
+
+/// The probed sibling of [`synthetic_report`]: every record carries a
+/// pinned time series and latency histogram, so the emitted documents are
+/// byte-stable — the golden-file input for the probe sections.
+fn synthetic_probed_report() -> ReportSpec {
+    let mut report = synthetic_report();
+    report.title = "Golden: probed report".into();
+    for (i, r) in report.records.iter_mut().enumerate() {
+        let delivered = r.stats.delivered;
+        let samples = (0..=4u64)
+            .map(|k| TsSample {
+                t: k as f64 * 250.0,
+                created: k * 25,
+                delivered: delivered * k / 4,
+                relayed: delivered * k * 3 / 4,
+                dropped: k,
+                buffered_bytes: 50_000 * k,
+                buffered_msgs: 2 * k,
+            })
+            .collect();
+        r.timeseries = Some(TimeSeries { dt: 250.0, samples });
+        r.latency = Some(LatencyHistogram {
+            count: delivered,
+            p50: 140.0 + i as f64,
+            p95: 300.0,
+            p99: 410.0,
+            max: 450.0,
+            buckets: vec![0, 0, 0, 0, 0, 0, 0, 2, delivered - 2],
+        });
     }
     report
 }
@@ -143,10 +178,105 @@ fn csv_emitter_matches_golden_file() {
 }
 
 #[test]
+fn probed_emitters_match_golden_files() {
+    let report = synthetic_probed_report();
+    check_golden("report_ts.json", &report.to_json_string());
+    check_golden("report_ts.csv", &report.to_csv());
+    check_golden("report_ts.md", &report.to_markdown());
+}
+
+/// Probe sections survive the JSON round trip exactly and validate, from
+/// both synthetic and real (sweep-produced) records.
+#[test]
+fn probed_json_round_trips_and_validates() {
+    let synthetic = synthetic_probed_report();
+    let text = synthetic.to_json_string();
+    assert_eq!(ReportSpec::from_json_str(&text).unwrap(), synthetic);
+    validate_document(&text).unwrap();
+
+    let specs = vec![
+        RunSpec::new("EER", 10, ProtocolSpec::parse("eer:lambda=4").unwrap())
+            .with_duration(500.0)
+            .with_probe(ProbeSpec::TimeSeries { dt: 100.0 })
+            .with_probe(ProbeSpec::LatencyHist),
+    ];
+    let mut real = ReportSpec::new("probed pipeline test");
+    real.records = run_matrix_records(
+        &ScenarioCache::new(),
+        &specs,
+        SweepConfig {
+            seeds: 2,
+            threads: 2,
+            verbose: false,
+        },
+    );
+    assert!(real.records.iter().all(|r| r.timeseries.is_some()));
+    assert!(real.records.iter().all(|r| r.latency.is_some()));
+    let text = real.to_json_string();
+    let back = ReportSpec::from_json_str(&text).unwrap();
+    assert_eq!(back, real, "probe sections must round-trip exactly");
+    let summary = validate_document(&text).unwrap();
+    assert!(summary.contains("2 records"), "{summary}");
+
+    // The cell aggregate exists and matches the per-seed curves' length.
+    let cells = real.cells();
+    assert_eq!(cells.len(), 1);
+    let ts = cells[0]
+        .timeseries
+        .as_ref()
+        .expect("aggregated time series");
+    assert_eq!(ts.dt, 100.0);
+    let min_len = real
+        .records
+        .iter()
+        .map(|r| r.timeseries.as_ref().unwrap().samples.len())
+        .min()
+        .unwrap();
+    assert_eq!(ts.points.len(), min_len);
+    // Registered probe metrics surface through the summary.
+    assert!(cells[0].metric("latency_p50").unwrap().mean >= 0.0);
+    assert!(cells[0].metric("peak_buffer_mb").unwrap().mean > 0.0);
+}
+
+/// The validator rejects tampered probe sections.
+#[test]
+fn validator_rejects_inconsistent_probe_sections() {
+    let report = synthetic_probed_report();
+
+    // Bucket counts that no longer sum to the delivery count.
+    let mut broken = report.clone();
+    broken.records[0].latency.as_mut().unwrap().buckets[0] += 1;
+    let err = validate_document(&broken.to_json_string()).unwrap_err();
+    assert!(err.contains("sum to count"), "{err}");
+
+    // A time series whose final delivered count disagrees with the stats.
+    let mut broken = report.clone();
+    broken.records[0]
+        .timeseries
+        .as_mut()
+        .unwrap()
+        .samples
+        .last_mut()
+        .unwrap()
+        .delivered += 1;
+    let err = validate_document(&broken.to_json_string()).unwrap_err();
+    assert!(err.contains("disagrees"), "{err}");
+
+    // Non-cumulative counters.
+    let mut broken = report;
+    broken.records[0].timeseries.as_mut().unwrap().samples[1].relayed = u64::MAX;
+    let err = validate_document(&broken.to_json_string()).unwrap_err();
+    assert!(err.contains("cumulative"), "{err}");
+}
+
+#[test]
 fn csv_has_one_row_per_cell_and_metric() {
     let csv = synthetic_report().to_csv();
     // 2 cells × every registered metric, plus the header.
-    assert_eq!(csv.lines().count(), 1 + 2 * METRICS.len());
+    // 2 unprobed cells × every always-measured metric, plus the header
+    // (probe-dependent metrics are absent, not zero-filled).
+    let measured = METRICS.iter().filter(|m| m.available.is_none()).count();
+    assert_eq!(csv.lines().count(), 1 + 2 * measured);
 }
 
 #[test]

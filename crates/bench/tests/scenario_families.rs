@@ -5,8 +5,8 @@
 //! collision the old `(n_nodes, seed, duration)` key allowed).
 
 use dtn_bench::{
-    run_matrix_with, ProtocolKind, ProtocolSpec, RunSpec, ScenarioCache, ScenarioSpec, SweepConfig,
-    WorkloadSpec,
+    run_matrix_records, run_matrix_with, ProbeSpec, ProtocolKind, ProtocolSpec, RunSpec,
+    ScenarioCache, ScenarioSpec, SweepConfig, WorkloadSpec,
 };
 use dtn_sim::{Contact, ContactTrace, MetricPoint};
 use std::sync::Arc;
@@ -152,6 +152,87 @@ fn families_occupy_distinct_cache_entries() {
         paper.scenario.trace.contacts, rwp.scenario.trace.contacts,
         "different families must produce different contact processes"
     );
+}
+
+/// Probe output is part of the determinism contract: across the scenario
+/// families, `TimeSeriesProbe` curves and latency histograms are bitwise
+/// identical whatever the worker-thread count, and riding probes never
+/// changes the `SimStats` of any cell.
+#[test]
+fn timeseries_probe_is_thread_invariant_across_families() {
+    let probed = |threads: usize| {
+        let specs: Vec<RunSpec> = family_matrix()
+            .into_iter()
+            .map(|s| {
+                s.with_probes(vec![
+                    ProbeSpec::TimeSeries { dt: 150.0 },
+                    ProbeSpec::LatencyHist,
+                ])
+            })
+            .collect();
+        run_matrix_records(
+            &ScenarioCache::new(),
+            &specs,
+            SweepConfig {
+                seeds: 2,
+                threads,
+                verbose: false,
+            },
+        )
+    };
+    let single = probed(1);
+    let multi = probed(8);
+    assert_eq!(single.len(), multi.len());
+    for (i, (a, b)) in single.iter().zip(&multi).enumerate() {
+        assert_eq!(a.cell, b.cell, "record {i}: cell identity differs");
+        assert_eq!(a.stats, b.stats, "record {i}: stats differ across threads");
+        let (ta, tb) = (
+            a.timeseries.as_ref().unwrap(),
+            b.timeseries.as_ref().unwrap(),
+        );
+        assert_eq!(
+            ta.samples.len(),
+            tb.samples.len(),
+            "record {i}: sample counts"
+        );
+        for (k, (sa, sb)) in ta.samples.iter().zip(&tb.samples).enumerate() {
+            assert_eq!(
+                sa.t.to_bits(),
+                sb.t.to_bits(),
+                "record {i} sample {k}: sample time differs across thread counts"
+            );
+            assert_eq!(
+                sa, sb,
+                "record {i} sample {k}: curve differs across thread counts"
+            );
+        }
+        let (la, lb) = (a.latency.as_ref().unwrap(), b.latency.as_ref().unwrap());
+        assert_eq!(
+            la.p50.to_bits(),
+            lb.p50.to_bits(),
+            "record {i}: p50 differs"
+        );
+        assert_eq!(la, lb, "record {i}: latency histogram differs");
+    }
+
+    // And the probes are invisible to the stats: the plain matrix over the
+    // same specs produces identical snapshots.
+    let plain = run_matrix_records(
+        &ScenarioCache::new(),
+        &family_matrix(),
+        SweepConfig {
+            seeds: 2,
+            threads: 4,
+            verbose: false,
+        },
+    );
+    for (i, (p, o)) in plain.iter().zip(&single).enumerate() {
+        assert_eq!(
+            p.stats, o.stats,
+            "record {i}: attaching probes changed the simulation statistics"
+        );
+        assert!(p.timeseries.is_none() && p.latency.is_none());
+    }
 }
 
 /// `dtnrun --scenario rwp --protocol eer` end-to-end equivalent at the

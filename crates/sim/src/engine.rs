@@ -8,6 +8,18 @@
 //! The engine is deterministic: all randomness lives in the trace/workload
 //! generators and in router-private RNGs seeded from [`SimConfig::seed`].
 //!
+//! ## Observation
+//!
+//! The loop never mutates [`SimStats`] field-by-field: every observable
+//! occurrence is emitted as a [`SimEvent`] and folded into the stats through
+//! [`SimStats::apply`] — the same function any attached [`SimObserver`]
+//! (time-series probes, latency histograms, event logs; see
+//! [`crate::observe`]) sees the stream through. Observers receive events in
+//! batches from one reused scratch buffer ([`Simulation::add_observer`]); with no
+//! observers attached the stream costs nothing beyond the inline fold, and
+//! because probe sampling is read-only, attaching observers can never change
+//! a run's statistics.
+//!
 //! ## Hot-path layout
 //!
 //! Link state lives in a slab of `LinkSlot`s recycled across contacts, not
@@ -24,6 +36,7 @@ use crate::buffer::{Buffer, BufferEntry, DropReason};
 use crate::event::{EventKind, EventQueue};
 use crate::ids::{MessageId, NodeId, NodePair};
 use crate::message::{Message, MessageSpec};
+use crate::observe::{SimEvent, SimObserver};
 use crate::router::{pair_mut, ContactCtx, NodeCtx, Router, SentSet, TransferAction, TransferPlan};
 use crate::stats::SimStats;
 use crate::time::SimTime;
@@ -89,6 +102,17 @@ struct LinkSlot {
 /// epoch panics first (`checked_add` + `expect`, in every build profile).
 const NO_EPOCH: u32 = u32::MAX;
 
+/// Events accumulated before a batch is dispatched to observers. The batch
+/// buffer is allocated once and reused (`clear`, never shrink), so observer
+/// delivery performs no per-event allocation.
+const OBSERVER_BATCH: usize = 256;
+
+/// Smallest accepted observer sampling cadence, in simulated seconds. A
+/// cadence below this floods the event queue (and, below the float
+/// resolution of the clock, could not even advance it); sampling finer than
+/// a millisecond of simulated time is a configuration error.
+pub const MIN_SAMPLE_INTERVAL: f64 = 1e-3;
+
 /// A full simulation run over one trace, workload and protocol.
 pub struct Simulation {
     cfg: SimConfig,
@@ -114,6 +138,15 @@ pub struct Simulation {
     kick_scratch: Vec<(NodePair, u32)>,
     /// Scratch for expired message ids, reused by TTL sweeps.
     expired_scratch: Vec<MessageId>,
+    /// Attached observers; the engine's own `stats` is always folded inline
+    /// and is not in this list.
+    observers: Vec<Box<dyn SimObserver>>,
+    /// Reused scratch batch of pending events for observer dispatch (empty
+    /// while no observers are attached).
+    batch: Vec<SimEvent>,
+    /// Distinct sampling cadences requested by observers; each entry owns a
+    /// [`EventKind::ProbeSample`] chain.
+    probe_intervals: Vec<f64>,
     finished: bool,
     started: bool,
 }
@@ -194,9 +227,49 @@ impl Simulation {
             purge_scratch: Vec::new(),
             kick_scratch: Vec::new(),
             expired_scratch: Vec::new(),
+            observers: Vec::new(),
+            batch: Vec::new(),
+            probe_intervals: Vec::new(),
             finished: false,
             started: false,
         }
+    }
+
+    /// Attaches an observer to the run. If the observer requests a sampling
+    /// cadence ([`SimObserver::sample_interval`]), the engine schedules
+    /// periodic [`SimEvent::Tick`] samples carrying global buffer occupancy
+    /// (one chain per distinct cadence; ticks are broadcast).
+    ///
+    /// Probe processing is read-only, so attaching observers never changes
+    /// the run's [`SimStats`].
+    ///
+    /// # Panics
+    /// Panics if the run has already started, or if the requested sampling
+    /// interval is not finite and at least [`MIN_SAMPLE_INTERVAL`].
+    pub fn add_observer(&mut self, observer: Box<dyn SimObserver>) {
+        assert!(
+            !self.started,
+            "observers must be attached before the simulation starts"
+        );
+        if let Some(dt) = observer.sample_interval() {
+            assert!(
+                dt.is_finite() && dt >= MIN_SAMPLE_INTERVAL,
+                "observer sample interval must be at least {MIN_SAMPLE_INTERVAL} s of \
+                 simulated time, got {dt}"
+            );
+            if !self.probe_intervals.contains(&dt) {
+                self.probe_intervals.push(dt);
+                let interval = (self.probe_intervals.len() - 1) as u32;
+                if dt < self.duration {
+                    self.events
+                        .push(SimTime::secs(dt), EventKind::ProbeSample { interval });
+                }
+            }
+        }
+        if self.batch.capacity() == 0 {
+            self.batch.reserve(OBSERVER_BATCH);
+        }
+        self.observers.push(observer);
     }
 
     /// Number of nodes.
@@ -228,6 +301,20 @@ impl Simulation {
     pub fn run(mut self) -> SimStats {
         self.run_to_end();
         self.stats
+    }
+
+    /// Runs to completion and returns the statistics together with the
+    /// attached observers, for post-run result extraction (downcast through
+    /// [`SimObserver::as_any`]). Observers come back in attachment order.
+    pub fn run_observed(mut self) -> (SimStats, Vec<Box<dyn SimObserver>>) {
+        self.run_to_end();
+        (self.stats, self.observers)
+    }
+
+    /// Read access to the attached observers (for inspection after
+    /// [`Self::run_to_end`]).
+    pub fn observers(&self) -> &[Box<dyn SimObserver>] {
+        &self.observers
     }
 
     /// Runs to completion in place, so routers and buffers remain
@@ -266,7 +353,7 @@ impl Simulation {
             return false;
         }
         let Some((t, kind)) = self.events.pop() else {
-            self.finished = true;
+            self.finish();
             return false;
         };
         debug_assert!(t >= self.now, "time went backwards");
@@ -283,12 +370,94 @@ impl Simulation {
             } => self.handle_transfer_done(link, from, msg, epoch),
             EventKind::TtlSweep => self.handle_ttl_sweep(),
             EventKind::RouterTick { node } => self.handle_tick(node),
+            EventKind::ProbeSample { interval } => self.handle_probe_sample(interval),
             EventKind::End => {
-                self.finished = true;
+                self.finish();
                 return false;
             }
         }
         true
+    }
+
+    /// Ends the run: a final occupancy sample, the last observer batch and
+    /// the end-of-run callback. Idempotent (guarded by `finished`).
+    fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if !self.observers.is_empty() {
+            let (buffered_bytes, buffered_msgs) = self.occupancy();
+            self.emit(SimEvent::Tick {
+                at: self.now,
+                buffered_bytes,
+                buffered_msgs,
+            });
+            self.flush();
+            for obs in &mut self.observers {
+                obs.on_end(self.now);
+            }
+        }
+    }
+
+    /// Folds `ev` into the run's statistics and queues it for observer
+    /// dispatch. The fold uses [`SimStats::apply`] — the same function the
+    /// [`SimObserver`] impl of [`SimStats`] uses — so an external replica
+    /// fed from the stream reproduces the engine's stats bitwise.
+    #[inline]
+    fn emit(&mut self, ev: SimEvent) {
+        self.stats.apply(&ev);
+        if !self.observers.is_empty() {
+            self.batch.push(ev);
+            if self.batch.len() >= OBSERVER_BATCH {
+                self.flush();
+            }
+        }
+    }
+
+    /// Delivers the pending batch to every observer and clears it (capacity
+    /// is retained — the batch is a reused scratch buffer).
+    fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        for obs in &mut self.observers {
+            obs.on_events(&self.batch);
+        }
+        self.batch.clear();
+    }
+
+    /// Global buffer occupancy: `(total bytes, total messages)` across all
+    /// nodes. Linear in the node count; only computed at probe cadence.
+    fn occupancy(&self) -> (u64, u64) {
+        let mut bytes = 0u64;
+        let mut msgs = 0u64;
+        for buf in &self.buffers {
+            bytes += buf.used();
+            msgs += buf.len() as u64;
+        }
+        (bytes, msgs)
+    }
+
+    /// Emits an occupancy [`SimEvent::Tick`] and reschedules this cadence's
+    /// chain. Read-only with respect to simulation state.
+    fn handle_probe_sample(&mut self, interval: u32) {
+        let (buffered_bytes, buffered_msgs) = self.occupancy();
+        self.emit(SimEvent::Tick {
+            at: self.now,
+            buffered_bytes,
+            buffered_msgs,
+        });
+        let dt = self.probe_intervals[interval as usize];
+        let next = self.now + dt;
+        // Strictly before the horizon: the final sample is the Tick that
+        // `finish` emits at `End` (which pops first on an exact tie). The
+        // `next > now` guard stops the chain when the cadence falls below
+        // the float resolution of the current time — rescheduling an
+        // instant that cannot advance would loop forever.
+        if next > self.now && next.as_secs() < self.duration {
+            self.events.push(next, EventKind::ProbeSample { interval });
+        }
     }
 
     /// Slot of the active link between `pair`, if any (linear scan of the
@@ -334,6 +503,7 @@ impl Simulation {
         };
         self.active[pair.a.idx()].push((pair, slot));
         self.active[pair.b.idx()].push((pair, slot));
+        self.emit(SimEvent::ContactStart { at: self.now, pair });
 
         // Control-plane handshake, both directions.
         for (me, peer) in [(pair.a, pair.b), (pair.b, pair.a)] {
@@ -366,14 +536,27 @@ impl Simulation {
         };
         let link = &mut self.links[slot as usize];
         link.active = false;
-        for dir in &mut link.in_flight {
-            if dir.take().is_some() {
-                self.stats.aborted += 1;
+        let in_flight = [link.in_flight[0].take(), link.in_flight[1].take()];
+        for (di, flight) in in_flight.into_iter().enumerate() {
+            if let Some((msg, _)) = flight {
+                // Direction 0 is `pair.a → pair.b`.
+                let (from, to) = if di == 0 {
+                    (pair.a, pair.b)
+                } else {
+                    (pair.b, pair.a)
+                };
+                self.emit(SimEvent::Aborted {
+                    at: self.now,
+                    msg,
+                    from,
+                    to,
+                });
             }
         }
         self.free_links.push(slot);
         self.active[pair.a.idx()].retain(|(p, _)| *p != pair);
         self.active[pair.b.idx()].retain(|(p, _)| *p != pair);
+        self.emit(SimEvent::ContactEnd { at: self.now, pair });
         for (me, peer) in [(pair.a, pair.b), (pair.b, pair.a)] {
             let mut purge = std::mem::take(&mut self.purge_scratch);
             {
@@ -401,11 +584,21 @@ impl Simulation {
             created: spec.create_at,
             ttl: spec.ttl,
         };
-        self.stats.created += 1;
+        self.emit(SimEvent::Generated {
+            at: self.now,
+            msg: msg.id,
+            src: spec.src,
+        });
         let src = spec.src.idx();
         let copies = self.routers[src].initial_copies(&msg).max(1);
         if !self.make_room(spec.src, &msg) {
-            self.stats.drops_buffer += 1;
+            // The newborn never entered a buffer; no router is notified.
+            self.emit(SimEvent::Dropped {
+                at: self.now,
+                msg: msg.id,
+                node: spec.src,
+                reason: DropReason::BufferFull,
+            });
             return;
         }
         let entry = BufferEntry {
@@ -453,19 +646,30 @@ impl Simulation {
             .map(|e| e.msg.expired(self.now))
             .unwrap_or(true);
         if !sender_has || expired {
-            self.stats.aborted += 1;
+            self.emit(SimEvent::Aborted {
+                at: self.now,
+                msg: msg_id,
+                from,
+                to,
+            });
             self.try_fill(slot, from);
             return;
         }
 
-        self.stats.relayed += 1;
         let entry = *self.buffers[from.idx()].get(msg_id).expect("checked above");
         let msg = entry.msg;
 
         if to == msg.dst {
-            let first = self
-                .stats
-                .record_arrival(msg.id, msg.created, self.now, entry.hops + 1);
+            let first = !self.stats.is_delivered(msg.id);
+            self.emit(SimEvent::Delivered {
+                at: self.now,
+                msg: msg.id,
+                from,
+                to,
+                created: msg.created,
+                hops: entry.hops + 1,
+                first,
+            });
             self.apply_sender_action(from, msg_id, action);
             self.notify_sent(from, &msg, action, to, true);
             let mut purge = std::mem::take(&mut self.purge_scratch);
@@ -484,9 +688,28 @@ impl Simulation {
         } else if self.buffers[to.idx()].contains(msg_id) {
             // The receiver obtained the message from a third party while this
             // transfer was in flight; treat as a wasted relay.
+            self.emit(SimEvent::Forwarded {
+                at: self.now,
+                msg: msg_id,
+                from,
+                to,
+                duplicate: true,
+            });
         } else if !self.make_room(to, &msg) {
-            self.stats.refused += 1;
+            self.emit(SimEvent::Refused {
+                at: self.now,
+                msg: msg_id,
+                from,
+                to,
+            });
         } else {
+            self.emit(SimEvent::Forwarded {
+                at: self.now,
+                msg: msg_id,
+                from,
+                to,
+                duplicate: false,
+            });
             let give = match action {
                 TransferAction::Forward => entry.copies,
                 // The plan was validated against the copy count at
@@ -540,7 +763,12 @@ impl Simulation {
             );
             for &id in &expired {
                 if let Some(entry) = self.buffers[i].remove(id) {
-                    self.stats.drops_ttl += 1;
+                    self.emit(SimEvent::Dropped {
+                        at: self.now,
+                        msg: id,
+                        node,
+                        reason: DropReason::Expired,
+                    });
                     self.notify_dropped(node, &entry.msg, DropReason::Expired);
                 }
             }
@@ -640,7 +868,12 @@ impl Simulation {
     fn apply_purges(&mut self, node: NodeId, purge: &mut Vec<MessageId>) {
         while let Some(id) = purge.pop() {
             if let Some(entry) = self.buffers[node.idx()].remove(id) {
-                self.stats.drops_protocol += 1;
+                self.emit(SimEvent::Dropped {
+                    at: self.now,
+                    msg: id,
+                    node,
+                    reason: DropReason::Protocol,
+                });
                 self.notify_dropped(node, &entry.msg, DropReason::Protocol);
             }
         }
@@ -662,7 +895,12 @@ impl Simulation {
                 break;
             }
             if let Some(entry) = self.buffers[i].remove(v) {
-                self.stats.drops_buffer += 1;
+                self.emit(SimEvent::Dropped {
+                    at: self.now,
+                    msg: v,
+                    node,
+                    reason: DropReason::BufferFull,
+                });
                 self.notify_dropped(node, &entry.msg, DropReason::BufferFull);
             }
         }

@@ -49,6 +49,17 @@ pub enum EventKind {
         /// The node whose router ticks.
         node: NodeId,
     },
+    /// Periodic observer sample: the engine snapshots global buffer
+    /// occupancy and broadcasts a [`SimEvent::Tick`] to every observer.
+    /// Pure observation — processing it never mutates simulation state, so
+    /// attaching probes cannot change a run's statistics.
+    ///
+    /// [`SimEvent::Tick`]: crate::observe::SimEvent::Tick
+    ProbeSample {
+        /// Index into the engine's table of distinct sampling intervals
+        /// (each interval keeps its own event chain).
+        interval: u32,
+    },
     /// End of simulation.
     End,
 }

@@ -12,6 +12,8 @@
 //! * [`trace`] — contact traces, the interface to mobility models;
 //! * [`router`] — the protocol callback API ([`Router`]);
 //! * [`engine`] — the discrete-event engine ([`Simulation`]);
+//! * [`observe`] — the observation layer: [`SimEvent`] stream,
+//!   [`SimObserver`] probes (time series, latency histograms);
 //! * [`buffer`], [`message`], [`stats`], [`event`], [`time`], [`ids`] —
 //!   supporting building blocks.
 //!
@@ -52,6 +54,7 @@ pub mod engine;
 pub mod event;
 pub mod ids;
 pub mod message;
+pub mod observe;
 pub mod report;
 pub mod router;
 pub mod stats;
@@ -62,6 +65,10 @@ pub use buffer::{Buffer, BufferEntry, DropReason};
 pub use engine::{SimConfig, Simulation};
 pub use ids::{MessageId, NodeId, NodePair};
 pub use message::{Message, MessageSpec, TrafficConfig};
+pub use observe::{
+    LatencyHistogram, LatencyHistogramProbe, SimEvent, SimObserver, TimeSeries, TimeSeriesProbe,
+    TsSample,
+};
 pub use router::{ContactCtx, NodeCtx, Router, SentSet, TransferAction, TransferPlan};
 pub use stats::{MetricPoint, SimStats, StatsSnapshot};
 pub use time::SimTime;

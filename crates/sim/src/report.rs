@@ -32,13 +32,21 @@ pub fn delivery_progress(stats: &SimStats, duration: f64, step: f64) -> Vec<u64>
 /// Latencies must be provided by the caller (delivery time − creation time);
 /// this helper just ranks them.
 pub fn percentile(mut latencies: Vec<f64>, p: f64) -> Option<f64> {
+    latencies.sort_by(f64::total_cmp);
+    percentile_sorted(&latencies, p)
+}
+
+/// [`percentile`] over an already-sorted (ascending) slice — the single
+/// nearest-rank implementation every percentile in the crate uses (the
+/// latency-histogram probe included), so the rank rule can never diverge
+/// between consumers.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
     assert!((0.0..=100.0).contains(&p));
-    if latencies.is_empty() {
+    if sorted.is_empty() {
         return None;
     }
-    latencies.sort_by(f64::total_cmp);
-    let rank = (p / 100.0 * (latencies.len() - 1) as f64).round() as usize;
-    Some(latencies[rank])
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    Some(sorted[rank])
 }
 
 /// Extracts per-message latencies given the workload's creation times.

@@ -1,0 +1,214 @@
+//! The observer-refactor contract, property-tested:
+//!
+//! 1. **`SimStats` is the default observer.** An external `SimStats` replica
+//!    fed only from the [`SimEvent`] stream is *bitwise* identical to the
+//!    engine's own statistics — counters, float accumulators and the
+//!    per-message delivery log alike.
+//! 2. **Probes are pure observation.** Attaching observers (time-series
+//!    probe, latency histogram, raw event log) never changes a run's
+//!    `SimStats` relative to the unobserved run.
+//! 3. **The event stream is self-consistent** with the stats it reproduces
+//!    (relay/delivery/drop counts line up), and the time-series probe's
+//!    final sample agrees with the end-of-run counters.
+
+use dtn_sim::observe::{EventLog, LatencyHistogramProbe, SimEvent, TimeSeriesProbe};
+use dtn_sim::prelude::*;
+use proptest::prelude::*;
+use std::any::Any;
+
+/// A quota-flooding router: copies every offerable message, splitting its
+/// copy budget — enough traffic to exercise relays, duplicates, refusals,
+/// TTL drops and buffer evictions.
+struct Flood {
+    quota: u32,
+}
+
+impl Router for Flood {
+    fn label(&self) -> &'static str {
+        "flood"
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn initial_copies(&self, _msg: &Message) -> u32 {
+        self.quota
+    }
+    fn pick_transfer(&mut self, ctx: &mut ContactCtx<'_>) -> Option<TransferPlan> {
+        ctx.control_bytes(16);
+        let entry = ctx.buf.iter().find(|e| ctx.can_offer(e.msg.id))?;
+        if entry.msg.dst == ctx.peer {
+            Some(TransferPlan::forward(entry.msg.id))
+        } else if entry.copies > 1 {
+            Some(TransferPlan::split(entry.msg.id, entry.copies / 2))
+        } else {
+            Some(TransferPlan::copy(entry.msg.id))
+        }
+    }
+}
+
+/// A deterministic pseudo-random scenario: `n` nodes, repeated short
+/// contacts, a workload stressing TTLs and small buffers.
+fn scenario(n: u32, contacts_raw: &[(u32, u32, u32, u32)]) -> (ContactTrace, Vec<MessageSpec>) {
+    let mut cursor = std::collections::HashMap::new();
+    let mut contacts = Vec::new();
+    for &(a, b, gap, dur) in contacts_raw {
+        let (a, b) = (a % n, b % n);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        let start: f64 = *cursor.get(&key).unwrap_or(&0.0) + f64::from(gap % 37) + 1.0;
+        let end = start + f64::from(dur % 19) + 0.5;
+        cursor.insert(key, end);
+        contacts.push(Contact::new(key.0, key.1, start, end));
+    }
+    let horizon = contacts
+        .iter()
+        .map(|c| c.end.as_secs())
+        .fold(60.0, f64::max)
+        + 10.0;
+    let trace = ContactTrace::new(n, horizon, contacts);
+    let mut workload = Vec::new();
+    for i in 0..n.max(2) * 3 {
+        let src = i % n;
+        let dst = (i + 1 + i / n) % n;
+        if src == dst {
+            continue;
+        }
+        workload.push(MessageSpec {
+            create_at: SimTime::secs(f64::from(i) * horizon / f64::from(n * 4)),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            size: 900,
+            ttl: horizon * 0.6,
+        });
+    }
+    (trace, workload)
+}
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        // Tiny buffers force evictions and refusals.
+        buffer_capacity: 4_000,
+        ..SimConfig::paper(seed)
+    }
+}
+
+/// Pathological probe cadences cannot reach the event loop: below
+/// [`dtn_sim::engine::MIN_SAMPLE_INTERVAL`] attachment is rejected loudly
+/// (a sub-resolution `dt` could flood — or below the clock's float
+/// resolution, never advance — the queue), while the minimum itself runs
+/// and terminates normally.
+#[test]
+fn subresolution_probe_cadence_is_rejected_and_min_cadence_runs() {
+    let (trace, workload) = scenario(4, &[(0, 1, 5, 10), (1, 2, 5, 10), (2, 3, 5, 10)]);
+    let factory = |_, _| Box::new(Flood { quota: 2 }) as Box<dyn Router>;
+
+    let mut sim = Simulation::new(&trace, workload.clone(), cfg(1), factory);
+    let attach = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.add_observer(Box::new(TimeSeriesProbe::new(1e-13)));
+    }));
+    assert!(attach.is_err(), "sub-millisecond cadence must be rejected");
+
+    let plain = Simulation::new(&trace, workload.clone(), cfg(1), factory).run();
+    let mut sim = Simulation::new(&trace, workload.clone(), cfg(1), factory);
+    sim.add_observer(Box::new(TimeSeriesProbe::new(
+        dtn_sim::engine::MIN_SAMPLE_INTERVAL,
+    )));
+    let (stats, observers) = sim.run_observed();
+    assert_eq!(plain.snapshot(), stats.snapshot());
+    let ts = observers[0]
+        .as_any()
+        .downcast_ref::<TimeSeriesProbe>()
+        .unwrap()
+        .series();
+    assert!(
+        (ts.samples.last().unwrap().t - trace.duration).abs() < 1e-9,
+        "curve still closes at the horizon"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn stats_replica_from_event_stream_is_bitwise_identical(
+        n in 3u32..8,
+        seed in 0u64..1000,
+        contacts in proptest::collection::vec((0u32..8, 0u32..8, 0u32..200, 1u32..60), 4..60),
+    ) {
+        let (trace, workload) = scenario(n, &contacts);
+        let factory = |_, _| Box::new(Flood { quota: 4 }) as Box<dyn Router>;
+
+        // Reference: plain run, no observers.
+        let plain = Simulation::new(&trace, workload.clone(), cfg(seed), factory).run();
+
+        // Observed run: a SimStats replica driven purely by the event
+        // stream, plus probes and an event log riding along.
+        let mut sim = Simulation::new(&trace, workload.clone(), cfg(seed), factory);
+        sim.add_observer(Box::new(SimStats::new(workload.len())));
+        sim.add_observer(Box::new(TimeSeriesProbe::new(7.0)));
+        sim.add_observer(Box::new(LatencyHistogramProbe::new()));
+        sim.add_observer(Box::new(EventLog::default()));
+        let (observed, observers) = sim.run_observed();
+
+        // (2) Probes never change the run.
+        prop_assert_eq!(plain.snapshot(), observed.snapshot(),
+            "attaching observers changed the statistics");
+        prop_assert_eq!(&plain.delivered_at, &observed.delivered_at);
+        // Router-side control accounting is also untouched.
+        prop_assert_eq!(plain.control_bytes, observed.control_bytes);
+
+        // (1) The replica reproduces everything except control bytes (which
+        // routers account directly, outside the event stream).
+        let replica = observers[0].as_any().downcast_ref::<SimStats>().unwrap();
+        let mut expect = observed.snapshot();
+        expect.control_bytes = 0;
+        prop_assert_eq!(replica.snapshot(), expect,
+            "event-stream replica diverged from the engine's stats");
+        prop_assert_eq!(replica.latency_sum.to_bits(), observed.latency_sum.to_bits(),
+            "float accumulation order must match exactly");
+        prop_assert_eq!(&replica.delivered_at, &observed.delivered_at);
+
+        // (3) Stream self-consistency.
+        let log = &observers[3].as_any().downcast_ref::<EventLog>().unwrap().events;
+        let count = |f: &dyn Fn(&SimEvent) -> bool| log.iter().filter(|e| f(e)).count() as u64;
+        prop_assert_eq!(count(&|e| matches!(e, SimEvent::Generated { .. })), observed.created);
+        prop_assert_eq!(
+            count(&|e| matches!(e,
+                SimEvent::Forwarded { .. } | SimEvent::Refused { .. } | SimEvent::Delivered { .. })),
+            observed.relayed
+        );
+        prop_assert_eq!(
+            count(&|e| matches!(e, SimEvent::Delivered { first: true, .. })),
+            observed.delivered
+        );
+        prop_assert_eq!(count(&|e| matches!(e, SimEvent::Aborted { .. })), observed.aborted);
+        prop_assert_eq!(
+            count(&|e| matches!(e, SimEvent::ContactStart { .. })),
+            count(&|e| matches!(e, SimEvent::ContactEnd { .. })),
+            "every contact that starts must end"
+        );
+        // Events arrive in non-decreasing time order.
+        for w in log.windows(2) {
+            prop_assert!(w[0].at() <= w[1].at(), "event stream went backwards in time");
+        }
+
+        // The time-series curve ends at the horizon with the final counters.
+        let ts = observers[1].as_any().downcast_ref::<TimeSeriesProbe>().unwrap().series();
+        let last = ts.samples.last().unwrap();
+        prop_assert_eq!(last.delivered, observed.delivered);
+        prop_assert_eq!(last.created, observed.created);
+        prop_assert!((last.t - trace.duration).abs() < 1e-9,
+            "curve must close at the horizon");
+        for w in ts.samples.windows(2) {
+            prop_assert!(w[0].delivered <= w[1].delivered, "cumulative counters decreased");
+        }
+
+        // The latency histogram counts exactly the deliveries.
+        let hist = observers[2].as_any().downcast_ref::<LatencyHistogramProbe>().unwrap().histogram();
+        prop_assert_eq!(hist.count, observed.delivered);
+        prop_assert_eq!(hist.buckets.iter().sum::<u64>(), hist.count);
+        prop_assert!(hist.p50 <= hist.p95 && hist.p95 <= hist.p99 && hist.p99 <= hist.max);
+    }
+}
