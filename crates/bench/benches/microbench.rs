@@ -1,12 +1,15 @@
 //! Criterion microbenchmarks of the hot per-contact primitives:
 //! the Theorem 1/2 estimators, MI gossip merge, MEMD Dijkstra, contact
-//! detection and raw engine throughput.
+//! detection (bulk and large-n incremental stepping), event-queue
+//! throughput (calendar vs. the heap reference) and raw engine throughput.
 
 use ce_core::{CommunityMap, ContactHistory, MemdSolver, MiMatrix};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dtn_mobility::scenario::ScenarioConfig;
+use dtn_mobility::{ContactStepper, ScenarioSpec};
+use dtn_sim::event::{EventKind, EventQueue, HeapEventQueue};
 use dtn_sim::observe::{EventLog, LatencyHistogramProbe, TimeSeriesProbe};
-use dtn_sim::{NodeId, SimConfig, SimTime, Simulation, TrafficConfig};
+use dtn_sim::{NodeId, NodePair, SimConfig, SimTime, Simulation, TrafficConfig};
 use std::hint::black_box;
 
 const N: u32 = 240;
@@ -107,6 +110,91 @@ fn bench_trace_generation(c: &mut Criterion) {
     });
 }
 
+/// Per-step cost of incremental contact detection at city scale: the flat
+/// grid rebuild + neighborhood probe over all nodes, amortized over a batch
+/// of steps so open-contact bookkeeping participates realistically.
+fn bench_contact_step(c: &mut Criterion) {
+    for n in [1_000u32, 10_000] {
+        let cfg = ScenarioConfig {
+            duration: 60.0,
+            ..ScenarioConfig::city(n, ScenarioSpec::districts_for(n))
+        };
+        let parts = cfg.build_parts(1);
+        let steps = 50u32;
+        c.bench_function(&format!("contact_step_n{n}_x{steps}"), |b| {
+            b.iter(|| {
+                let mut stepper = ContactStepper::new(parts.trajectories.len(), 60.0, cfg.contact);
+                let mut downs = Vec::new();
+                let mut ups = Vec::new();
+                let mut emitted = 0usize;
+                for _ in 0..steps {
+                    downs.clear();
+                    ups.clear();
+                    stepper.step(&parts.trajectories, &mut downs, &mut ups);
+                    emitted += downs.len() + ups.len();
+                }
+                black_box(emitted)
+            })
+        });
+    }
+}
+
+/// Push/pop throughput of the calendar [`EventQueue`] against the
+/// [`HeapEventQueue`] reference on a contact-shaped schedule: dense bursts
+/// of equal-time contact events (dt-step batches) interleaved with sparse
+/// non-contact events. This is exactly the distribution that degenerates a
+/// width estimator based on sampled gaps.
+fn bench_event_queue(c: &mut Criterion) {
+    // ~100 events per 0.2 s step plus a sparse second band, pre-generated
+    // so both queues replay the identical schedule.
+    let schedule: Vec<(SimTime, bool)> = (0..100_000u32)
+        .map(|i| {
+            let mut x = u64::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            x ^= x >> 31;
+            if x % 50 == 0 {
+                (SimTime::secs((x % 20_011) as f64 * 0.01), false)
+            } else {
+                (SimTime::secs(f64::from(i / 100) * 0.2), true)
+            }
+        })
+        .collect();
+    let pair = NodePair::new(NodeId(0), NodeId(1));
+    c.bench_function("event_queue_calendar_100k_clustered", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for &(t, contact) in &schedule {
+                if contact {
+                    q.push_contact(t, EventKind::ContactUp { pair });
+                } else {
+                    q.push(t, EventKind::TtlSweep);
+                }
+            }
+            let mut n = 0usize;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    c.bench_function("event_queue_heap_100k_clustered", |b| {
+        b.iter(|| {
+            let mut q = HeapEventQueue::new();
+            for &(t, contact) in &schedule {
+                if contact {
+                    q.push_contact(t, EventKind::ContactUp { pair });
+                } else {
+                    q.push(t, EventKind::TtlSweep);
+                }
+            }
+            let mut n = 0usize;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
 fn bench_engine(c: &mut Criterion) {
     let cfg = ScenarioConfig {
         duration: 2000.0,
@@ -152,6 +240,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_estimators, bench_mi_merge, bench_memd,
-              bench_trace_generation, bench_engine
+              bench_trace_generation, bench_contact_step,
+              bench_event_queue, bench_engine
 }
 criterion_main!(benches);

@@ -14,8 +14,8 @@
 
 use dtn_bench::report::{OutputSpec, ReportSpec, RunRecord};
 use dtn_bench::{
-    run_on_observed, BuiltScenario, ProbeSpec, ProtocolSpec, RunSpec, ScenarioCache, ScenarioSpec,
-    WorkloadSpec,
+    run_on_observed, run_stream, ProbeSpec, ProtocolSpec, RunOutput, RunSpec, ScenarioCache,
+    ScenarioSpec, WorkloadSpec,
 };
 use dtn_sim::report::{delivery_progress, latencies, percentile};
 
@@ -34,6 +34,10 @@ const USAGE: &str = "usage: dtnrun [flags]
   --alpha A            EER/CR horizon shorthand (same as :alpha=A)
   --trace PATH         shorthand for --scenario trace:PATH
   --buffer BYTES       per-node buffer capacity (default 1 MB)
+  --stream             stream contacts on demand instead of materializing
+                       the whole trace (bit-identical results; the default
+                       for generated scenarios with >= 2000 nodes)
+  --no-stream          force the materialized-trace path
   --progress-step SECS delivery-progress bucket (default 1000)
   --probe SPEC         attach an observer to the run (repeatable):
                          timeseries[:dt=SECS]  delivery/overhead/occupancy
@@ -60,6 +64,8 @@ struct Args {
     lambda: Option<u32>,
     alpha: Option<f64>,
     buffer: Option<u64>,
+    /// `None` = auto (stream generated scenarios at city scale).
+    stream: Option<bool>,
     progress_step: f64,
     probes: Vec<ProbeSpec>,
     outs: Vec<OutputSpec>,
@@ -77,6 +83,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         lambda: None,
         alpha: None,
         buffer: None,
+        stream: None,
         progress_step: 1_000.0,
         probes: Vec::new(),
         outs: Vec::new(),
@@ -97,6 +104,8 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--alpha" => out.alpha = Some(val("--alpha")?.parse().map_err(|e| format!("{e}"))?),
             "--trace" => out.scenario = Some(format!("trace:{}", val("--trace")?)),
             "--buffer" => out.buffer = Some(val("--buffer")?.parse().map_err(|e| format!("{e}"))?),
+            "--stream" => out.stream = Some(true),
+            "--no-stream" => out.stream = Some(false),
             "--progress-step" => {
                 out.progress_step = val("--progress-step")?
                     .parse()
@@ -153,35 +162,21 @@ fn main() {
         std::process::exit(2);
     }
 
-    // Resolve the experiment input through the shared cache — generated
-    // families and replayed traces take the same path.
-    let cache = ScenarioCache::new();
-    let ps: BuiltScenario =
-        match cache.try_get_spec(&scenario, &args.workload, args.seed, args.duration) {
-            Ok(ps) => ps,
-            Err(e) => {
-                eprintln!("{e}");
-                std::process::exit(1);
-            }
-        };
-    let n = ps.n_nodes;
-    let duration = ps.scenario.trace.duration;
-    let created_at: Vec<f64> = ps.workload.iter().map(|m| m.create_at.as_secs()).collect();
+    // Stream by default at city scale: a generated scenario with thousands
+    // of nodes produces a contact trace too large to hold, and the streaming
+    // run is bit-identical anyway. `--stream`/`--no-stream` override.
+    let streaming = args.stream.unwrap_or_else(|| {
+        scenario.default_duration().is_some()
+            && scenario.declared_nodes().is_some_and(|n| n >= 2000)
+    });
 
-    let ts = ps.scenario.trace.stats();
-    println!(
-        "protocol {}, scenario {scenario}, workload {}: {n} nodes, {:.0} s, {} contacts (mean duration {:.2} s), {} messages",
-        args.protocol,
-        args.workload,
-        duration,
-        ts.contacts,
-        ts.mean_duration,
-        ps.workload.len()
-    );
-
-    let mut spec = RunSpec::on(args.protocol.kind().name(), scenario, args.protocol.clone())
-        .with_workload(args.workload)
-        .with_probes(args.probes.clone());
+    let mut spec = RunSpec::on(
+        args.protocol.kind().name(),
+        scenario.clone(),
+        args.protocol.clone(),
+    )
+    .with_workload(args.workload.clone())
+    .with_probes(args.probes.clone());
     if let Some(b) = args.buffer {
         spec = spec.with_buffer(b);
     }
@@ -191,10 +186,67 @@ fn main() {
         spec = spec.with_duration(d);
     }
 
-    let t0 = std::time::Instant::now();
-    let out = run_on_observed(&ps, &spec, args.seed);
-    let wall = t0.elapsed();
+    let (n, duration, out, wall, record): (u32, f64, RunOutput, std::time::Duration, RunRecord);
+    if streaming {
+        println!(
+            "protocol {}, scenario {scenario}, workload {}: streaming contact supply (the trace is never materialized)",
+            args.protocol, args.workload
+        );
+        let t0 = std::time::Instant::now();
+        let run = match run_stream(&spec, args.seed) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        };
+        wall = t0.elapsed();
+        println!(
+            "{} nodes, {:.0} s, {} messages",
+            run.n_nodes, run.duration, run.n_messages
+        );
+        n = run.n_nodes;
+        duration = run.duration;
+        out = run.output;
+        record = RunRecord::capture_stream(&spec, n, duration, args.seed, &out, wall.as_secs_f64());
+    } else {
+        // Resolve the experiment input through the shared cache — generated
+        // families and replayed traces take the same path.
+        let cache = ScenarioCache::new();
+        let ps = match cache.try_get_spec(&scenario, &args.workload, args.seed, args.duration) {
+            Ok(ps) => ps,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        };
+        n = ps.n_nodes;
+        duration = ps.scenario.trace.duration;
+        let ts = ps.scenario.trace.stats();
+        println!(
+            "protocol {}, scenario {scenario}, workload {}: {n} nodes, {:.0} s, {} contacts (mean duration {:.2} s), {} messages",
+            args.protocol,
+            args.workload,
+            duration,
+            ts.contacts,
+            ts.mean_duration,
+            ps.workload.len()
+        );
+        let t0 = std::time::Instant::now();
+        out = run_on_observed(&ps, &spec, args.seed);
+        wall = t0.elapsed();
+        record = RunRecord::capture_output(&spec, &ps, args.seed, &out, wall.as_secs_f64());
+    }
     let stats = &out.stats;
+    // Both paths generate the workload from the same spec and seed, so the
+    // creation times for latency percentiles can be regenerated here without
+    // holding onto either path's scenario.
+    let created_at: Vec<f64> = spec
+        .workload
+        .generate(n, duration, args.seed)
+        .iter()
+        .map(|m| m.create_at.as_secs())
+        .collect();
 
     println!("\n=== {} ===", args.protocol);
     println!("delivery ratio   {:.4}", stats.delivery_ratio());
@@ -262,13 +314,7 @@ fn main() {
     // The machine-readable view of the same run: one record through the
     // shared report pipeline, carrying the probe outputs.
     let mut report = ReportSpec::new(format!("dtnrun: {} on {}", args.protocol, spec.scenario));
-    report.push(RunRecord::capture_output(
-        &spec,
-        &ps,
-        args.seed,
-        &out,
-        wall.as_secs_f64(),
-    ));
+    report.push(record);
     if !report.write_all(&args.outs) {
         std::process::exit(1);
     }

@@ -27,12 +27,16 @@
 //! means plus runner wall-clock — is always emitted so performance is
 //! comparable across code revisions (`reportcheck` validates both).
 //!
-//! Defaults stay laptop-sized: 2 node counts × 2 seeds on a 2 000 s horizon.
+//! Defaults stay laptop-sized: 2 node counts × 2 seeds on a 2 000 s horizon,
+//! plus two *large-n supply cells* — epidemic on the city family at
+//! n=1 000 and n=10 000, short horizon, streamed so the contact trace is
+//! never materialized — that pin contact-supply throughput in the BENCH
+//! trajectory (`--no-large-n` skips them).
 
 use dtn_bench::report::{write_text, OutputSpec, ReportSpec};
 use dtn_bench::{
-    run_matrix_records, ProbeSpec, ProtocolKind, ProtocolSpec, RunSpec, ScenarioCache,
-    ScenarioSpec, SweepConfig, WorkloadSpec,
+    run_matrix_records, run_stream, ProbeSpec, ProtocolKind, ProtocolSpec, RunRecord, RunSpec,
+    ScenarioCache, ScenarioSpec, SweepConfig, WorkloadSpec,
 };
 use std::path::Path;
 
@@ -45,6 +49,7 @@ struct Args {
     trace: Option<String>,
     probes: Vec<ProbeSpec>,
     outs: Vec<OutputSpec>,
+    large_n: bool,
 }
 
 /// Splits a `--protocols` list into individual spec strings. The separator
@@ -91,6 +96,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         trace: None,
         probes: Vec::new(),
         outs: Vec::new(),
+        large_n: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -121,6 +127,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             }
             "--probe" => out.probes.push(ProbeSpec::parse(&val("--probe")?)?),
             "--out" => out.outs.push(OutputSpec::parse(&val("--out")?)?),
+            "--no-large-n" => out.large_n = false,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -145,12 +152,13 @@ fn main() {
                 "usage: shootout [--seeds K] [--nodes a,b,c] [--duration SECS] \
                  [--protocols eer,cr,...] [--workload paper|hotspot|bursty] [--trace <path>] \
                  [--probe timeseries[:dt=SECS]|latency ...] \
-                 [--out json:PATH|csv:PATH|md:PATH ...]\n\
+                 [--out json:PATH|csv:PATH|md:PATH ...] [--no-large-n]\n\
                  \n\
                  --protocols takes full specs (eer:lambda=4,eer:lambda=16,prophet:beta=0.25);\n\
                  a comma starts a new spec when followed by a protocol name.\n\
                  --out routes the report (default: json+csv under results/); the\n\
-                 BENCH_shootout.json perf trajectory is always written."
+                 BENCH_shootout.json perf trajectory is always written.\n\
+                 --no-large-n skips the streaming city n=1000/n=10000 supply cells."
             );
             return;
         }
@@ -220,7 +228,49 @@ fn main() {
         cfg.effective_seeds(),
         specs.len()
     );
-    let records = run_matrix_records(&ScenarioCache::new(), &specs, cfg);
+    let mut records = run_matrix_records(&ScenarioCache::new(), &specs, cfg);
+
+    // Large-n supply cells: one flooding protocol on the city family at
+    // n=1 000 and n=10 000, run through the streaming path (the contact
+    // trace is never materialized) on a short horizon so the default
+    // shootout stays laptop-sized. They land in the same record list — the
+    // cell key is identical to a materialized run of the same spec — so the
+    // BENCH trajectory tracks contact-supply throughput across revisions.
+    if args.large_n {
+        let epidemic = ProtocolSpec::paper(ProtocolKind::Epidemic);
+        for (n, horizon) in [(1_000u32, 600.0), (10_000, 120.0)] {
+            let spec = RunSpec::on(
+                format!("{epidemic} @ city-large"),
+                ScenarioSpec::city(n, ScenarioSpec::districts_for(n)),
+                epidemic.clone(),
+            )
+            .with_workload(args.workload.clone())
+            .with_duration(horizon);
+            for seed in 1..=u64::from(cfg.effective_seeds()) {
+                let t0 = std::time::Instant::now();
+                match run_stream(&spec, seed) {
+                    Ok(run) => {
+                        eprintln!(
+                            "  city n={n} @ {horizon:.0} s seed {seed}: streamed in {:.2} s",
+                            t0.elapsed().as_secs_f64()
+                        );
+                        records.push(RunRecord::capture_stream(
+                            &spec,
+                            run.n_nodes,
+                            run.duration,
+                            seed,
+                            &run.output,
+                            t0.elapsed().as_secs_f64(),
+                        ));
+                    }
+                    Err(e) => {
+                        eprintln!("large-n cell n={n} failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+    }
 
     let mut report = ReportSpec::new(format!(
         "Protocol shootout across scenario families ({} workload, {:.0} s horizon)",

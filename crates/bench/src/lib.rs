@@ -56,6 +56,6 @@ pub use report::{
 };
 pub use runner::{
     run_matrix, run_matrix_records, run_matrix_with, run_on, run_on_observed, run_spec,
-    run_spec_observed, CommunitySource, RunOutput, RunSpec, SweepConfig,
+    run_spec_observed, run_stream, CommunitySource, RunOutput, RunSpec, StreamRun, SweepConfig,
 };
 pub use scenario::{BuiltScenario, ScenarioCache, ScenarioKey};

@@ -128,6 +128,38 @@ impl RunRecord {
         }
     }
 
+    /// [`RunRecord::capture_output`] for a streaming run
+    /// ([`crate::run_stream`]), where no [`BuiltScenario`] exists because the
+    /// contact trace was never materialized: the resolved scenario shape
+    /// (`n_nodes`, `duration`) is supplied explicitly. The cell identity is
+    /// unchanged — a streaming run of a generated scenario is bit-identical
+    /// to its materialized twin, so the two must share a key.
+    pub fn capture_stream(
+        spec: &RunSpec,
+        n_nodes: u32,
+        duration: f64,
+        seed: u64,
+        out: &RunOutput,
+        wall_s: f64,
+    ) -> Self {
+        let key = spec.cell_key(seed);
+        RunRecord {
+            series: spec.series.clone(),
+            scenario: spec.scenario.to_string(),
+            workload: spec.workload.to_string(),
+            protocol: spec.protocol.to_string(),
+            seed,
+            n_nodes,
+            duration,
+            cell: key.encoded(),
+            group: key.group_encoded(),
+            stats: out.stats.snapshot(),
+            wall_s,
+            timeseries: out.timeseries.clone(),
+            latency: out.latency.clone(),
+        }
+    }
+
     /// The value of the registered metric `key` for this run, if known.
     pub fn metric(&self, key: &str) -> Option<f64> {
         metric(key).map(|m| (m.extract)(self))

@@ -330,23 +330,111 @@ pub fn run_on_observed(ps: &BuiltScenario, spec: &RunSpec, seed: u64) -> RunOutp
         .protocol
         .needs_communities()
         .then(|| spec.communities.resolve(ps));
-    let mut cfg = SimConfig::paper(seed);
-    // An explicit RunSpec override wins over the protocol spec's knob.
-    if let Some(bytes) = spec.buffer_capacity.or(spec.protocol.buffer) {
-        cfg.buffer_capacity = bytes;
-    }
-    let mut workload = ps.workload.as_ref().clone();
-    if let Some(ttl) = spec.protocol.ttl {
-        for m in &mut workload {
-            m.ttl = ttl;
-        }
-    }
-    let mut sim = Simulation::new(&ps.scenario.trace, workload, cfg, |id, n| {
+    let workload = spec.resolved_workload(ps.workload.as_ref().clone());
+    let sim = Simulation::new(
+        &ps.scenario.trace,
+        workload,
+        spec.sim_config(seed),
+        |id, n| spec.protocol.make_router(id, n, communities.as_ref()),
+    );
+    observe(sim, spec)
+}
+
+/// The result of one streaming `(spec, seed)` cell. No [`BuiltScenario`]
+/// exists on this path — the contact trace is never materialized — so the
+/// resolved scenario shape rides along explicitly for record capture and
+/// report headers.
+#[derive(Debug)]
+pub struct StreamRun {
+    /// Resolved node count.
+    pub n_nodes: u32,
+    /// Resolved horizon in seconds.
+    pub duration: f64,
+    /// Number of messages in the generated workload.
+    pub n_messages: usize,
+    /// The run's statistics and probe outputs.
+    pub output: RunOutput,
+}
+
+/// Executes one `(spec, seed)` cell through the streaming contact path: the
+/// contact process is built as a demand-driven
+/// [`dtn_mobility::StreamScenario`] and pulled by the engine window by
+/// window, so peak memory stays bounded by the generation window instead of
+/// the whole-horizon trace. For generated scenario families the resulting
+/// [`SimStats`] are bit-identical to [`run_spec`]; at city scale
+/// (`paper:n=100000`) this is the only feasible path.
+///
+/// [`CommunitySource::Detected`] is rejected: online detection replays a
+/// materialized trace, which is exactly what streaming avoids. Ground-truth
+/// and fixed maps work unchanged.
+pub fn run_stream(spec: &RunSpec, seed: u64) -> Result<StreamRun, String> {
+    let stream = spec.scenario.build_stream(seed, spec.duration)?;
+    let communities = if spec.protocol.needs_communities() {
+        Some(match &spec.communities {
+            CommunitySource::GroundTruth => Arc::new(CommunityMap::new(stream.communities.clone())),
+            CommunitySource::Fixed(map) => Arc::clone(map),
+            CommunitySource::Detected => {
+                return Err(
+                    "detected communities require a materialized contact trace; \
+                     use the non-streaming path or a fixed/ground-truth map"
+                        .into(),
+                )
+            }
+        })
+    } else {
+        None
+    };
+    let workload = spec.resolved_workload(spec.workload.generate(
+        stream.n_nodes,
+        stream.duration,
+        seed,
+    ));
+    let n_messages = workload.len();
+    let sim = Simulation::from_source(stream.source, workload, spec.sim_config(seed), |id, n| {
         spec.protocol.make_router(id, n, communities.as_ref())
     });
-    // Only the effective probe list is attached — the first of each kind;
-    // duplicates would be paid for (tick chains, occupancy scans) and then
-    // dropped at extraction, since a record carries one output per kind.
+    Ok(StreamRun {
+        n_nodes: stream.n_nodes,
+        duration: stream.duration,
+        n_messages,
+        output: observe(sim, spec),
+    })
+}
+
+impl RunSpec {
+    /// The paper [`SimConfig`] for `seed` with this cell's buffer override
+    /// applied (an explicit [`RunSpec::buffer_capacity`] wins over the
+    /// protocol spec's knob).
+    fn sim_config(&self, seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::paper(seed);
+        if let Some(bytes) = self.buffer_capacity.or(self.protocol.buffer) {
+            cfg.buffer_capacity = bytes;
+        }
+        cfg
+    }
+
+    /// Applies the protocol spec's TTL override to a generated workload.
+    fn resolved_workload(
+        &self,
+        mut workload: Vec<dtn_sim::MessageSpec>,
+    ) -> Vec<dtn_sim::MessageSpec> {
+        if let Some(ttl) = self.protocol.ttl {
+            for m in &mut workload {
+                m.ttl = ttl;
+            }
+        }
+        workload
+    }
+}
+
+/// Attaches `spec`'s effective probes, runs the simulation and extracts the
+/// stats plus each probe's output — shared by the materialized and streaming
+/// execution paths.
+///
+/// Only the effective probe list is attached — the first of each kind;
+/// duplicates would be paid for (tick chains, occupancy scans) and then
+/// dropped at extraction, since a record carries one output per kind.
+fn observe(mut sim: Simulation, spec: &RunSpec) -> RunOutput {
     for probe in spec.effective_probes() {
         match probe {
             ProbeSpec::TimeSeries { dt } => sim.add_observer(Box::new(TimeSeriesProbe::new(dt))),

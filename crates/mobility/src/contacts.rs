@@ -1,13 +1,20 @@
-//! Contact-trace generation from trajectories.
+//! Contact detection from trajectories.
 //!
 //! Positions are sampled every `dt` seconds; nodes within `range` metres are
-//! in contact. A uniform spatial hash grid with cell size `range` reduces the
-//! per-step pair test from O(n²) to O(n) for the sparse densities of
-//! vehicular scenarios. The resulting up/down intervals become a
-//! [`ContactTrace`] the protocol engine replays.
+//! in contact. A reused flat counting-sort grid with cell size `range`
+//! reduces the per-step pair test from O(n²) to O(n) for the sparse
+//! densities of vehicular scenarios, with zero heap allocation in steady
+//! state. [`ContactStepper`] exposes the detector incrementally — one
+//! sampling step at a time, emitting opened and closed contacts — which is
+//! what lets contact supply stream into the engine window-by-window
+//! (see [`crate::stream`]) instead of materializing a whole-horizon trace.
+//! [`generate_trace`] drives the same stepper to completion when a
+//! materialized [`ContactTrace`] is wanted.
 
+use crate::geometry::Point;
 use crate::trajectory::{Trajectory, TrajectoryCursor};
-use dtn_sim::{Contact, ContactTrace, NodeId, NodePair};
+use dtn_sim::{Contact, ContactTrace, NodeId, NodePair, SimTime};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// Contact-detection parameters.
@@ -30,80 +37,276 @@ impl Default for ContactGenConfig {
     }
 }
 
-/// Generates the contact trace of `trajs` over `[0, duration)`.
+/// A flat counting-sort spatial grid, rebuilt each step from reused buffers.
 ///
-/// # Panics
-/// Panics if `range` or `dt` is not positive.
-pub fn generate_trace(trajs: &[Trajectory], duration: f64, cfg: ContactGenConfig) -> ContactTrace {
-    assert!(cfg.range > 0.0 && cfg.dt > 0.0);
-    let n = trajs.len();
-    let mut cursors: Vec<TrajectoryCursor<'_>> = trajs.iter().map(TrajectoryCursor::new).collect();
-    let cell = cfg.range;
-    let range_sq = cfg.range * cfg.range;
+/// Layout: `starts[c]..starts[c + 1]` indexes into `items`, the node ids
+/// whose position falls in cell `c`. The table is capped at O(n) cells;
+/// worlds wider than the cap wrap (alias) onto the table, which only adds
+/// false candidates — the caller's exact distance test rejects them.
+#[derive(Debug, Default)]
+struct FlatGrid {
+    cols: usize,
+    rows: usize,
+    min_x: f64,
+    min_y: f64,
+    cell: f64,
+    /// Per-cell occupancy during the build; zeroed again by the scatter.
+    counts: Vec<u32>,
+    /// Exclusive prefix sums of `counts`: cell start offsets into `items`.
+    starts: Vec<u32>,
+    /// Node ids grouped by cell.
+    items: Vec<u32>,
+    /// Cell index of each node, kept for the scatter pass.
+    cell_of: Vec<u32>,
+}
 
-    // Open contacts: pair -> (start_time, last_seen_step).
-    let mut open: HashMap<NodePair, (f64, u64)> = HashMap::new();
-    let mut contacts: Vec<Contact> = Vec::new();
-    // Grid storage reused across steps.
-    let mut grid: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
-    let mut positions = vec![crate::geometry::Point::default(); n];
+impl FlatGrid {
+    /// Rebuilds the grid over `positions` with cell size `cell`. O(n) time;
+    /// buffers only ever grow, so a steady-state rebuild never allocates.
+    fn build(&mut self, positions: &[Point], cell: f64) {
+        let n = positions.len();
+        self.cell = cell;
+        if n == 0 {
+            self.cols = 1;
+            self.rows = 1;
+            if self.starts.len() < 2 {
+                self.starts.resize(2, 0);
+            }
+            self.starts[0] = 0;
+            self.starts[1] = 0;
+            return;
+        }
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in positions {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        self.min_x = min_x;
+        self.min_y = min_y;
+        let cap = n.max(64) * 4;
+        let need_cols = (((max_x - min_x) / cell) as usize).saturating_add(1);
+        let need_rows = (((max_y - min_y) / cell) as usize).saturating_add(1);
+        self.cols = need_cols.min(cap);
+        self.rows = need_rows.min((cap / self.cols).max(1));
+        let cells = self.cols * self.rows;
 
-    let steps = (duration / cfg.dt).ceil() as u64;
-    for step in 0..steps {
-        let t = step as f64 * cfg.dt;
-        for (i, c) in cursors.iter_mut().enumerate() {
-            positions[i] = c.position_at(t);
+        if self.counts.len() < cells + 1 {
+            self.counts.resize(cells + 1, 0);
         }
-        for v in grid.values_mut() {
-            v.clear();
+        if self.starts.len() < cells + 1 {
+            self.starts.resize(cells + 1, 0);
         }
+        if self.items.len() < n {
+            self.items.resize(n, 0);
+        }
+        if self.cell_of.len() < n {
+            self.cell_of.resize(n, 0);
+        }
+        self.counts[..cells].fill(0);
+
         for (i, p) in positions.iter().enumerate() {
-            let key = ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
-            grid.entry(key).or_default().push(i as u32);
+            let c = self.cell_index(*p);
+            self.cell_of[i] = c as u32;
+            self.counts[c] += 1;
         }
-        for (i, p) in positions.iter().enumerate() {
-            let cx = (p.x / cell).floor() as i64;
-            let cy = (p.y / cell).floor() as i64;
-            for dx in -1..=1 {
-                for dy in -1..=1 {
-                    let Some(bucket) = grid.get(&(cx + dx, cy + dy)) else {
-                        continue;
-                    };
-                    for &j in bucket {
-                        if (j as usize) <= i {
-                            continue;
-                        }
-                        if p.dist_sq(positions[j as usize]) <= range_sq {
-                            let pair = NodePair::new(NodeId(i as u32), NodeId(j));
-                            open.entry(pair).or_insert((t, step)).1 = step;
-                        }
-                    }
+        let mut running = 0u32;
+        for c in 0..cells {
+            self.starts[c] = running;
+            running += self.counts[c];
+        }
+        self.starts[cells] = running;
+        // Scatter, reusing `counts` as per-cell countdown cursors (this
+        // leaves `counts` all-zero again for the next build).
+        for i in 0..n {
+            let c = self.cell_of[i] as usize;
+            self.counts[c] -= 1;
+            self.items[(self.starts[c] + self.counts[c]) as usize] = i as u32;
+        }
+    }
+
+    #[inline]
+    fn cell_index(&self, p: Point) -> usize {
+        let cx = ((p.x - self.min_x) / self.cell) as usize;
+        let cy = ((p.y - self.min_y) / self.cell) as usize;
+        (cy % self.rows) * self.cols + (cx % self.cols)
+    }
+
+    /// Calls `f` with every node id stored in the 3×3 cell neighborhood of
+    /// `p`. May yield duplicates or far-away nodes when the table wraps;
+    /// callers must apply the exact distance test.
+    #[inline]
+    fn neighbors(&self, p: Point, mut f: impl FnMut(u32)) {
+        let cx = ((p.x - self.min_x) / self.cell) as i64;
+        let cy = ((p.y - self.min_y) / self.cell) as i64;
+        for dy in -1..=1i64 {
+            let row = (cy + dy).rem_euclid(self.rows as i64) as usize;
+            for dx in -1..=1i64 {
+                let col = (cx + dx).rem_euclid(self.cols as i64) as usize;
+                let c = row * self.cols + col;
+                for s in self.starts[c] as usize..self.starts[c + 1] as usize {
+                    f(self.items[s]);
                 }
             }
         }
-        // Close contacts not seen this step.
-        open.retain(|pair, (start, last)| {
+    }
+}
+
+/// Incremental, windowed contact detector over a fixed trajectory set.
+///
+/// Owns all scratch state — per-trajectory cursor positions, the flat
+/// spatial grid, the map of currently-open contacts — so that a steady-state
+/// [`ContactStepper::step`] performs zero heap allocations once buffers are
+/// warm. [`generate_trace`] drives it to completion for the materialized
+/// path; [`crate::stream::MobilityContactSource`] drives it window-by-window
+/// so a run never holds the whole-horizon contact process in memory.
+#[derive(Debug)]
+pub struct ContactStepper {
+    cfg: ContactGenConfig,
+    duration: f64,
+    steps: u64,
+    step: u64,
+    finalized: bool,
+    /// Per-trajectory monotone cursor state ([`TrajectoryCursor::seg`]).
+    segs: Vec<usize>,
+    positions: Vec<Point>,
+    grid: FlatGrid,
+    /// Open contacts: pair → (start time, last step seen).
+    open: HashMap<NodePair, (f64, u64)>,
+}
+
+impl ContactStepper {
+    /// Creates a stepper for `n` trajectories over `[0, duration)`.
+    ///
+    /// # Panics
+    /// Panics if `range` or `dt` is not positive.
+    pub fn new(n: usize, duration: f64, cfg: ContactGenConfig) -> Self {
+        assert!(cfg.range > 0.0 && cfg.dt > 0.0);
+        ContactStepper {
+            cfg,
+            duration,
+            steps: (duration / cfg.dt).ceil() as u64,
+            step: 0,
+            finalized: false,
+            segs: vec![0; n],
+            positions: vec![Point::default(); n],
+            grid: FlatGrid::default(),
+            open: HashMap::new(),
+        }
+    }
+
+    /// The timestamp the next [`ContactStepper::step`] call will process:
+    /// each sampling instant in turn, then `duration` once for the horizon
+    /// close-out, then `None`.
+    pub fn next_time(&self) -> Option<f64> {
+        if self.finalized {
+            None
+        } else if self.step < self.steps {
+            Some(self.step as f64 * self.cfg.dt)
+        } else {
+            Some(self.duration)
+        }
+    }
+
+    /// Advances one sampling step, appending contacts that closed at its
+    /// time `t` to `downs` (sorted by `(start, pair)`) and pairs that came
+    /// into contact at `t` to `ups` (sorted by pair). The final call — at
+    /// `t = duration` — closes every still-open contact. Returns the
+    /// processed timestamp, or `None` once the horizon has been finalized.
+    ///
+    /// `trajs` must be the slice whose length was given to
+    /// [`ContactStepper::new`], unchanged across calls.
+    pub fn step(
+        &mut self,
+        trajs: &[Trajectory],
+        downs: &mut Vec<Contact>,
+        ups: &mut Vec<NodePair>,
+    ) -> Option<f64> {
+        assert_eq!(trajs.len(), self.segs.len(), "trajectory set changed");
+        if self.finalized {
+            return None;
+        }
+        if self.step >= self.steps {
+            self.finalized = true;
+            let base = downs.len();
+            for (&pair, &(start, _)) in self.open.iter() {
+                downs.push(Contact {
+                    pair,
+                    start: SimTime::secs(start),
+                    end: SimTime::secs(self.duration),
+                });
+            }
+            self.open.clear();
+            downs[base..].sort_unstable_by_key(|c| (c.start, c.pair));
+            return Some(self.duration);
+        }
+
+        let t = self.step as f64 * self.cfg.dt;
+        let step = self.step;
+        for (i, traj) in trajs.iter().enumerate() {
+            let mut cur = TrajectoryCursor::with_seg(traj, self.segs[i]);
+            self.positions[i] = cur.position_at(t);
+            self.segs[i] = cur.seg();
+        }
+        self.grid.build(&self.positions, self.cfg.range);
+
+        let range_sq = self.cfg.range * self.cfg.range;
+        let grid = &self.grid;
+        let open = &mut self.open;
+        let positions = &self.positions;
+        let up_base = ups.len();
+        for (i, p) in positions.iter().enumerate() {
+            grid.neighbors(*p, |j| {
+                if (j as usize) <= i {
+                    return;
+                }
+                if p.dist_sq(positions[j as usize]) <= range_sq {
+                    let pair = NodePair::new(NodeId(i as u32), NodeId(j));
+                    match open.entry(pair) {
+                        Entry::Occupied(mut e) => e.get_mut().1 = step,
+                        Entry::Vacant(e) => {
+                            e.insert((t, step));
+                            ups.push(pair);
+                        }
+                    }
+                }
+            });
+        }
+        ups[up_base..].sort_unstable();
+
+        let down_base = downs.len();
+        self.open.retain(|pair, (start, last)| {
             if *last != step {
-                contacts.push(Contact {
+                downs.push(Contact {
                     pair: *pair,
-                    start: dtn_sim::SimTime::secs(*start),
-                    end: dtn_sim::SimTime::secs(t),
+                    start: SimTime::secs(*start),
+                    end: SimTime::secs(t),
                 });
                 false
             } else {
                 true
             }
         });
+        downs[down_base..].sort_unstable_by_key(|c| (c.start, c.pair));
+        self.step += 1;
+        Some(t)
     }
-    // Close everything still open at the horizon.
-    for (pair, (start, _)) in open {
-        contacts.push(Contact {
-            pair,
-            start: dtn_sim::SimTime::secs(start),
-            end: dtn_sim::SimTime::secs(duration),
-        });
+}
+
+/// Generates the contact trace of `trajs` over `[0, duration)`.
+///
+/// # Panics
+/// Panics if `range` or `dt` is not positive.
+pub fn generate_trace(trajs: &[Trajectory], duration: f64, cfg: ContactGenConfig) -> ContactTrace {
+    let mut stepper = ContactStepper::new(trajs.len(), duration, cfg);
+    let mut contacts = Vec::new();
+    let mut ups = Vec::new();
+    while stepper.step(trajs, &mut contacts, &mut ups).is_some() {
+        ups.clear();
     }
-    ContactTrace::new(n as u32, duration, contacts)
+    ContactTrace::new(trajs.len() as u32, duration, contacts)
 }
 
 #[cfg(test)]
@@ -195,5 +398,50 @@ mod tests {
         let b = Trajectory::stationary(Point::new(3.0, 3.0));
         let trace = generate_trace(&[a, b], 5.0, ContactGenConfig::default());
         assert_eq!(trace.contacts.len(), 1);
+    }
+
+    /// A world far wider than the cell cap wraps onto the table; aliased
+    /// candidates must not turn into false contacts.
+    #[test]
+    fn wide_world_wraps_without_false_contacts() {
+        let mut trajs = Vec::new();
+        for k in 0..6 {
+            trajs.push(Trajectory::stationary(Point::new(k as f64 * 1.0e5, 0.0)));
+        }
+        // One genuinely close pair.
+        trajs.push(Trajectory::stationary(Point::new(3.0, 0.0)));
+        let trace = generate_trace(&trajs, 5.0, ContactGenConfig::default());
+        assert_eq!(trace.contacts.len(), 1);
+        let c = trace.contacts[0];
+        assert_eq!(c.pair, NodePair::new(NodeId(0), NodeId(6)));
+    }
+
+    /// The stepper emits per-step ups/downs consistent with the trace, and
+    /// finalizes exactly once.
+    #[test]
+    fn stepper_streams_the_same_contacts() {
+        let a = Trajectory::stationary(Point::new(0.0, 0.0));
+        let b = Trajectory::new(vec![
+            (0.0, Point::new(-100.0, 0.0)),
+            (40.0, Point::new(100.0, 0.0)),
+        ]);
+        let trajs = [a, b];
+        let trace = generate_trace(&trajs, 60.0, ContactGenConfig::default());
+
+        let mut stepper = ContactStepper::new(2, 60.0, ContactGenConfig::default());
+        let mut downs = Vec::new();
+        let mut ups = Vec::new();
+        let mut n_ups = 0;
+        while let Some(t) = stepper.next_time() {
+            let processed = stepper.step(&trajs, &mut downs, &mut ups).unwrap();
+            assert_eq!(processed, t);
+            n_ups += ups.len();
+            ups.clear();
+        }
+        assert!(stepper.next_time().is_none());
+        assert!(stepper.step(&trajs, &mut downs, &mut ups).is_none());
+        assert_eq!(downs.len(), trace.contacts.len());
+        assert_eq!(n_ups, trace.contacts.len());
+        assert_eq!(downs, trace.contacts);
     }
 }

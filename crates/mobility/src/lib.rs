@@ -10,8 +10,10 @@
 //!   vehicular map-driven model);
 //! * [`rwp`] — random waypoint, as a memoryless baseline;
 //! * [`trajectory`] — piecewise-linear trajectories shared by all models;
-//! * [`contacts`] — spatial-grid contact detection producing a
-//!   [`dtn_sim::ContactTrace`];
+//! * [`contacts`] — flat-grid contact detection, incremental
+//!   ([`ContactStepper`]) or producing a whole [`dtn_sim::ContactTrace`];
+//! * [`stream`] — [`MobilityContactSource`], the streaming
+//!   [`dtn_sim::ContactSource`] that feeds the engine window-by-window;
 //! * [`scenario`] — one-call scenario builders with community ground truth;
 //! * [`spec`] — first-class [`ScenarioSpec`]/[`WorkloadSpec`] values that
 //!   make scenario families and workloads cacheable and sweepable.
@@ -37,18 +39,20 @@ pub mod rwp;
 pub mod scenario;
 pub mod spec;
 pub mod spmbm;
+pub mod stream;
 pub mod svg;
 pub mod trajectory;
 
-pub use contacts::{generate_trace, ContactGenConfig};
+pub use contacts::{generate_trace, ContactGenConfig, ContactStepper};
 pub use geometry::{Point, Rect};
 pub use graph::{RoadGraph, RoadGraphBuilder, VertexId};
 pub use mapgen::MapConfig;
 pub use path::PathFinder;
 pub use routes::{BusConfig, BusRoute};
 pub use rwp::RwpConfig;
-pub use scenario::{Scenario, ScenarioConfig};
-pub use spec::{ScenarioSpec, TraceSource, WorkloadSpec};
+pub use scenario::{Scenario, ScenarioConfig, ScenarioParts};
+pub use spec::{ScenarioSpec, StreamScenario, TraceSource, WorkloadSpec};
 pub use spmbm::SpmbmConfig;
+pub use stream::MobilityContactSource;
 pub use svg::SvgScene;
 pub use trajectory::{Trajectory, TrajectoryCursor};

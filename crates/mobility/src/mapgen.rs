@@ -50,6 +50,20 @@ impl MapConfig {
         }
     }
 
+    /// A wide multi-district city for large-n scenarios: `districts` bands
+    /// of 6 columns each at downtown block scale. Thinning is disabled so
+    /// map generation stays O(vertices) — the connectivity-preserving
+    /// removal loop is quadratic-ish and would dominate city-scale builds.
+    pub fn city(districts: u32) -> Self {
+        MapConfig {
+            cols: 6 * districts.max(1),
+            rows: 8,
+            spacing: 330.0,
+            jitter: 0.15,
+            thinning: 0.0,
+        }
+    }
+
     /// A small map for fast tests.
     pub fn tiny() -> Self {
         MapConfig {

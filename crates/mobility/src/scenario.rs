@@ -41,6 +41,11 @@ pub struct ScenarioConfig {
     pub n_routes: u32,
     /// Stops per bus line.
     pub stops_per_route: u32,
+    /// Split the fleet into day/night schedule halves: even-indexed buses on
+    /// each line drive `[0, duration/2)` then park; odd-indexed buses park at
+    /// their line's start until `duration/2`, then drive. Models shift
+    /// schedules and halves the number of simultaneously moving nodes.
+    pub day_night: bool,
 }
 
 impl ScenarioConfig {
@@ -57,6 +62,27 @@ impl ScenarioConfig {
             express_fraction: 0.25,
             n_routes: 12,
             stops_per_route: 5,
+            day_night: false,
+        }
+    }
+
+    /// A city-scale scenario family: `districts` vertical bands on a wide
+    /// map ([`MapConfig::city`]), 3 bus lines per district, and day/night
+    /// schedule halves. Designed to stay O(n) on the supply side so runs at
+    /// n = 10⁵ are feasible at short horizons through the streaming path.
+    pub fn city(n_nodes: u32, districts: u32) -> Self {
+        let districts = districts.max(1);
+        ScenarioConfig {
+            n_nodes,
+            duration: 10_000.0,
+            map: MapConfig::city(districts),
+            bus: BusConfig::default(),
+            contact: ContactGenConfig::default(),
+            districts,
+            express_fraction: 0.15,
+            n_routes: 3 * districts,
+            stops_per_route: 4,
+            day_night: true,
         }
     }
 
@@ -72,6 +98,7 @@ impl ScenarioConfig {
             express_fraction: 0.25,
             n_routes: 2,
             stops_per_route: 3,
+            day_night: false,
         }
     }
 
@@ -83,6 +110,23 @@ impl ScenarioConfig {
 
     /// Builds the scenario deterministically from `seed`.
     pub fn build(&self, seed: u64) -> Scenario {
+        let parts = self.build_parts(seed);
+        let trace = generate_trace(&parts.trajectories, self.duration, self.contact);
+        Scenario {
+            trace,
+            communities: parts.communities,
+            n_communities: parts.n_communities,
+            graph: parts.graph,
+            trajectories: parts.trajectories,
+        }
+    }
+
+    /// Builds everything except the contact process: the map, every node's
+    /// trajectory, and community ground truth. This is the input to both
+    /// [`generate_trace`] (materialized path, via [`ScenarioConfig::build`])
+    /// and [`crate::stream::MobilityContactSource`] (streaming path), which
+    /// never holds the whole-horizon trace.
+    pub fn build_parts(&self, seed: u64) -> ScenarioParts {
         assert!(self.n_nodes >= 2);
         assert!(self.districts >= 1);
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x7363_656e_u64);
@@ -131,24 +175,49 @@ impl ScenarioConfig {
                 seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
                     .wrapping_add(u64::from(k)),
             );
-            trajectories.push(route.bus_trajectory(
-                offset.min(0.999),
-                self.duration,
-                &self.bus,
-                &mut bus_rng,
-            ));
+            let traj = if self.day_night {
+                let half = self.duration / 2.0;
+                if on_route.is_multiple_of(2) {
+                    // Day shift: drive the first half, then park (the
+                    // trajectory clamps to its last breakpoint).
+                    route.bus_trajectory(offset.min(0.999), half, &self.bus, &mut bus_rng)
+                } else {
+                    // Night shift: park at the line start, drive the second
+                    // half.
+                    let raw = route.bus_trajectory(
+                        offset.min(0.999),
+                        self.duration - half,
+                        &self.bus,
+                        &mut bus_rng,
+                    );
+                    delay_start(&raw, half)
+                }
+            } else {
+                route.bus_trajectory(offset.min(0.999), self.duration, &self.bus, &mut bus_rng)
+            };
+            trajectories.push(traj);
             communities.push(*home);
         }
 
-        let trace = generate_trace(&trajectories, self.duration, self.contact);
-        Scenario {
-            trace,
-            communities,
-            n_communities: self.districts,
+        ScenarioParts {
             graph,
             trajectories,
+            communities,
+            n_communities: self.districts,
         }
     }
+}
+
+/// Shifts a trajectory `by` seconds into the future, parking the node at the
+/// trajectory's first point until then.
+fn delay_start(traj: &Trajectory, by: f64) -> Trajectory {
+    let pts = traj.points();
+    let mut shifted = Vec::with_capacity(pts.len() + 1);
+    shifted.push((0.0, pts[0].1));
+    for &(t, p) in pts {
+        shifted.push((t + by, p));
+    }
+    Trajectory::new(shifted)
 }
 
 /// Number of buses line `ri` receives under round-robin assignment.
@@ -170,6 +239,19 @@ fn district_assignment(g: &RoadGraph, districts: u32) -> Vec<u32> {
             d.clamp(0, i64::from(districts) - 1) as u32
         })
         .collect()
+}
+
+/// The trace-free output of [`ScenarioConfig::build_parts`].
+#[derive(Clone, Debug)]
+pub struct ScenarioParts {
+    /// The road graph.
+    pub graph: RoadGraph,
+    /// Node trajectories.
+    pub trajectories: Vec<Trajectory>,
+    /// Community id of each node (the home district of its bus line).
+    pub communities: Vec<u32>,
+    /// Number of communities.
+    pub n_communities: u32,
 }
 
 /// A built scenario: the contact trace plus community ground truth.
@@ -234,6 +316,54 @@ mod tests {
         let s = cfg.build(3);
         assert!(s.communities.iter().all(|&c| c == 0));
         assert_eq!(s.n_communities, 1);
+    }
+
+    #[test]
+    fn city_day_night_halves_alternate() {
+        let cfg = ScenarioConfig::city(24, 4).sized(2000.0);
+        assert!(cfg.day_night);
+        let s = cfg.build(5);
+        assert_eq!(s.trace.n_nodes, 24);
+        assert!(s.trace.validate().is_ok());
+        // All four districts populated.
+        let mut seen = [false; 4];
+        for &c in &s.communities {
+            seen[c as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "communities {:?}", s.communities);
+
+        let n_routes = cfg.n_routes.min(cfg.n_nodes);
+        let half = cfg.duration / 2.0;
+        for (k, traj) in s.trajectories.iter().enumerate() {
+            let on_route = k as u32 / n_routes;
+            if on_route.is_multiple_of(2) {
+                // Day bus: parked well into the second half.
+                assert_eq!(
+                    traj.position_at(half * 1.4),
+                    traj.position_at(cfg.duration),
+                    "day bus {k} still moving at night"
+                );
+            } else {
+                // Night bus: parked through most of the first half.
+                assert_eq!(
+                    traj.position_at(0.0),
+                    traj.position_at(half * 0.9),
+                    "night bus {k} moving during the day"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_parts_matches_build() {
+        let cfg = ScenarioConfig::small(8, 300.0);
+        let s = cfg.build(7);
+        let p = cfg.build_parts(7);
+        assert_eq!(s.communities, p.communities);
+        assert_eq!(s.trajectories.len(), p.trajectories.len());
+        for (a, b) in s.trajectories.iter().zip(&p.trajectories) {
+            assert_eq!(a.points(), b.points());
+        }
     }
 
     #[test]

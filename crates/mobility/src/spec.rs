@@ -31,8 +31,12 @@ use crate::contacts::{generate_trace, ContactGenConfig};
 use crate::geometry::{Point, Rect};
 use crate::rwp::RwpConfig;
 use crate::scenario::{Scenario, ScenarioConfig};
+use crate::stream::MobilityContactSource;
+use crate::trajectory::Trajectory;
 use crate::RoadGraphBuilder;
-use dtn_sim::{ContactTrace, MessageSpec, NodeId, SimTime, TrafficConfig};
+use dtn_sim::{
+    ContactSource, ContactTrace, MessageSpec, NodeId, SimTime, TraceReplaySource, TrafficConfig,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -66,6 +70,15 @@ pub enum ScenarioSpec {
     PaperBusCity {
         /// Number of buses (network nodes).
         n_nodes: u32,
+    },
+    /// The city-scale family: districts on a wide map with day/night
+    /// schedule halves ([`ScenarioConfig::city`]). Designed for large `n`
+    /// through the streaming contact path.
+    City {
+        /// Number of buses (network nodes).
+        n_nodes: u32,
+        /// Number of districts (= communities and map bands).
+        districts: u32,
     },
     /// Random waypoint in a square area — a memoryless, community-free
     /// baseline.
@@ -101,6 +114,21 @@ impl ScenarioSpec {
         ScenarioSpec::PaperBusCity { n_nodes }
     }
 
+    /// The city-scale family with an explicit district count.
+    pub fn city(n_nodes: u32, districts: u32) -> Self {
+        ScenarioSpec::City {
+            n_nodes,
+            districts: districts.max(1),
+        }
+    }
+
+    /// The default district count for a city of `n` nodes: grows like √n so
+    /// per-district fleet density stays roughly constant (n = 10³ → 4,
+    /// 10⁴ → 13, 10⁵ → 40).
+    pub fn districts_for(n_nodes: u32) -> u32 {
+        (((f64::from(n_nodes)).sqrt() / 8.0).round() as u32).max(4)
+    }
+
     /// Random waypoint with the paper's speed range and radio range in a
     /// 1 km × 1 km area.
     pub fn rwp(n_nodes: u32) -> Self {
@@ -129,18 +157,57 @@ impl ScenarioSpec {
         }
     }
 
-    /// Parses a CLI scenario argument: `paper`, `rwp` (alias
+    /// Parses a CLI scenario argument: `paper`, `paper:n=<n>` (the city
+    /// family at paper-like defaults), `city[:n=<n>][:d=<d>]`, `rwp` (alias
     /// `random-waypoint`), or `trace:<path>`.
     pub fn parse(s: &str, n_nodes: u32) -> Result<Self, String> {
+        fn kv(part: &str, key: &str) -> Option<Result<u32, String>> {
+            let v = part.strip_prefix(key)?.strip_prefix('=')?;
+            Some(v.parse::<u32>().map_err(|e| format!("{key}: {e}")))
+        }
+        let bad = || {
+            format!(
+                "unknown scenario `{s}` (expected paper[:n=<n>], city[:n=<n>][:d=<d>], \
+                 rwp, or trace:<path>)"
+            )
+        };
         match s {
-            "paper" => Ok(ScenarioSpec::paper(n_nodes)),
-            "rwp" | "random-waypoint" => Ok(ScenarioSpec::rwp(n_nodes)),
-            _ => match s.split_once(':') {
-                Some(("trace", path)) if !path.is_empty() => Ok(ScenarioSpec::trace_path(path)),
-                _ => Err(format!(
-                    "unknown scenario `{s}` (expected paper, rwp, or trace:<path>)"
-                )),
-            },
+            "paper" => return Ok(ScenarioSpec::paper(n_nodes)),
+            "rwp" | "random-waypoint" => return Ok(ScenarioSpec::rwp(n_nodes)),
+            "city" => return Ok(ScenarioSpec::city(n_nodes, Self::districts_for(n_nodes))),
+            _ => {}
+        }
+        match s.split_once(':') {
+            Some(("trace", path)) if !path.is_empty() => Ok(ScenarioSpec::trace_path(path)),
+            Some(("paper", rest)) => {
+                let n = kv(rest, "n").ok_or_else(bad)??;
+                if n < 2 {
+                    return Err("city scenario needs n >= 2".into());
+                }
+                Ok(ScenarioSpec::city(n, Self::districts_for(n)))
+            }
+            Some(("city", rest)) => {
+                let mut n = n_nodes;
+                let mut d = None;
+                for part in rest.split(':') {
+                    if let Some(v) = kv(part, "n") {
+                        n = v?;
+                    } else if let Some(v) = kv(part, "d") {
+                        d = Some(v?);
+                    } else {
+                        return Err(bad());
+                    }
+                }
+                if n < 2 {
+                    return Err("city scenario needs n >= 2".into());
+                }
+                let d = d.unwrap_or_else(|| Self::districts_for(n));
+                if d == 0 {
+                    return Err("city scenario needs d >= 1".into());
+                }
+                Ok(ScenarioSpec::city(n, d))
+            }
+            _ => Err(bad()),
         }
     }
 
@@ -149,6 +216,7 @@ impl ScenarioSpec {
     pub fn declared_nodes(&self) -> Option<u32> {
         match *self {
             ScenarioSpec::PaperBusCity { n_nodes }
+            | ScenarioSpec::City { n_nodes, .. }
             | ScenarioSpec::RandomWaypoint { n_nodes, .. } => Some(n_nodes),
             ScenarioSpec::TraceReplay { .. } => None,
         }
@@ -170,6 +238,9 @@ impl ScenarioSpec {
     pub fn cache_key(&self) -> String {
         match self {
             ScenarioSpec::PaperBusCity { n_nodes } => format!("paper:n={n_nodes}"),
+            ScenarioSpec::City { n_nodes, districts } => {
+                format!("city:n={n_nodes}:d={districts}")
+            }
             ScenarioSpec::RandomWaypoint {
                 n_nodes,
                 area_side,
@@ -203,38 +274,12 @@ impl ScenarioSpec {
     /// real structure run online detection on the trace.
     pub fn build(&self, seed: u64, duration: Option<f64>) -> Result<Scenario, String> {
         match self {
-            ScenarioSpec::PaperBusCity { n_nodes } => {
-                let cfg = ScenarioConfig {
-                    duration: duration.unwrap_or(Self::DEFAULT_DURATION),
-                    ..ScenarioConfig::paper(*n_nodes)
-                };
-                Ok(cfg.build(seed))
+            ScenarioSpec::PaperBusCity { .. } | ScenarioSpec::City { .. } => {
+                Ok(self.bus_config(duration).build(seed))
             }
-            ScenarioSpec::RandomWaypoint {
-                n_nodes,
-                area_side,
-                speed_min,
-                speed_max,
-                range,
-                pause_max,
-            } => {
+            ScenarioSpec::RandomWaypoint { n_nodes, range, .. } => {
                 let dur = duration.unwrap_or(Self::DEFAULT_DURATION);
-                let cfg = RwpConfig {
-                    area: Rect::new(Point::new(0.0, 0.0), Point::new(*area_side, *area_side)),
-                    speed_min: *speed_min,
-                    speed_max: *speed_max,
-                    pause_max: *pause_max,
-                };
-                let trajectories: Vec<_> = (0..*n_nodes)
-                    .map(|k| {
-                        let mut rng = SmallRng::seed_from_u64(
-                            (seed ^ 0x7277_705f_u64)
-                                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                                .wrapping_add(u64::from(k)),
-                        );
-                        cfg.trajectory(dur, &mut rng)
-                    })
-                    .collect();
+                let trajectories = self.rwp_trajectories(dur, seed);
                 let trace = generate_trace(
                     &trajectories,
                     dur,
@@ -252,24 +297,7 @@ impl ScenarioSpec {
                 })
             }
             ScenarioSpec::TraceReplay { source } => {
-                let trace = match source {
-                    TraceSource::Path(path) => {
-                        let text = std::fs::read_to_string(path)
-                            .map_err(|e| format!("cannot read {path}: {e}"))?;
-                        ContactTrace::from_text(&text)
-                            .map_err(|e| format!("cannot parse {path}: {e}"))?
-                    }
-                    TraceSource::Inline { trace, .. } => trace.as_ref().clone(),
-                };
-                if let Some(d) = duration {
-                    if (d - trace.duration).abs() > 1e-9 {
-                        return Err(format!(
-                            "duration override {d} conflicts with the trace's recorded \
-                             horizon {}; trace replay runs at its native duration",
-                            trace.duration
-                        ));
-                    }
-                }
+                let trace = load_trace(source, duration)?;
                 let n = trace.n_nodes;
                 Ok(Scenario {
                     trace,
@@ -281,12 +309,159 @@ impl ScenarioSpec {
             }
         }
     }
+
+    /// Builds the streaming form of the scenario: a demand-driven
+    /// [`ContactSource`] plus community ground truth, without ever
+    /// materializing the contact trace. For generated scenarios this drives
+    /// bit-identical simulations to [`ScenarioSpec::build`] + trace replay
+    /// (see [`crate::stream`]); at city scale it is the only feasible path,
+    /// since peak memory stays bounded by the generation window.
+    pub fn build_stream(&self, seed: u64, duration: Option<f64>) -> Result<StreamScenario, String> {
+        match self {
+            ScenarioSpec::PaperBusCity { .. } | ScenarioSpec::City { .. } => {
+                let cfg = self.bus_config(duration);
+                let parts = cfg.build_parts(seed);
+                Ok(StreamScenario {
+                    n_nodes: cfg.n_nodes,
+                    duration: cfg.duration,
+                    communities: parts.communities,
+                    n_communities: parts.n_communities,
+                    source: Box::new(MobilityContactSource::new(
+                        parts.trajectories,
+                        cfg.duration,
+                        cfg.contact,
+                    )),
+                })
+            }
+            ScenarioSpec::RandomWaypoint { n_nodes, range, .. } => {
+                let dur = duration.unwrap_or(Self::DEFAULT_DURATION);
+                let trajectories = self.rwp_trajectories(dur, seed);
+                Ok(StreamScenario {
+                    n_nodes: *n_nodes,
+                    duration: dur,
+                    communities: vec![0; *n_nodes as usize],
+                    n_communities: 1,
+                    source: Box::new(MobilityContactSource::new(
+                        trajectories,
+                        dur,
+                        ContactGenConfig {
+                            range: *range,
+                            ..ContactGenConfig::default()
+                        },
+                    )),
+                })
+            }
+            ScenarioSpec::TraceReplay { source } => {
+                let trace = load_trace(source, duration)?;
+                Ok(StreamScenario {
+                    n_nodes: trace.n_nodes,
+                    duration: trace.duration,
+                    communities: vec![0; trace.n_nodes as usize],
+                    n_communities: 1,
+                    source: Box::new(TraceReplaySource::new(&trace)),
+                })
+            }
+        }
+    }
+
+    /// The [`ScenarioConfig`] behind the bus-based variants, with the
+    /// duration override applied.
+    ///
+    /// # Panics
+    /// Panics if called on a non-bus variant.
+    fn bus_config(&self, duration: Option<f64>) -> ScenarioConfig {
+        let base = match *self {
+            ScenarioSpec::PaperBusCity { n_nodes } => ScenarioConfig::paper(n_nodes),
+            ScenarioSpec::City { n_nodes, districts } => ScenarioConfig::city(n_nodes, districts),
+            _ => unreachable!("bus_config on a non-bus spec"),
+        };
+        ScenarioConfig {
+            duration: duration.unwrap_or(Self::DEFAULT_DURATION),
+            ..base
+        }
+    }
+
+    /// The random-waypoint trajectory set (shared by the materialized and
+    /// streaming builds; per-node seeding keeps it order-independent).
+    ///
+    /// # Panics
+    /// Panics if called on a non-RWP variant.
+    fn rwp_trajectories(&self, dur: f64, seed: u64) -> Vec<Trajectory> {
+        let ScenarioSpec::RandomWaypoint {
+            n_nodes,
+            area_side,
+            speed_min,
+            speed_max,
+            pause_max,
+            ..
+        } = *self
+        else {
+            unreachable!("rwp_trajectories on a non-RWP spec");
+        };
+        let cfg = RwpConfig {
+            area: Rect::new(Point::new(0.0, 0.0), Point::new(area_side, area_side)),
+            speed_min,
+            speed_max,
+            pause_max,
+        };
+        (0..n_nodes)
+            .map(|k| {
+                let mut rng = SmallRng::seed_from_u64(
+                    (seed ^ 0x7277_705f_u64)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(u64::from(k)),
+                );
+                cfg.trajectory(dur, &mut rng)
+            })
+            .collect()
+    }
+}
+
+/// Loads and validates the trace behind a [`TraceSource`], rejecting a
+/// conflicting duration override.
+fn load_trace(source: &TraceSource, duration: Option<f64>) -> Result<ContactTrace, String> {
+    let trace = match source {
+        TraceSource::Path(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            ContactTrace::from_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))?
+        }
+        TraceSource::Inline { trace, .. } => trace.as_ref().clone(),
+    };
+    if let Some(d) = duration {
+        if (d - trace.duration).abs() > 1e-9 {
+            return Err(format!(
+                "duration override {d} conflicts with the trace's recorded \
+                 horizon {}; trace replay runs at its native duration",
+                trace.duration
+            ));
+        }
+    }
+    Ok(trace)
+}
+
+/// The streaming counterpart of [`Scenario`]: the contact process as a
+/// demand-driven [`ContactSource`] instead of a materialized trace.
+pub struct StreamScenario {
+    /// The contact supply, ready for `dtn_sim::Simulation::from_source`.
+    pub source: Box<dyn ContactSource>,
+    /// Number of nodes.
+    pub n_nodes: u32,
+    /// Horizon in seconds.
+    pub duration: f64,
+    /// Community id per node (all-zero when the model carries none).
+    pub communities: Vec<u32>,
+    /// Number of communities.
+    pub n_communities: u32,
 }
 
 impl fmt::Display for ScenarioSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScenarioSpec::PaperBusCity { n_nodes } => write!(f, "paper(n={n_nodes})"),
+            ScenarioSpec::City { n_nodes, districts } => {
+                write!(f, "city(n={n_nodes}, d={districts})")
+            }
             ScenarioSpec::RandomWaypoint { n_nodes, .. } => write!(f, "rwp(n={n_nodes})"),
             ScenarioSpec::TraceReplay { source } => match source {
                 TraceSource::Path(p) => write!(f, "trace({p})"),
@@ -565,6 +740,90 @@ mod tests {
         }
         assert!(ScenarioSpec::parse("bogus", 8).is_err());
         assert!(ScenarioSpec::parse("trace:", 8).is_err());
+    }
+
+    #[test]
+    fn parse_city_family() {
+        assert!(matches!(
+            ScenarioSpec::parse("city", 100),
+            Ok(ScenarioSpec::City {
+                n_nodes: 100,
+                districts: 4
+            })
+        ));
+        assert!(matches!(
+            ScenarioSpec::parse("city:n=1000", 8),
+            Ok(ScenarioSpec::City {
+                n_nodes: 1000,
+                districts: 4
+            })
+        ));
+        assert!(matches!(
+            ScenarioSpec::parse("city:n=1000:d=7", 8),
+            Ok(ScenarioSpec::City {
+                n_nodes: 1000,
+                districts: 7
+            })
+        ));
+        assert!(matches!(
+            ScenarioSpec::parse("city:d=7", 64),
+            Ok(ScenarioSpec::City {
+                n_nodes: 64,
+                districts: 7
+            })
+        ));
+        // `paper:n=N` is the city family at paper-like defaults.
+        assert!(matches!(
+            ScenarioSpec::parse("paper:n=10000", 8),
+            Ok(ScenarioSpec::City {
+                n_nodes: 10000,
+                districts: 13
+            })
+        ));
+        assert!(ScenarioSpec::parse("city:x=3", 8).is_err());
+        assert!(ScenarioSpec::parse("city:n=", 8).is_err());
+        assert!(ScenarioSpec::parse("city:n=1", 8).is_err());
+        assert!(ScenarioSpec::parse("city:n=10:d=0", 8).is_err());
+        assert!(ScenarioSpec::parse("paper:bogus", 8).is_err());
+        assert_eq!(ScenarioSpec::districts_for(100_000), 40);
+    }
+
+    #[test]
+    fn city_round_trips_and_builds() {
+        let spec = ScenarioSpec::parse("city:n=24:d=4", 8).unwrap();
+        assert_eq!(spec.to_string(), "city(n=24, d=4)");
+        assert_eq!(spec.cache_key(), "city:n=24:d=4");
+        assert_ne!(spec.cache_key(), ScenarioSpec::paper(24).cache_key());
+        assert_eq!(spec.declared_nodes(), Some(24));
+        let s = spec.build(3, Some(500.0)).unwrap();
+        assert_eq!(s.trace.n_nodes, 24);
+        assert_eq!(s.n_communities, 4);
+        assert!(s.trace.validate().is_ok());
+    }
+
+    #[test]
+    fn build_stream_mirrors_build() {
+        use dtn_sim::TraceReplaySource;
+        for spec in [
+            ScenarioSpec::paper(8),
+            ScenarioSpec::city(12, 3),
+            ScenarioSpec::rwp(8),
+        ] {
+            let s = spec.build(5, Some(300.0)).unwrap();
+            let mut stream = spec.build_stream(5, Some(300.0)).unwrap();
+            assert_eq!(stream.n_nodes, s.trace.n_nodes, "{spec}");
+            assert_eq!(stream.duration, 300.0, "{spec}");
+            assert_eq!(stream.communities, s.communities, "{spec}");
+            assert_eq!(stream.n_communities, s.n_communities, "{spec}");
+            // Same events, same engine-pop order, as trace replay.
+            let mut expect = Vec::new();
+            TraceReplaySource::new(&s.trace).next_window(300.0, &mut expect);
+            expect.sort_by_key(|e| e.at());
+            let mut got = Vec::new();
+            stream.source.next_window(300.0, &mut got);
+            got.sort_by_key(|e| e.at());
+            assert_eq!(got, expect, "{spec}");
+        }
     }
 
     #[test]

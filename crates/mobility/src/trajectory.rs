@@ -87,6 +87,21 @@ impl<'a> TrajectoryCursor<'a> {
         TrajectoryCursor { traj, seg: 0 }
     }
 
+    /// Creates a cursor resuming from a segment index previously obtained
+    /// via [`TrajectoryCursor::seg`]. Sampling continues bitwise-identically
+    /// to the cursor the index was taken from, which lets callers store the
+    /// per-trajectory scan state as a plain `usize` instead of holding a
+    /// borrowing cursor across calls.
+    pub fn with_seg(traj: &'a Trajectory, seg: usize) -> Self {
+        TrajectoryCursor { traj, seg }
+    }
+
+    /// The current segment index (monotone scan state), for
+    /// [`TrajectoryCursor::with_seg`].
+    pub fn seg(&self) -> usize {
+        self.seg
+    }
+
     /// Position at `t`; successive calls must use non-decreasing `t`.
     pub fn position_at(&mut self, t: f64) -> Point {
         let pts = &self.traj.points;

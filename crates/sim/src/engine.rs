@@ -1,9 +1,16 @@
 //! The discrete-event protocol engine.
 //!
-//! A [`Simulation`] replays a [`ContactTrace`] against a routing protocol:
+//! A [`Simulation`] replays a contact process against a routing protocol:
 //! contacts come up and down, routers exchange control state and propose
 //! transfers, the engine models link bandwidth, buffer occupancy, TTL expiry
 //! and transfer aborts, and a [`SimStats`] is produced at the end.
+//!
+//! Contacts are *pulled*, not preloaded: the engine draws windows of
+//! up/down events from a [`ContactSource`] as simulated time advances
+//! ([`Simulation::from_source`]), so the event queue holds only the near
+//! future regardless of horizon or node count. [`Simulation::new`] wraps a
+//! materialized [`ContactTrace`] in a [`TraceReplaySource`] — byte-for-byte
+//! the same runs as the historic bulk loader, with a bounded queue.
 //!
 //! The engine is deterministic: all randomness lives in the trace/workload
 //! generators and in router-private RNGs seeded from [`SimConfig::seed`].
@@ -38,6 +45,7 @@ use crate::ids::{MessageId, NodeId, NodePair};
 use crate::message::{Message, MessageSpec};
 use crate::observe::{SimEvent, SimObserver};
 use crate::router::{pair_mut, ContactCtx, NodeCtx, Router, SentSet, TransferAction, TransferPlan};
+use crate::source::{ContactEvent, ContactSource, TraceReplaySource};
 use crate::stats::SimStats;
 use crate::time::SimTime;
 use crate::trace::ContactTrace;
@@ -128,6 +136,12 @@ pub struct Simulation {
     /// Active links per node as `(pair, slot)` (small vectors; membership
     /// scanned linearly — node degree is tiny in DTN contact processes).
     active: Vec<Vec<(NodePair, u32)>>,
+    /// The demand-driven contact supply.
+    source: Box<dyn ContactSource>,
+    /// Contacts starting before this time have been drawn from the source.
+    loaded_until: f64,
+    /// Reused scratch buffer for source windows.
+    source_scratch: Vec<ContactEvent>,
     events: EventQueue,
     stats: SimStats,
     now: SimTime,
@@ -162,27 +176,33 @@ impl Simulation {
         trace: &ContactTrace,
         workload: Vec<MessageSpec>,
         cfg: SimConfig,
+        factory: impl FnMut(NodeId, u32) -> Box<dyn Router>,
+    ) -> Self {
+        // Validation (and its panic) lives in the replay source.
+        Self::from_source(
+            Box::new(TraceReplaySource::new(trace)),
+            workload,
+            cfg,
+            factory,
+        )
+    }
+
+    /// Builds a simulation over a streaming contact supply. Contacts are
+    /// drawn from `source` in windows as simulated time advances, so the
+    /// event queue never holds more than roughly one window of the contact
+    /// process — this is the constructor that scales to city-sized node
+    /// counts. Runs are bit-identical to a materialized-trace run of the
+    /// same contact process (see [`crate::source`] for the ordering
+    /// contract that guarantees it).
+    pub fn from_source(
+        source: Box<dyn ContactSource>,
+        workload: Vec<MessageSpec>,
+        cfg: SimConfig,
         mut factory: impl FnMut(NodeId, u32) -> Box<dyn Router>,
     ) -> Self {
-        if let Err(e) = trace.validate() {
-            let idx = e.contact_idx();
-            panic!(
-                "invalid contact trace: {e:?} (contact #{idx}: {:?})",
-                trace.contacts.get(idx)
-            );
-        }
-        let n = trace.n_nodes;
+        let n = source.n_nodes();
+        let duration = source.duration();
         let mut events = EventQueue::new();
-        for c in &trace.contacts {
-            events.push(
-                c.start,
-                EventKind::ContactUp {
-                    pair: c.pair,
-                    until: c.end,
-                },
-            );
-            events.push(c.end, EventKind::ContactDown { pair: c.pair });
-        }
         for (i, spec) in workload.iter().enumerate() {
             debug_assert!(spec.src.0 < n && spec.dst.0 < n && spec.src != spec.dst);
             events.push(
@@ -193,7 +213,7 @@ impl Simulation {
         if cfg.ttl_sweep > 0.0 {
             events.push(SimTime::secs(cfg.ttl_sweep), EventKind::TtlSweep);
         }
-        events.push(SimTime::secs(trace.duration), EventKind::End);
+        events.push(SimTime::secs(duration), EventKind::End);
 
         let buffers = (0..n).map(|_| Buffer::new(cfg.buffer_capacity)).collect();
         let routers: Vec<Box<dyn Router>> = (0..n).map(|i| factory(NodeId(i), n)).collect();
@@ -213,13 +233,16 @@ impl Simulation {
         Simulation {
             cfg,
             n_nodes: n,
-            duration: trace.duration,
+            duration,
             workload,
             buffers,
             routers,
             links: Vec::new(),
             free_links: Vec::new(),
             active: vec![Vec::new(); n as usize],
+            source,
+            loaded_until: 0.0,
+            source_scratch: Vec::new(),
             events,
             stats,
             now: SimTime::ZERO,
@@ -347,11 +370,45 @@ impl Simulation {
         }
     }
 
+    /// Draws contact windows from the source until the earliest queued
+    /// event lies strictly inside loaded territory (or the source is
+    /// exhausted). Called before every pop, so an event at time `t` is only
+    /// processed once every contact starting at or before `t` is queued —
+    /// the streaming run pops the exact event sequence of a bulk load.
+    fn pump_source(&mut self) {
+        while self.loaded_until < self.duration {
+            match self.events.peek_time() {
+                Some(t) if t.as_secs() < self.loaded_until => break,
+                _ => {}
+            }
+            let hint = self.source.window_hint();
+            debug_assert!(hint > 0.0, "window hint must be positive");
+            let until = (self.loaded_until + hint).min(self.duration);
+            let mut scratch = std::mem::take(&mut self.source_scratch);
+            scratch.clear();
+            self.source.next_window(until, &mut scratch);
+            for ev in &scratch {
+                match *ev {
+                    ContactEvent::Up { pair, at } => {
+                        self.events.push_contact(at, EventKind::ContactUp { pair });
+                    }
+                    ContactEvent::Down { pair, at } => {
+                        self.events
+                            .push_contact(at, EventKind::ContactDown { pair });
+                    }
+                }
+            }
+            self.source_scratch = scratch;
+            self.loaded_until = until;
+        }
+    }
+
     /// Processes one event; returns `false` once the simulation ended.
     fn step(&mut self) -> bool {
         if self.finished {
             return false;
         }
+        self.pump_source();
         let Some((t, kind)) = self.events.pop() else {
             self.finish();
             return false;
@@ -359,7 +416,7 @@ impl Simulation {
         debug_assert!(t >= self.now, "time went backwards");
         self.now = t;
         match kind {
-            EventKind::ContactUp { pair, until } => self.handle_contact_up(pair, until),
+            EventKind::ContactUp { pair } => self.handle_contact_up(pair),
             EventKind::ContactDown { pair } => self.handle_contact_down(pair),
             EventKind::MessageCreate { spec_idx } => self.handle_create(spec_idx),
             EventKind::TransferDone {
@@ -469,7 +526,7 @@ impl Simulation {
             .map(|&(_, s)| s)
     }
 
-    fn handle_contact_up(&mut self, pair: NodePair, _until: SimTime) {
+    fn handle_contact_up(&mut self, pair: NodePair) {
         if self.slot_of(pair).is_some() {
             debug_assert!(false, "duplicate ContactUp for {pair:?}");
             return;

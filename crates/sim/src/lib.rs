@@ -10,6 +10,8 @@
 //! The crate is split along the paper's layering:
 //!
 //! * [`trace`] — contact traces, the interface to mobility models;
+//! * [`source`] — the streaming contact supply ([`ContactSource`]):
+//!   contact events pulled in windows instead of a whole-horizon trace;
 //! * [`router`] — the protocol callback API ([`Router`]);
 //! * [`engine`] — the discrete-event engine ([`Simulation`]);
 //! * [`observe`] — the observation layer: [`SimEvent`] stream,
@@ -57,6 +59,7 @@ pub mod message;
 pub mod observe;
 pub mod report;
 pub mod router;
+pub mod source;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -70,6 +73,7 @@ pub use observe::{
     TsSample,
 };
 pub use router::{ContactCtx, NodeCtx, Router, SentSet, TransferAction, TransferPlan};
+pub use source::{ContactEvent, ContactSource, TraceReplaySource};
 pub use stats::{MetricPoint, SimStats, StatsSnapshot};
 pub use time::SimTime;
 pub use trace::{Contact, ContactTrace, TraceError, TraceStats};
@@ -81,6 +85,7 @@ pub mod prelude {
     pub use crate::ids::{MessageId, NodeId, NodePair};
     pub use crate::message::{Message, MessageSpec, TrafficConfig};
     pub use crate::router::{ContactCtx, NodeCtx, Router, SentSet, TransferAction, TransferPlan};
+    pub use crate::source::{ContactEvent, ContactSource, TraceReplaySource};
     pub use crate::stats::{MetricPoint, SimStats, StatsSnapshot};
     pub use crate::time::SimTime;
     pub use crate::trace::{Contact, ContactTrace, TraceStats};

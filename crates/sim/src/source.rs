@@ -1,0 +1,198 @@
+//! Streaming contact supply: contact events pulled on demand.
+//!
+//! A [`ContactSource`] yields contact up/down events in windows of simulated
+//! time as the engine advances, so a run never has to materialize its whole
+//! contact process up front. [`crate::Simulation::from_source`] pulls one
+//! window ahead of the event clock; [`TraceReplaySource`] adapts a
+//! pre-recorded [`ContactTrace`] to the interface, which is how
+//! [`crate::Simulation::new`] now loads traces — same events, same order,
+//! bounded queue instead of a whole-horizon bulk load.
+//!
+//! ## Ordering contract
+//!
+//! Within a window the source must emit events so that, at any single
+//! timestamp, all `Down` events precede all `Up` events, `Down`s are sorted
+//! by their contact's `(start, pair)` and `Up`s by `pair`. This is exactly
+//! the tie order of a trace sorted by `(start, pair)` — the order
+//! [`crate::trace::ContactTrace::new`] produces — so a streaming source and
+//! a materialized trace drive bit-identical simulations (the engine assigns
+//! contact-band sequence numbers in emission order; see
+//! [`crate::event::EventQueue::push_contact`]).
+
+use crate::ids::NodePair;
+use crate::time::SimTime;
+use crate::trace::{Contact, ContactTrace};
+
+/// One contact edge event produced by a [`ContactSource`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ContactEvent {
+    /// A contact begins at `at`.
+    Up {
+        /// The node pair coming into contact.
+        pair: NodePair,
+        /// Contact start time.
+        at: SimTime,
+    },
+    /// A contact ends at `at`.
+    Down {
+        /// The node pair losing contact.
+        pair: NodePair,
+        /// Contact end time.
+        at: SimTime,
+    },
+}
+
+impl ContactEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            ContactEvent::Up { at, .. } | ContactEvent::Down { at, .. } => at,
+        }
+    }
+}
+
+/// A demand-driven supply of contact events for one scenario.
+///
+/// The engine calls [`ContactSource::next_window`] with a monotonically
+/// increasing `until`; each call must append every not-yet-emitted event of
+/// contacts *starting* before `until` (their `Down` events may lie beyond
+/// `until` — emit them together with the `Up` so a contact is never left
+/// dangling). When `until` reaches [`ContactSource::duration`], the source
+/// finalizes: contacts still open at the horizon emit their `Down` at
+/// `duration`. See the module docs for the intra-window ordering contract.
+pub trait ContactSource: Send {
+    /// Number of nodes in the scenario.
+    fn n_nodes(&self) -> u32;
+
+    /// Scenario horizon in seconds.
+    fn duration(&self) -> f64;
+
+    /// Appends to `out` all pending events for contacts starting in
+    /// `[previous until, until)`, in the documented order. Called with
+    /// nondecreasing `until`; `until == duration` finalizes the source.
+    fn next_window(&mut self, until: f64, out: &mut Vec<ContactEvent>);
+
+    /// Preferred window length in simulated seconds: the engine stays about
+    /// this far ahead of the event clock. Trades queue occupancy against
+    /// call overhead; correctness does not depend on it.
+    fn window_hint(&self) -> f64 {
+        60.0
+    }
+}
+
+/// Replays a recorded [`ContactTrace`] as a [`ContactSource`].
+///
+/// Contacts are emitted in trace index order (the `(start, pair)` sort
+/// order), each `Up` immediately followed by its `Down` — precisely the
+/// sequence-number assignment the engine's historic bulk loader produced,
+/// so replay runs are bit-identical to pre-streaming builds.
+#[derive(Debug)]
+pub struct TraceReplaySource {
+    n_nodes: u32,
+    duration: f64,
+    contacts: Vec<Contact>,
+    /// Index of the first contact not yet emitted.
+    next: usize,
+}
+
+impl TraceReplaySource {
+    /// Builds a replay source from a validated trace.
+    ///
+    /// # Panics
+    /// Panics if the trace fails validation, naming the offending contact
+    /// index and the contact itself.
+    pub fn new(trace: &ContactTrace) -> Self {
+        if let Err(e) = trace.validate() {
+            let idx = e.contact_idx();
+            panic!(
+                "invalid contact trace: {e:?} (contact #{idx}: {:?})",
+                trace.contacts.get(idx)
+            );
+        }
+        TraceReplaySource {
+            n_nodes: trace.n_nodes,
+            duration: trace.duration,
+            contacts: trace.contacts.clone(),
+            next: 0,
+        }
+    }
+}
+
+impl ContactSource for TraceReplaySource {
+    fn n_nodes(&self) -> u32 {
+        self.n_nodes
+    }
+
+    fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    fn next_window(&mut self, until: f64, out: &mut Vec<ContactEvent>) {
+        while let Some(c) = self.contacts.get(self.next) {
+            if c.start.as_secs() >= until && until < self.duration {
+                break;
+            }
+            out.push(ContactEvent::Up {
+                pair: c.pair,
+                at: c.start,
+            });
+            out.push(ContactEvent::Down {
+                pair: c.pair,
+                at: c.end,
+            });
+            self.next += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> ContactTrace {
+        ContactTrace::new(
+            4,
+            100.0,
+            vec![
+                Contact::new(0, 1, 10.0, 20.0),
+                Contact::new(2, 3, 10.0, 90.0),
+                Contact::new(1, 2, 55.0, 100.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn replay_emits_in_trace_order_per_window() {
+        let mut src = TraceReplaySource::new(&trace());
+        assert_eq!(src.n_nodes(), 4);
+        assert_eq!(src.duration(), 100.0);
+        let mut out = Vec::new();
+        src.next_window(50.0, &mut out);
+        // Both t=10 contacts: Up then Down each, in (start, pair) order.
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].at(), SimTime::secs(10.0));
+        assert!(matches!(out[0], ContactEvent::Up { .. }));
+        assert!(matches!(out[1], ContactEvent::Down { .. }));
+        out.clear();
+        src.next_window(100.0, &mut out);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        src.next_window(100.0, &mut out);
+        assert!(out.is_empty(), "source is exhausted");
+    }
+
+    #[test]
+    fn final_window_emits_everything() {
+        let mut src = TraceReplaySource::new(&trace());
+        let mut out = Vec::new();
+        src.next_window(100.0, &mut out);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid contact trace")]
+    fn replay_rejects_invalid_trace() {
+        let bad = ContactTrace::new(1, 100.0, vec![Contact::new(0, 5, 1.0, 2.0)]);
+        let _ = TraceReplaySource::new(&bad);
+    }
+}

@@ -1,0 +1,89 @@
+//! Differential property tests: the calendar [`EventQueue`] against the
+//! `BinaryHeap` reference [`HeapEventQueue`]. Both must pop identical
+//! `(time, kind)` sequences under arbitrary push/peek/pop interleavings,
+//! including equal-time FIFO order within each sequence band.
+
+use dtn_sim::event::{EventKind, EventQueue, HeapEventQueue};
+use dtn_sim::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary interleavings of band pushes, peeks, and pops agree between
+    /// the calendar queue and the heap, then both drain identically.
+    #[test]
+    fn calendar_and_heap_pop_identically(
+        ops in proptest::collection::vec((0u32..4, 0u32..2000), 1..300)
+    ) {
+        let mut cal = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut i = 0u32;
+        for (op, t) in ops {
+            // Non-integral, clustered times exercise bucket boundaries.
+            let time = SimTime::secs(f64::from(t) * 0.31);
+            match op {
+                0 => {
+                    cal.push(time, EventKind::MessageCreate { spec_idx: i });
+                    heap.push(time, EventKind::MessageCreate { spec_idx: i });
+                    i += 1;
+                }
+                1 => {
+                    let pair = NodePair::new(NodeId(0), NodeId(1 + (i % 7)));
+                    cal.push_contact(time, EventKind::ContactUp { pair });
+                    heap.push_contact(time, EventKind::ContactUp { pair });
+                    i += 1;
+                }
+                2 => prop_assert_eq!(cal.peek_time(), heap.peek_time()),
+                _ => prop_assert_eq!(cal.pop(), heap.pop()),
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+            prop_assert_eq!(cal.is_empty(), heap.is_empty());
+        }
+        loop {
+            let a = cal.pop();
+            let b = heap.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// At one shared timestamp, both queues pop the contact band first, each
+    /// band in FIFO push order, regardless of push interleaving.
+    #[test]
+    fn equal_time_bands_pop_fifo(
+        contact_first in proptest::collection::vec(any::<bool>(), 1..40)
+    ) {
+        let t = SimTime::secs(42.5);
+        let mut cal = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut contacts = Vec::new();
+        let mut others = Vec::new();
+        for (i, is_contact) in contact_first.iter().enumerate() {
+            let i = i as u32;
+            if *is_contact {
+                let kind = EventKind::ContactUp {
+                    pair: NodePair::new(NodeId(0), NodeId(i + 1)),
+                };
+                cal.push_contact(t, kind);
+                heap.push_contact(t, kind);
+                contacts.push(kind);
+            } else {
+                let kind = EventKind::MessageCreate { spec_idx: i };
+                cal.push(t, kind);
+                heap.push(t, kind);
+                others.push(kind);
+            }
+        }
+        for expect in contacts.into_iter().chain(others) {
+            let (ct, ck) = cal.pop().expect("calendar has the event");
+            let (ht, hk) = heap.pop().expect("heap has the event");
+            prop_assert_eq!(ct, t);
+            prop_assert_eq!(ht, t);
+            prop_assert_eq!(ck, expect);
+            prop_assert_eq!(hk, expect);
+        }
+        prop_assert!(cal.pop().is_none());
+        prop_assert!(heap.pop().is_none());
+    }
+}
