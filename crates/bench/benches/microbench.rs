@@ -139,6 +139,82 @@ fn bench_contact_step(c: &mut Criterion) {
     }
 }
 
+/// The same 50-step detection batch through [`ShardedContactSource`] with a
+/// 4-worker pool, for comparison against `contact_step_n10000_x50`: the gap
+/// is the coordination overhead (or, on multi-core hosts, the speedup) of
+/// the sharded scan.
+fn bench_contact_step_sharded(c: &mut Criterion) {
+    use dtn_sim::ContactSource;
+    let n = 10_000u32;
+    let cfg = ScenarioConfig {
+        duration: 60.0,
+        ..ScenarioConfig::city(n, ScenarioSpec::districts_for(n))
+    };
+    let parts = cfg.build_parts(1);
+    let steps = 50u32;
+    // 50 steps at dt = 0.2 → a 10 s window of the 60 s horizon.
+    let until = f64::from(steps) * cfg.contact.dt;
+    c.bench_function(&format!("contact_step_sharded_n{n}_x{steps}"), |b| {
+        b.iter(|| {
+            let mut src = dtn_mobility::ShardedContactSource::new(
+                parts.trajectories.clone(),
+                60.0,
+                cfg.contact,
+                4,
+            );
+            let mut out = Vec::new();
+            src.next_window(until, &mut out);
+            black_box(out.len())
+        })
+    });
+}
+
+/// SoA vs AoS buffer scans: `Buffer::contains` walks a dense id column,
+/// the reference walks full array-of-struct entries — the per-contact
+/// membership probe the engine does for every summary-vector exchange.
+fn bench_buffer_soa(c: &mut Criterion) {
+    use dtn_sim::{Buffer, BufferEntry, Message, MessageId};
+    let entries: Vec<BufferEntry> = (0..40u32)
+        .map(|i| BufferEntry {
+            msg: Message {
+                id: MessageId(i * 3),
+                src: NodeId(i % 7),
+                dst: NodeId((i + 1) % 7),
+                size: 25 * 1024,
+                created: SimTime::secs(f64::from(i)),
+                ttl: 1200.0,
+            },
+            copies: 4,
+            received_at: SimTime::secs(f64::from(i)),
+            hops: i % 5,
+        })
+        .collect();
+    let mut soa = Buffer::new(64 * 1024 * 1024);
+    for e in &entries {
+        soa.insert(*e).unwrap();
+    }
+    let aos = entries;
+    let probes: Vec<MessageId> = (0..256u32).map(|k| MessageId(k % 128)).collect();
+    c.bench_function("buffer_contains_soa_40x256", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &id in &probes {
+                hits += usize::from(soa.contains(id));
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_function("buffer_contains_aos_40x256", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &id in &probes {
+                hits += usize::from(aos.iter().any(|e| e.msg.id == id));
+            }
+            black_box(hits)
+        })
+    });
+}
+
 /// Push/pop throughput of the calendar [`EventQueue`] against the
 /// [`HeapEventQueue`] reference on a contact-shaped schedule: dense bursts
 /// of equal-time contact events (dt-step batches) interleaved with sparse
@@ -241,6 +317,7 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench_estimators, bench_mi_merge, bench_memd,
               bench_trace_generation, bench_contact_step,
+              bench_contact_step_sharded, bench_buffer_soa,
               bench_event_queue, bench_engine
 }
 criterion_main!(benches);

@@ -38,6 +38,10 @@ const USAGE: &str = "usage: dtnrun [flags]
                        the whole trace (bit-identical results; the default
                        for generated scenarios with >= 2000 nodes)
   --no-stream          force the materialized-trace path
+  --run-threads N      worker threads for the sharded contact scan on the
+                       streaming path (default auto: up to 8 for generated
+                       scenarios with >= 10000 nodes, else 1); results are
+                       bit-identical for every value
   --progress-step SECS delivery-progress bucket (default 1000)
   --probe SPEC         attach an observer to the run (repeatable):
                          timeseries[:dt=SECS]  delivery/overhead/occupancy
@@ -66,6 +70,8 @@ struct Args {
     buffer: Option<u64>,
     /// `None` = auto (stream generated scenarios at city scale).
     stream: Option<bool>,
+    /// `None` = auto (parallel scan at n >= 10^4 on the streaming path).
+    run_threads: Option<u32>,
     progress_step: f64,
     probes: Vec<ProbeSpec>,
     outs: Vec<OutputSpec>,
@@ -84,6 +90,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         alpha: None,
         buffer: None,
         stream: None,
+        run_threads: None,
         progress_step: 1_000.0,
         probes: Vec::new(),
         outs: Vec::new(),
@@ -105,6 +112,9 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--trace" => out.scenario = Some(format!("trace:{}", val("--trace")?)),
             "--buffer" => out.buffer = Some(val("--buffer")?.parse().map_err(|e| format!("{e}"))?),
             "--stream" => out.stream = Some(true),
+            "--run-threads" => {
+                out.run_threads = Some(val("--run-threads")?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--no-stream" => out.stream = Some(false),
             "--progress-step" => {
                 out.progress_step = val("--progress-step")?
@@ -185,11 +195,20 @@ fn main() {
         // the true horizon (run_on asserts it matches the built scenario).
         spec = spec.with_duration(d);
     }
+    if let Some(t) = args.run_threads {
+        spec = spec.with_run_threads(t);
+    }
 
     let (n, duration, out, wall, record): (u32, f64, RunOutput, std::time::Duration, RunRecord);
     if streaming {
+        let threads = spec.effective_run_threads();
+        let mode = if threads > 1 {
+            format!("sharded contact detection ({threads} threads)")
+        } else {
+            "single-threaded contact detection".to_string()
+        };
         println!(
-            "protocol {}, scenario {scenario}, workload {}: streaming contact supply (the trace is never materialized)",
+            "protocol {}, scenario {scenario}, workload {}: streaming contact supply (the trace is never materialized), {mode}",
             args.protocol, args.workload
         );
         let t0 = std::time::Instant::now();

@@ -238,20 +238,32 @@ fn main() {
     // BENCH trajectory tracks contact-supply throughput across revisions.
     if args.large_n {
         let epidemic = ProtocolSpec::paper(ProtocolKind::Epidemic);
-        for (n, horizon) in [(1_000u32, 600.0), (10_000, 120.0)] {
+        // The n=10⁵ cell runs the sharded scan (8 workers); the smaller
+        // cells stay single-threaded, so the trajectory carries both modes.
+        for (n, horizon, threads) in [
+            (1_000u32, 600.0, 1u32),
+            (10_000, 120.0, 1),
+            (100_000, 60.0, 8),
+        ] {
+            let label = if threads > 1 {
+                format!("{epidemic} @ city-large (sharded x{threads})")
+            } else {
+                format!("{epidemic} @ city-large")
+            };
             let spec = RunSpec::on(
-                format!("{epidemic} @ city-large"),
+                label,
                 ScenarioSpec::city(n, ScenarioSpec::districts_for(n)),
                 epidemic.clone(),
             )
             .with_workload(args.workload.clone())
-            .with_duration(horizon);
+            .with_duration(horizon)
+            .with_run_threads(threads);
             for seed in 1..=u64::from(cfg.effective_seeds()) {
                 let t0 = std::time::Instant::now();
                 match run_stream(&spec, seed) {
                     Ok(run) => {
                         eprintln!(
-                            "  city n={n} @ {horizon:.0} s seed {seed}: streamed in {:.2} s",
+                            "  city n={n} @ {horizon:.0} s seed {seed} ({threads} threads): streamed in {:.2} s",
                             t0.elapsed().as_secs_f64()
                         );
                         records.push(RunRecord::capture_stream(

@@ -94,6 +94,12 @@ pub struct RunSpec {
     /// run's [`SimStats`]. At most one probe per kind takes effect
     /// ([`RunSpec::effective_probes`]).
     pub probes: Vec<ProbeSpec>,
+    /// Worker threads for the sharded contact scan on the streaming path
+    /// (`None` = auto: parallel for generated scenarios at n ≥ 10⁴,
+    /// single-threaded otherwise — see [`RunSpec::effective_run_threads`]).
+    /// Results are bit-identical for every value, so this is *execution*
+    /// configuration, deliberately excluded from [`RunSpec::cell_key`].
+    pub run_threads: Option<u32>,
 }
 
 impl RunSpec {
@@ -114,6 +120,7 @@ impl RunSpec {
             duration: None,
             communities: CommunitySource::default(),
             probes: Vec::new(),
+            run_threads: None,
         }
     }
 
@@ -161,6 +168,36 @@ impl RunSpec {
     pub fn with_probes(mut self, probes: Vec<ProbeSpec>) -> Self {
         self.probes = probes;
         self
+    }
+
+    /// Sets the worker-thread count for the sharded contact scan on the
+    /// streaming path. Purely an execution knob: results are bit-identical
+    /// for every value (see `dtn_mobility::shard`), so it never enters the
+    /// cell key.
+    pub fn with_run_threads(mut self, threads: u32) -> Self {
+        self.run_threads = Some(threads);
+        self
+    }
+
+    /// The thread count [`run_stream`] actually uses: an explicit
+    /// [`RunSpec::run_threads`] (clamped to ≥ 1), else automatic — parallel
+    /// scan with up to 8 workers for generated scenarios of at least 10⁴
+    /// declared nodes (where one step's pair scan dwarfs the merge cost),
+    /// single-threaded below that and for trace replay (no scan to shard).
+    pub fn effective_run_threads(&self) -> u32 {
+        if let Some(t) = self.run_threads {
+            return t.max(1);
+        }
+        let auto_eligible = self.scenario.default_duration().is_some()
+            && self.scenario.declared_nodes() >= Some(10_000);
+        if auto_eligible {
+            std::thread::available_parallelism()
+                .map(|p| p.get() as u32)
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            1
+        }
     }
 
     /// The probes actually attached to a run: the *first* of each kind. A
@@ -368,7 +405,9 @@ pub struct StreamRun {
 /// materialized trace, which is exactly what streaming avoids. Ground-truth
 /// and fixed maps work unchanged.
 pub fn run_stream(spec: &RunSpec, seed: u64) -> Result<StreamRun, String> {
-    let stream = spec.scenario.build_stream(seed, spec.duration)?;
+    let stream =
+        spec.scenario
+            .build_stream_threads(seed, spec.duration, spec.effective_run_threads())?;
     let communities = if spec.protocol.needs_communities() {
         Some(match &spec.communities {
             CommunitySource::GroundTruth => Arc::new(CommunityMap::new(stream.communities.clone())),
@@ -656,6 +695,31 @@ mod tests {
         assert_eq!(a.timeseries, b.timeseries, "first-of-kind cadence wins");
         assert_eq!(a.latency, b.latency);
         assert_eq!(a.timeseries.unwrap().dt, 50.0);
+    }
+
+    /// The thread count is execution configuration, not cell identity: runs
+    /// are bit-identical at every value, so specs differing only in
+    /// `run_threads` must share a cache key.
+    #[test]
+    fn run_threads_is_not_a_cell_key_component() {
+        let base = RunSpec::on(
+            "Epidemic",
+            ScenarioSpec::city(24, 4),
+            ProtocolSpec::paper(ProtocolKind::Epidemic),
+        )
+        .with_duration(400.0);
+        let threaded = base.clone().with_run_threads(8);
+        assert_eq!(threaded.cell_key(1), base.cell_key(1));
+        assert_eq!(threaded.effective_run_threads(), 8);
+        assert_eq!(base.clone().with_run_threads(0).effective_run_threads(), 1);
+        // Auto mode: small scenarios stay single-threaded; n ≥ 10⁴ generated
+        // scenarios parallelize; trace replay never does.
+        assert_eq!(base.effective_run_threads(), 1);
+        let big = RunSpec::new("Epidemic", 2, ProtocolSpec::paper(ProtocolKind::Epidemic))
+            .with_scenario(ScenarioSpec::parse("paper:n=10000", 2).unwrap());
+        assert!(big.effective_run_threads() >= 1);
+        let replay = base.with_scenario(ScenarioSpec::trace_path("x.trace"));
+        assert_eq!(replay.effective_run_threads(), 1);
     }
 
     /// A duration override flows through the cache into the built scenario.

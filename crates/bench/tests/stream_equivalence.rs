@@ -58,6 +58,22 @@ fn streamed_runs_match_materialized_runs_bitwise() {
                 "{} seed {seed}: streamed stats diverge from materialized",
                 spec.series
             );
+            // The sharded scan sits on the same equivalence chain: a
+            // worker-pool run must match the materialized trace bit for bit
+            // too, not merely match the single-threaded stream.
+            let sharded =
+                run_stream(&spec.clone().with_run_threads(3), seed).expect("shardable cell");
+            assert_eq!(
+                materialized.stats.snapshot(),
+                sharded.output.stats.snapshot(),
+                "{} seed {seed}: sharded stats diverge from materialized",
+                spec.series
+            );
+            assert_eq!(
+                materialized.stats.delivered_at, sharded.output.stats.delivered_at,
+                "{} seed {seed}: sharded delivery time lists diverge",
+                spec.series
+            );
             assert_eq!(
                 materialized.stats.delivered_at, streamed.output.stats.delivered_at,
                 "{} seed {seed}: delivery time lists diverge",

@@ -293,6 +293,133 @@ impl ContactStepper {
         self.step += 1;
         Some(t)
     }
+
+    /// Phase 1 of a sharded step (see [`crate::shard`]): advances every
+    /// trajectory cursor to the next sampling instant and rebuilds the grid,
+    /// without touching the open-contact map or the step counter.
+    ///
+    /// Returns `None` once the horizon has been finalized, `Some(false)` when
+    /// the next step is the horizon close-out (nothing to scan — go straight
+    /// to [`ContactStepper::commit_step`]), and `Some(true)` when positions
+    /// and grid are ready for [`ContactStepper::scan_band`].
+    pub(crate) fn prepare_step(&mut self, trajs: &[Trajectory]) -> Option<bool> {
+        assert_eq!(trajs.len(), self.segs.len(), "trajectory set changed");
+        if self.finalized {
+            return None;
+        }
+        if self.step >= self.steps {
+            return Some(false);
+        }
+        let t = self.step as f64 * self.cfg.dt;
+        for (i, traj) in trajs.iter().enumerate() {
+            let mut cur = TrajectoryCursor::with_seg(traj, self.segs[i]);
+            self.positions[i] = cur.position_at(t);
+            self.segs[i] = cur.seg();
+        }
+        self.grid.build(&self.positions, self.cfg.range);
+        Some(true)
+    }
+
+    /// Phase 2 of a sharded step: scans band `band` of `n_bands` horizontal
+    /// grid-row bands, pushing every in-range candidate pair whose *smaller*
+    /// node falls in the band. Read-only, so any number of workers can scan
+    /// disjoint bands of one prepared step concurrently.
+    ///
+    /// Every node lives in exactly one grid cell and every grid row in
+    /// exactly one band, so the union over all bands is exactly the pair set
+    /// the sequential [`ContactStepper::step`] discovers — independently of
+    /// `n_bands`. Candidates may repeat when the grid table wraps (aliased
+    /// 3×3 neighborhoods); [`ContactStepper::commit_step`] dedups.
+    pub(crate) fn scan_band(&self, band: usize, n_bands: usize, out: &mut Vec<NodePair>) {
+        let rows = self.grid.rows;
+        let cols = self.grid.cols;
+        let r0 = band * rows / n_bands;
+        let r1 = (band + 1) * rows / n_bands;
+        let range_sq = self.cfg.range * self.cfg.range;
+        let positions = &self.positions;
+        for c in r0 * cols..r1 * cols {
+            for s in self.grid.starts[c] as usize..self.grid.starts[c + 1] as usize {
+                let i = self.grid.items[s] as usize;
+                let p = positions[i];
+                self.grid.neighbors(p, |j| {
+                    if (j as usize) <= i {
+                        return;
+                    }
+                    if p.dist_sq(positions[j as usize]) <= range_sq {
+                        out.push(NodePair::new(NodeId(i as u32), NodeId(j)));
+                    }
+                });
+            }
+        }
+    }
+
+    /// Phase 3 of a sharded step: merges the candidate pairs scanned by the
+    /// bands and runs the identical open-map bookkeeping the sequential
+    /// [`ContactStepper::step`] performs, emitting the same sorted
+    /// `downs`/`ups`. Also handles the horizon close-out step (when
+    /// [`ContactStepper::prepare_step`] returned `Some(false)` the candidate
+    /// list is ignored). Returns the processed timestamp.
+    ///
+    /// `candidates` is sorted and deduplicated in place; the candidate *set*
+    /// — not its order — determines the outcome, so the band count and the
+    /// workers' completion order can never change the result.
+    pub(crate) fn commit_step(
+        &mut self,
+        candidates: &mut Vec<NodePair>,
+        downs: &mut Vec<Contact>,
+        ups: &mut Vec<NodePair>,
+    ) -> Option<f64> {
+        if self.finalized {
+            return None;
+        }
+        if self.step >= self.steps {
+            self.finalized = true;
+            let base = downs.len();
+            for (&pair, &(start, _)) in self.open.iter() {
+                downs.push(Contact {
+                    pair,
+                    start: SimTime::secs(start),
+                    end: SimTime::secs(self.duration),
+                });
+            }
+            self.open.clear();
+            downs[base..].sort_unstable_by_key(|c| (c.start, c.pair));
+            return Some(self.duration);
+        }
+
+        let t = self.step as f64 * self.cfg.dt;
+        let step = self.step;
+        candidates.sort_unstable();
+        candidates.dedup();
+        // Iterating the sorted candidates pushes new ups already pair-sorted
+        // — the exact post-sort state of the sequential path.
+        for &pair in candidates.iter() {
+            match self.open.entry(pair) {
+                Entry::Occupied(mut e) => e.get_mut().1 = step,
+                Entry::Vacant(e) => {
+                    e.insert((t, step));
+                    ups.push(pair);
+                }
+            }
+        }
+
+        let down_base = downs.len();
+        self.open.retain(|pair, (start, last)| {
+            if *last != step {
+                downs.push(Contact {
+                    pair: *pair,
+                    start: SimTime::secs(*start),
+                    end: SimTime::secs(t),
+                });
+                false
+            } else {
+                true
+            }
+        });
+        downs[down_base..].sort_unstable_by_key(|c| (c.start, c.pair));
+        self.step += 1;
+        Some(t)
+    }
 }
 
 /// Generates the contact trace of `trajs` over `[0, duration)`.
@@ -443,5 +570,102 @@ mod tests {
         assert_eq!(downs.len(), trace.contacts.len());
         assert_eq!(n_ups, trace.contacts.len());
         assert_eq!(downs, trace.contacts);
+    }
+
+    /// Band partition ownership: for any band count, the union of the bands'
+    /// candidates equals the brute-force in-range pair set — no pair missed,
+    /// none owned by two bands (in a world small enough not to wrap the grid
+    /// table).
+    #[test]
+    fn band_scan_owns_every_pair_exactly_once() {
+        // A lattice spread across many grid rows, with pairs deliberately
+        // straddling row boundaries (cell size == range == 10).
+        let mut trajs = Vec::new();
+        for r in 0..7 {
+            for c in 0..8 {
+                trajs.push(Trajectory::stationary(Point::new(
+                    c as f64 * 6.0,
+                    r as f64 * 9.5,
+                )));
+            }
+        }
+        let cfg = ContactGenConfig::default();
+        let range_sq = cfg.range * cfg.range;
+
+        let mut brute: Vec<NodePair> = Vec::new();
+        for i in 0..trajs.len() {
+            for j in i + 1..trajs.len() {
+                let (pi, pj) = (trajs[i].points()[0].1, trajs[j].points()[0].1);
+                if pi.dist_sq(pj) <= range_sq {
+                    brute.push(NodePair::new(NodeId(i as u32), NodeId(j as u32)));
+                }
+            }
+        }
+        brute.sort_unstable();
+        assert!(brute.len() > 20, "lattice should be well connected");
+
+        for n_bands in [1usize, 2, 3, 5, 8] {
+            let mut stepper = ContactStepper::new(trajs.len(), 10.0, cfg);
+            assert_eq!(stepper.prepare_step(&trajs), Some(true));
+            let mut union = Vec::new();
+            for band in 0..n_bands {
+                stepper.scan_band(band, n_bands, &mut union);
+            }
+            let raw_len = union.len();
+            union.sort_unstable();
+            union.dedup();
+            assert_eq!(
+                raw_len,
+                union.len(),
+                "{n_bands} bands produced duplicate candidates"
+            );
+            assert_eq!(union, brute, "{n_bands} bands missed or invented pairs");
+        }
+    }
+
+    /// The prepare/scan/commit decomposition reproduces the sequential
+    /// stepper's downs/ups streams bit for bit, including the horizon
+    /// close-out.
+    #[test]
+    fn phased_step_matches_sequential_step() {
+        let mut trajs = Vec::new();
+        for k in 0..8 {
+            trajs.push(Trajectory::new(vec![
+                (0.0, Point::new(k as f64 * 7.0, 0.0)),
+                (30.0, Point::new((7 - k) as f64 * 7.0, 12.0)),
+            ]));
+        }
+        let cfg = ContactGenConfig::default();
+
+        let mut seq = ContactStepper::new(trajs.len(), 30.0, cfg);
+        let mut seq_downs = Vec::new();
+        let mut seq_ups = Vec::new();
+        let mut phased = ContactStepper::new(trajs.len(), 30.0, cfg);
+        let mut ph_downs = Vec::new();
+        let mut ph_ups = Vec::new();
+        let mut cands = Vec::new();
+
+        loop {
+            let a = seq.step(&trajs, &mut seq_downs, &mut seq_ups);
+            let scan = phased.prepare_step(&trajs);
+            cands.clear();
+            if scan == Some(true) {
+                for band in 0..3 {
+                    phased.scan_band(band, 3, &mut cands);
+                }
+            }
+            let b = if scan.is_some() {
+                phased.commit_step(&mut cands, &mut ph_downs, &mut ph_ups)
+            } else {
+                None
+            };
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(seq_downs, ph_downs);
+        assert_eq!(seq_ups, ph_ups);
+        assert!(!seq_downs.is_empty());
     }
 }

@@ -31,6 +31,7 @@ use crate::contacts::{generate_trace, ContactGenConfig};
 use crate::geometry::{Point, Rect};
 use crate::rwp::RwpConfig;
 use crate::scenario::{Scenario, ScenarioConfig};
+use crate::shard::ShardedContactSource;
 use crate::stream::MobilityContactSource;
 use crate::trajectory::Trajectory;
 use crate::RoadGraphBuilder;
@@ -79,6 +80,10 @@ pub enum ScenarioSpec {
         n_nodes: u32,
         /// Number of districts (= communities and map bands).
         districts: u32,
+        /// Buses-per-route cap: the route count is raised until no route
+        /// carries more than `bpr` buses, so per-route density — and with it
+        /// contact volume — stops growing with `n`.
+        bpr: u32,
     },
     /// Random waypoint in a square area — a memoryless, community-free
     /// baseline.
@@ -114,11 +119,19 @@ impl ScenarioSpec {
         ScenarioSpec::PaperBusCity { n_nodes }
     }
 
-    /// The city-scale family with an explicit district count.
+    /// The city-scale family with an explicit district count and the
+    /// default buses-per-route cap ([`ScenarioSpec::bpr_for`]).
     pub fn city(n_nodes: u32, districts: u32) -> Self {
+        Self::city_with_bpr(n_nodes, districts, Self::bpr_for(n_nodes))
+    }
+
+    /// The city-scale family with explicit district count and buses-per-route
+    /// cap.
+    pub fn city_with_bpr(n_nodes: u32, districts: u32, bpr: u32) -> Self {
         ScenarioSpec::City {
             n_nodes,
             districts: districts.max(1),
+            bpr: bpr.max(1),
         }
     }
 
@@ -127,6 +140,15 @@ impl ScenarioSpec {
     /// 10⁴ → 13, 10⁵ → 40).
     pub fn districts_for(n_nodes: u32) -> u32 {
         (((f64::from(n_nodes)).sqrt() / 8.0).round() as u32).max(4)
+    }
+
+    /// The default buses-per-route cap for a city of `n` nodes: grows like
+    /// √n but clamps at 64, so contact volume grows ~n·64 at scale instead
+    /// of ~n^1.5 (n ≤ 10³ → 4, 10⁴ → 13, 10⁵ → 40, 10⁶ → 64). Below
+    /// n ≈ 1000 the cap never binds — the district-driven route count
+    /// already spreads buses thinner.
+    pub fn bpr_for(n_nodes: u32) -> u32 {
+        (((f64::from(n_nodes)).sqrt() / 8.0).round() as u32).clamp(4, 64)
     }
 
     /// Random waypoint with the paper's speed range and radio range in a
@@ -189,11 +211,14 @@ impl ScenarioSpec {
             Some(("city", rest)) => {
                 let mut n = n_nodes;
                 let mut d = None;
+                let mut bpr = None;
                 for part in rest.split(':') {
                     if let Some(v) = kv(part, "n") {
                         n = v?;
                     } else if let Some(v) = kv(part, "d") {
                         d = Some(v?);
+                    } else if let Some(v) = kv(part, "bpr") {
+                        bpr = Some(v?);
                     } else {
                         return Err(bad());
                     }
@@ -205,7 +230,11 @@ impl ScenarioSpec {
                 if d == 0 {
                     return Err("city scenario needs d >= 1".into());
                 }
-                Ok(ScenarioSpec::city(n, d))
+                let bpr = bpr.unwrap_or_else(|| Self::bpr_for(n));
+                if bpr == 0 {
+                    return Err("city scenario needs bpr >= 1".into());
+                }
+                Ok(ScenarioSpec::city_with_bpr(n, d, bpr))
             }
             _ => Err(bad()),
         }
@@ -238,8 +267,12 @@ impl ScenarioSpec {
     pub fn cache_key(&self) -> String {
         match self {
             ScenarioSpec::PaperBusCity { n_nodes } => format!("paper:n={n_nodes}"),
-            ScenarioSpec::City { n_nodes, districts } => {
-                format!("city:n={n_nodes}:d={districts}")
+            ScenarioSpec::City {
+                n_nodes,
+                districts,
+                bpr,
+            } => {
+                format!("city:n={n_nodes}:d={districts}:bpr={bpr}")
             }
             ScenarioSpec::RandomWaypoint {
                 n_nodes,
@@ -317,6 +350,38 @@ impl ScenarioSpec {
     /// (see [`crate::stream`]); at city scale it is the only feasible path,
     /// since peak memory stays bounded by the generation window.
     pub fn build_stream(&self, seed: u64, duration: Option<f64>) -> Result<StreamScenario, String> {
+        self.build_stream_threads(seed, duration, 1)
+    }
+
+    /// Like [`ScenarioSpec::build_stream`], with the contact scan sharded
+    /// across `threads` workers ([`ShardedContactSource`]). The simulation
+    /// result is bit-identical for every thread count — which is exactly why
+    /// a run's thread count is not part of any cache key. `threads <= 1`
+    /// selects the plain single-threaded source; trace replay has no scan to
+    /// shard and ignores the parameter.
+    pub fn build_stream_threads(
+        &self,
+        seed: u64,
+        duration: Option<f64>,
+        threads: u32,
+    ) -> Result<StreamScenario, String> {
+        fn source(
+            trajs: Vec<Trajectory>,
+            duration: f64,
+            cfg: ContactGenConfig,
+            threads: u32,
+        ) -> Box<dyn ContactSource> {
+            if threads > 1 {
+                Box::new(ShardedContactSource::new(
+                    trajs,
+                    duration,
+                    cfg,
+                    threads as usize,
+                ))
+            } else {
+                Box::new(MobilityContactSource::new(trajs, duration, cfg))
+            }
+        }
         match self {
             ScenarioSpec::PaperBusCity { .. } | ScenarioSpec::City { .. } => {
                 let cfg = self.bus_config(duration);
@@ -326,11 +391,7 @@ impl ScenarioSpec {
                     duration: cfg.duration,
                     communities: parts.communities,
                     n_communities: parts.n_communities,
-                    source: Box::new(MobilityContactSource::new(
-                        parts.trajectories,
-                        cfg.duration,
-                        cfg.contact,
-                    )),
+                    source: source(parts.trajectories, cfg.duration, cfg.contact, threads),
                 })
             }
             ScenarioSpec::RandomWaypoint { n_nodes, range, .. } => {
@@ -341,14 +402,15 @@ impl ScenarioSpec {
                     duration: dur,
                     communities: vec![0; *n_nodes as usize],
                     n_communities: 1,
-                    source: Box::new(MobilityContactSource::new(
+                    source: source(
                         trajectories,
                         dur,
                         ContactGenConfig {
                             range: *range,
                             ..ContactGenConfig::default()
                         },
-                    )),
+                        threads,
+                    ),
                 })
             }
             ScenarioSpec::TraceReplay { source } => {
@@ -372,7 +434,16 @@ impl ScenarioSpec {
     fn bus_config(&self, duration: Option<f64>) -> ScenarioConfig {
         let base = match *self {
             ScenarioSpec::PaperBusCity { n_nodes } => ScenarioConfig::paper(n_nodes),
-            ScenarioSpec::City { n_nodes, districts } => ScenarioConfig::city(n_nodes, districts),
+            ScenarioSpec::City {
+                n_nodes,
+                districts,
+                bpr,
+            } => {
+                let mut cfg = ScenarioConfig::city(n_nodes, districts);
+                // Enough routes that none carries more than `bpr` buses.
+                cfg.n_routes = cfg.n_routes.max(n_nodes.div_ceil(bpr));
+                cfg
+            }
             _ => unreachable!("bus_config on a non-bus spec"),
         };
         ScenarioConfig {
@@ -459,8 +530,12 @@ impl fmt::Display for ScenarioSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScenarioSpec::PaperBusCity { n_nodes } => write!(f, "paper(n={n_nodes})"),
-            ScenarioSpec::City { n_nodes, districts } => {
-                write!(f, "city(n={n_nodes}, d={districts})")
+            ScenarioSpec::City {
+                n_nodes,
+                districts,
+                bpr,
+            } => {
+                write!(f, "city(n={n_nodes}, d={districts}, bpr={bpr})")
             }
             ScenarioSpec::RandomWaypoint { n_nodes, .. } => write!(f, "rwp(n={n_nodes})"),
             ScenarioSpec::TraceReplay { source } => match source {
@@ -748,28 +823,40 @@ mod tests {
             ScenarioSpec::parse("city", 100),
             Ok(ScenarioSpec::City {
                 n_nodes: 100,
-                districts: 4
+                districts: 4,
+                bpr: 4
             })
         ));
         assert!(matches!(
             ScenarioSpec::parse("city:n=1000", 8),
             Ok(ScenarioSpec::City {
                 n_nodes: 1000,
-                districts: 4
+                districts: 4,
+                bpr: 4
             })
         ));
         assert!(matches!(
             ScenarioSpec::parse("city:n=1000:d=7", 8),
             Ok(ScenarioSpec::City {
                 n_nodes: 1000,
-                districts: 7
+                districts: 7,
+                bpr: 4
             })
         ));
         assert!(matches!(
             ScenarioSpec::parse("city:d=7", 64),
             Ok(ScenarioSpec::City {
                 n_nodes: 64,
-                districts: 7
+                districts: 7,
+                bpr: 4
+            })
+        ));
+        assert!(matches!(
+            ScenarioSpec::parse("city:n=1000:bpr=9", 8),
+            Ok(ScenarioSpec::City {
+                n_nodes: 1000,
+                districts: 4,
+                bpr: 9
             })
         ));
         // `paper:n=N` is the city family at paper-like defaults.
@@ -777,28 +864,58 @@ mod tests {
             ScenarioSpec::parse("paper:n=10000", 8),
             Ok(ScenarioSpec::City {
                 n_nodes: 10000,
-                districts: 13
+                districts: 13,
+                bpr: 13
             })
         ));
         assert!(ScenarioSpec::parse("city:x=3", 8).is_err());
         assert!(ScenarioSpec::parse("city:n=", 8).is_err());
         assert!(ScenarioSpec::parse("city:n=1", 8).is_err());
         assert!(ScenarioSpec::parse("city:n=10:d=0", 8).is_err());
+        assert!(ScenarioSpec::parse("city:n=10:bpr=0", 8).is_err());
         assert!(ScenarioSpec::parse("paper:bogus", 8).is_err());
         assert_eq!(ScenarioSpec::districts_for(100_000), 40);
+        assert_eq!(ScenarioSpec::bpr_for(100), 4);
+        assert_eq!(ScenarioSpec::bpr_for(10_000), 13);
+        assert_eq!(ScenarioSpec::bpr_for(100_000), 40);
+        assert_eq!(ScenarioSpec::bpr_for(1_000_000), 64);
     }
 
     #[test]
     fn city_round_trips_and_builds() {
         let spec = ScenarioSpec::parse("city:n=24:d=4", 8).unwrap();
-        assert_eq!(spec.to_string(), "city(n=24, d=4)");
-        assert_eq!(spec.cache_key(), "city:n=24:d=4");
+        assert_eq!(spec.to_string(), "city(n=24, d=4, bpr=4)");
+        assert_eq!(spec.cache_key(), "city:n=24:d=4:bpr=4");
         assert_ne!(spec.cache_key(), ScenarioSpec::paper(24).cache_key());
         assert_eq!(spec.declared_nodes(), Some(24));
         let s = spec.build(3, Some(500.0)).unwrap();
         assert_eq!(s.trace.n_nodes, 24);
         assert_eq!(s.n_communities, 4);
         assert!(s.trace.validate().is_ok());
+    }
+
+    /// The buses-per-route cap thins routes at scale (so contact volume
+    /// grows ~n·bpr, not ~n^1.5) and never binds on small fleets.
+    #[test]
+    fn bpr_caps_route_density() {
+        // Small city: district-driven routes already spread buses thinner
+        // than the cap, so the config is unchanged.
+        let small = ScenarioSpec::city(60, 5).bus_config(None);
+        assert_eq!(small.n_routes, ScenarioConfig::city(60, 5).n_routes);
+
+        // Large city: the cap binds and raises the route count.
+        let spec = ScenarioSpec::parse("paper:n=100000", 8).unwrap();
+        let cfg = spec.bus_config(None);
+        assert_eq!(cfg.n_routes, 2500); // ceil(100000 / 40)
+        assert!(cfg.n_routes > ScenarioConfig::city(100_000, 40).n_routes);
+
+        // An explicit bpr overrides the default and changes the cache key.
+        let thin = ScenarioSpec::parse("city:n=100000:bpr=10", 8).unwrap();
+        assert_eq!(thin.bus_config(None).n_routes, 10_000);
+        assert_ne!(thin.cache_key(), spec.cache_key());
+        // Round trip through parse preserves the knob.
+        let reparsed = ScenarioSpec::parse("city:n=100000:d=40:bpr=10", 8).unwrap();
+        assert_eq!(reparsed.cache_key(), thin.cache_key());
     }
 
     #[test]

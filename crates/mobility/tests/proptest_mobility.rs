@@ -117,6 +117,34 @@ proptest! {
         prop_assert!(p.y >= min_y - 1e-9 && p.y <= max_y + 1e-9);
     }
 
+    /// The sharded contact source is bit-identical to the single-threaded
+    /// stream for arbitrary trajectories, thread counts and window sizes —
+    /// the equivalence that makes a run's thread count cache-key-invisible.
+    #[test]
+    fn sharded_source_matches_sequential_stream(
+        trajs in proptest::collection::vec(trajectory_strategy(), 2..10),
+        threads in 2usize..9,
+        window in 5.0f64..60.0,
+    ) {
+        use dtn_mobility::{MobilityContactSource, ShardedContactSource};
+        use dtn_sim::{ContactEvent, ContactSource};
+        let duration = 40.0;
+        let cfg = ContactGenConfig { range: 10.0, dt: 0.5 };
+        let drain = |src: &mut dyn ContactSource, window: f64| {
+            let mut out: Vec<ContactEvent> = Vec::new();
+            let mut until = 0.0;
+            while until < src.duration() {
+                until = (until + window).min(src.duration());
+                src.next_window(until, &mut out);
+            }
+            out
+        };
+        let mut seq = MobilityContactSource::new(trajs.clone(), duration, cfg);
+        let reference = drain(&mut seq, duration);
+        let mut sharded = ShardedContactSource::new(trajs, duration, cfg, threads);
+        prop_assert_eq!(drain(&mut sharded, window), reference);
+    }
+
     /// Generated traces always validate, whatever the trajectories.
     #[test]
     fn generated_traces_validate(

@@ -288,7 +288,7 @@ impl Router for MaxProp {
     /// MaxProp eviction: highest-cost, most-travelled messages go first;
     /// fresh low-hop messages are protected longest.
     fn select_drops(&mut self, buf: &Buffer, incoming: &Message, _now: SimTime) -> Vec<MessageId> {
-        let mut entries: Vec<(&dtn_sim::BufferEntry, (u32, f64))> = buf
+        let mut entries: Vec<(dtn_sim::BufferEntry, (u32, f64))> = buf
             .iter()
             .filter(|e| e.msg.id != incoming.id)
             .map(|e| (e, self.priority(e.hops, e.msg.dst)))

@@ -42,7 +42,7 @@
 use crate::buffer::{Buffer, BufferEntry, DropReason};
 use crate::event::{EventKind, EventQueue};
 use crate::ids::{MessageId, NodeId, NodePair};
-use crate::message::{Message, MessageSpec};
+use crate::message::{Message, MessageArena, MessageSpec};
 use crate::observe::{SimEvent, SimObserver};
 use crate::router::{pair_mut, ContactCtx, NodeCtx, Router, SentSet, TransferAction, TransferPlan};
 use crate::source::{ContactEvent, ContactSource, TraceReplaySource};
@@ -126,7 +126,8 @@ pub struct Simulation {
     cfg: SimConfig,
     n_nodes: u32,
     duration: f64,
-    workload: Vec<MessageSpec>,
+    /// The immutable workload in structure-of-arrays form (id = spec index).
+    arena: MessageArena,
     buffers: Vec<Buffer>,
     routers: Vec<Box<dyn Router>>,
     /// Slab of link slots; indices are stable while a contact is active.
@@ -234,7 +235,7 @@ impl Simulation {
             cfg,
             n_nodes: n,
             duration,
-            workload,
+            arena: MessageArena::from_specs(&workload),
             buffers,
             routers,
             links: Vec::new(),
@@ -536,7 +537,7 @@ impl Simulation {
             .next_epoch
             .checked_add(1)
             .expect("contact epoch space exhausted");
-        let n_msgs = self.workload.len();
+        let n_msgs = self.arena.len();
         let slot = match self.free_links.pop() {
             Some(s) => {
                 let link = &mut self.links[s as usize];
@@ -632,28 +633,20 @@ impl Simulation {
     }
 
     fn handle_create(&mut self, spec_idx: u32) {
-        let spec = self.workload[spec_idx as usize];
-        let msg = Message {
-            id: MessageId(spec_idx),
-            src: spec.src,
-            dst: spec.dst,
-            size: spec.size,
-            created: spec.create_at,
-            ttl: spec.ttl,
-        };
+        let msg = self.arena.message(MessageId(spec_idx));
         self.emit(SimEvent::Generated {
             at: self.now,
             msg: msg.id,
-            src: spec.src,
+            src: msg.src,
         });
-        let src = spec.src.idx();
+        let src = msg.src.idx();
         let copies = self.routers[src].initial_copies(&msg).max(1);
-        if !self.make_room(spec.src, &msg) {
+        if !self.make_room(msg.src, &msg) {
             // The newborn never entered a buffer; no router is notified.
             self.emit(SimEvent::Dropped {
                 at: self.now,
                 msg: msg.id,
-                node: spec.src,
+                node: msg.src,
                 reason: DropReason::BufferFull,
             });
             return;
@@ -669,16 +662,16 @@ impl Simulation {
         {
             let mut ctx = NodeCtx {
                 now: self.now,
-                me: spec.src,
+                me: msg.src,
                 buf: &self.buffers[src],
                 stats: &mut self.stats,
                 purge: &mut purge,
             };
             self.routers[src].on_message_created(&mut ctx, msg.id);
         }
-        self.apply_purges(spec.src, &mut purge);
+        self.apply_purges(msg.src, &mut purge);
         self.purge_scratch = purge;
-        self.kick_node(spec.src);
+        self.kick_node(msg.src);
     }
 
     fn handle_transfer_done(&mut self, slot: u32, from: NodeId, msg_id: MessageId, epoch: u32) {
@@ -713,7 +706,7 @@ impl Simulation {
             return;
         }
 
-        let entry = *self.buffers[from.idx()].get(msg_id).expect("checked above");
+        let entry = self.buffers[from.idx()].get(msg_id).expect("checked above");
         let msg = entry.msg;
 
         if to == msg.dst {
@@ -870,9 +863,9 @@ impl Simulation {
             }
             TransferAction::Split { give } => {
                 let remove = {
-                    let entry = buf.get_mut(msg).expect("sender entry present");
-                    entry.copies = entry.copies.saturating_sub(give);
-                    entry.copies == 0
+                    let copies = buf.copies_mut(msg).expect("sender entry present");
+                    *copies = copies.saturating_sub(give);
+                    *copies == 0
                 };
                 if remove {
                     buf.remove(msg);

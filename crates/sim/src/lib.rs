@@ -67,7 +67,7 @@ pub mod trace;
 pub use buffer::{Buffer, BufferEntry, DropReason};
 pub use engine::{SimConfig, Simulation};
 pub use ids::{MessageId, NodeId, NodePair};
-pub use message::{Message, MessageSpec, TrafficConfig};
+pub use message::{Message, MessageArena, MessageSpec, TrafficConfig};
 pub use observe::{
     LatencyHistogram, LatencyHistogramProbe, SimEvent, SimObserver, TimeSeries, TimeSeriesProbe,
     TsSample,

@@ -44,6 +44,74 @@ impl Message {
     }
 }
 
+/// The immutable message workload in structure-of-arrays form, indexed by
+/// [`MessageId`].
+///
+/// The engine holds one arena per run instead of a `Vec<MessageSpec>`: a
+/// message's static fields (endpoints, size, timing) are written once at
+/// setup and then only read, so parallel columns keep the hot lookups —
+/// destination checks, size for link-time accounting — on dense cache lines
+/// as the workload grows with the node count.
+#[derive(Clone, Debug, Default)]
+pub struct MessageArena {
+    src: Vec<NodeId>,
+    dst: Vec<NodeId>,
+    size: Vec<u32>,
+    created: Vec<SimTime>,
+    ttl: Vec<f64>,
+}
+
+impl MessageArena {
+    /// Builds the arena from a workload; `specs[i]` becomes `MessageId(i)`,
+    /// with `created` equal to the scheduled creation time.
+    pub fn from_specs(specs: &[MessageSpec]) -> Self {
+        let mut arena = MessageArena {
+            src: Vec::with_capacity(specs.len()),
+            dst: Vec::with_capacity(specs.len()),
+            size: Vec::with_capacity(specs.len()),
+            created: Vec::with_capacity(specs.len()),
+            ttl: Vec::with_capacity(specs.len()),
+        };
+        for spec in specs {
+            arena.src.push(spec.src);
+            arena.dst.push(spec.dst);
+            arena.size.push(spec.size);
+            arena.created.push(spec.create_at);
+            arena.ttl.push(spec.ttl);
+        }
+        arena
+    }
+
+    /// Number of messages in the workload.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Whether the workload is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+
+    /// Assembles the full [`Message`] value for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn message(&self, id: MessageId) -> Message {
+        let k = id.0 as usize;
+        Message {
+            id,
+            src: self.src[k],
+            dst: self.dst[k],
+            size: self.size[k],
+            created: self.created[k],
+            ttl: self.ttl[k],
+        }
+    }
+}
+
 /// A message scheduled for creation: the workload element fed to the engine.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MessageSpec {
@@ -182,5 +250,25 @@ mod tests {
     #[should_panic]
     fn traffic_needs_two_nodes() {
         TrafficConfig::paper(100.0).generate(1, 0);
+    }
+
+    /// The arena reassembles exactly the message the engine used to build
+    /// from the spec list (id = index, created = scheduled creation time).
+    #[test]
+    fn arena_round_trips_specs() {
+        let specs = TrafficConfig::paper(500.0).generate(6, 3);
+        let arena = MessageArena::from_specs(&specs);
+        assert_eq!(arena.len(), specs.len());
+        assert!(!arena.is_empty());
+        for (i, spec) in specs.iter().enumerate() {
+            let m = arena.message(MessageId(i as u32));
+            assert_eq!(m.id, MessageId(i as u32));
+            assert_eq!(m.src, spec.src);
+            assert_eq!(m.dst, spec.dst);
+            assert_eq!(m.size, spec.size);
+            assert_eq!(m.created, spec.create_at);
+            assert_eq!(m.ttl, spec.ttl);
+        }
+        assert!(MessageArena::default().is_empty());
     }
 }
