@@ -1,0 +1,83 @@
+//! `dtndiff` — drift classifier between two runs of the pipeline.
+//!
+//! ```text
+//! dtndiff A.trace B.trace          # compare two TRACE/1.0 artifacts
+//! dtndiff --reports A.json B.json  # compare two report/bench JSON docs
+//! ```
+//!
+//! Every divergence is classified (see `dtn_bench::report::diff`):
+//!
+//! * exit 0 — no drift: the two sides describe the same physics,
+//! * exit 1 — seed-level drift: same cells, different stats/streams,
+//! * exit 2 — cell-level drift: cells added or removed,
+//! * exit 3 — schema-level drift: format or version mismatch,
+//! * exit 64 — usage error or unreadable/corrupt input.
+//!
+//! Wall-clock fields (`wall_s*`) and artifact paths never gate; they are
+//! printed as `info:` lines only. Cells are matched on semantic identity —
+//! `+probe=eventlog:…` components are stripped, so a live run that carried
+//! the recorder compares equal to its own replay.
+
+use dtn_bench::report::{diff_reports, diff_traces, DiffOutcome};
+use std::path::Path;
+
+const USAGE: &str = "usage: dtndiff A.trace B.trace
+       dtndiff --reports A.json B.json
+
+exit codes: 0 no drift, 1 seed-level, 2 cell-level, 3 schema-level,
+            64 usage error or unreadable input";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let (reports, paths): (bool, &[String]) = match args.first().map(String::as_str) {
+        Some("--reports") => (true, &args[1..]),
+        _ => (false, &args[..]),
+    };
+    let [a, b] = paths else {
+        eprintln!("{USAGE}");
+        std::process::exit(64);
+    };
+
+    let outcome = if reports {
+        let read = |p: &str| {
+            std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("dtndiff: cannot read {p}: {e}");
+                std::process::exit(64);
+            })
+        };
+        diff_reports(&read(a), &read(b))
+    } else {
+        match diff_traces(Path::new(a), Path::new(b)) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("dtndiff: {e}");
+                std::process::exit(64);
+            }
+        }
+    };
+
+    report(a, b, &outcome);
+    std::process::exit(outcome.exit_code());
+}
+
+fn report(a: &str, b: &str, out: &DiffOutcome) {
+    for line in &out.info {
+        println!("info: {line}");
+    }
+    for drift in &out.drifts {
+        println!("{drift}");
+    }
+    if out.is_clean() {
+        println!("dtndiff: no drift between {a} and {b}");
+    } else {
+        println!(
+            "dtndiff: {} divergence(s) between {a} and {b} (exit {})",
+            out.drifts.len(),
+            out.exit_code()
+        );
+    }
+}

@@ -14,8 +14,8 @@
 
 use dtn_bench::report::{OutputSpec, ReportSpec, RunRecord};
 use dtn_bench::{
-    run_on_observed, run_stream, ProbeSpec, ProtocolSpec, RunOutput, RunSpec, ScenarioCache,
-    ScenarioSpec, WorkloadSpec,
+    replay_artifact, run_on_observed, run_stream, ProbeSpec, ProtocolSpec, RunOutput, RunSpec,
+    ScenarioCache, ScenarioSpec, WorkloadSpec,
 };
 use dtn_sim::report::{delivery_progress, latencies, percentile};
 
@@ -47,6 +47,14 @@ const USAGE: &str = "usage: dtnrun [flags]
                          timeseries[:dt=SECS]  delivery/overhead/occupancy
                                                curves sampled in-run
                          latency               log2 histogram, exact p50/p95/p99
+                         eventlog[:path=PATH]  record every engine event to a
+                                               TRACE/1.0 artifact
+  --record PATH        sugar for --probe eventlog:path=PATH ({seed} in PATH
+                       expands to the run's seed)
+  --replay PATH        fold the report out of a recorded TRACE/1.0 artifact
+                       instead of running the engine; stats and probe outputs
+                       are bitwise identical to the recorded live run (only
+                       --probe and --out apply alongside)
   --out FORMAT:PATH    emit the run through the report pipeline
                        (json:|csv:|md:, repeatable)
   --help, -h           print this help
@@ -55,7 +63,9 @@ examples:
   dtnrun --protocol eer:lambda=8 --scenario rwp --nodes 40
   dtnrun --protocol cr --workload hotspot --duration 2000
   dtnrun --protocol prophet:beta=0.25,gamma=0.99 --scenario trace:contacts.trace
-  dtnrun --protocol eer --probe timeseries:dt=60 --out json:results/run.json";
+  dtnrun --protocol eer --probe timeseries:dt=60 --out json:results/run.json
+  dtnrun --protocol eer --record results/run.trace --out json:results/live.json
+  dtnrun --replay results/run.trace --probe latency --out json:results/replay.json";
 
 struct Args {
     protocol: ProtocolSpec,
@@ -75,6 +85,8 @@ struct Args {
     progress_step: f64,
     probes: Vec<ProbeSpec>,
     outs: Vec<OutputSpec>,
+    /// Replay a recorded TRACE/1.0 artifact instead of running the engine.
+    replay: Option<String>,
 }
 
 /// `Ok(None)` means `--help` was requested.
@@ -94,6 +106,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         progress_step: 1_000.0,
         probes: Vec::new(),
         outs: Vec::new(),
+        replay: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -122,6 +135,11 @@ fn parse_args() -> Result<Option<Args>, String> {
                     .map_err(|e| format!("{e}"))?
             }
             "--probe" => out.probes.push(ProbeSpec::parse(&val("--probe")?)?),
+            "--record" => out.probes.push(ProbeSpec::parse(&format!(
+                "eventlog:path={}",
+                val("--record")?
+            ))?),
+            "--replay" => out.replay = Some(val("--replay")?),
             "--out" => out.outs.push(OutputSpec::parse(&val("--out")?)?),
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other} (try --help)")),
@@ -158,6 +176,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some(path) = &args.replay {
+        replay_report(path, &args);
+        return;
+    }
 
     let scenario =
         match ScenarioSpec::parse(args.scenario.as_deref().unwrap_or("paper"), args.nodes) {
@@ -333,6 +356,72 @@ fn main() {
     // The machine-readable view of the same run: one record through the
     // shared report pipeline, carrying the probe outputs.
     let mut report = ReportSpec::new(format!("dtnrun: {} on {}", args.protocol, spec.scenario));
+    report.push(record);
+    if !report.write_all(&args.outs) {
+        std::process::exit(1);
+    }
+}
+
+/// `--replay PATH`: fold the report out of a recorded artifact — the engine
+/// never runs. The workload is not regenerated here, so the sections that
+/// need per-message creation times (exact percentiles from `latencies`,
+/// the delivery-progress table) come from the probes instead: attach
+/// `--probe latency` / `--probe timeseries` to get them, bitwise identical
+/// to the recorded live run.
+fn replay_report(path: &str, args: &Args) {
+    let record = match replay_artifact(std::path::Path::new(path), &args.probes) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "replaying {path}: protocol {}, scenario {}, workload {}: {} nodes, {:.0} s, seed {}",
+        record.protocol,
+        record.scenario,
+        record.workload,
+        record.n_nodes,
+        record.duration,
+        record.seed
+    );
+
+    let stats = &record.stats;
+    println!("\n=== {} (replayed) ===", record.protocol);
+    println!("delivery ratio   {:.4}", stats.delivery_ratio());
+    println!("latency (mean)   {:.1} s", stats.avg_latency());
+    println!("goodput          {:.4}", stats.goodput());
+    println!("overhead ratio   {:.2}", stats.overhead_ratio());
+    println!("relayed          {}", stats.relayed);
+    println!("aborted          {}", stats.aborted);
+    println!(
+        "drops            buffer {} / ttl {} / protocol {}",
+        stats.drops_buffer, stats.drops_ttl, stats.drops_protocol
+    );
+    println!("control traffic  {:.2} MB", stats.control_mb());
+
+    if let Some(ts) = &record.timeseries {
+        println!("\ntime series (replayed probe, dt = {:.0} s):", ts.dt);
+        let stride = ts.samples.len().div_ceil(20).max(1);
+        for s in ts.samples.iter().step_by(stride) {
+            println!(
+                "  t={:>7.0}  dr={:.4} overhead={:>7.2} buffered={:>6} KB ({} msgs)",
+                s.t,
+                s.delivery_ratio(),
+                s.overhead_ratio(),
+                s.buffered_bytes / 1024,
+                s.buffered_msgs
+            );
+        }
+    }
+    if let Some(hist) = &record.latency {
+        println!(
+            "\nlatency histogram (replayed probe): n={} p50={:.1} p95={:.1} p99={:.1} max={:.1}",
+            hist.count, hist.p50, hist.p95, hist.p99, hist.max
+        );
+    }
+
+    let mut report = ReportSpec::new(format!("dtnrun replay: {path}"));
     report.push(record);
     if !report.write_all(&args.outs) {
         std::process::exit(1);

@@ -1,30 +1,75 @@
 //! `reportcheck` — schema validator for the JSON documents the report
 //! pipeline emits (`cen-dtn.report` reports and `cen-dtn.bench`
-//! trajectories like `BENCH_shootout.json`).
+//! trajectories like `BENCH_shootout.json`) and for TRACE/1.0 event-log
+//! artifacts.
 //!
 //! ```text
 //! cargo run -p bench --bin reportcheck -- FILE [FILE...]
+//! cargo run -p bench --bin reportcheck -- trace FILE [FILE...]
 //! ```
 //!
-//! For each file it checks the schema name and version, the presence of the
-//! per-record / per-cell required fields, that **every** number in the
-//! document is finite (the emitters turn NaN/inf into `null`, which fails
-//! here), and the probe sections' invariants — time-series counters must be
-//! cumulative and agree with the record's end-of-run stats, latency
+//! For each JSON file it checks the schema name and version, the presence
+//! of the per-record / per-cell required fields, that **every** number in
+//! the document is finite (the emitters turn NaN/inf into `null`, which
+//! fails here), and the probe sections' invariants — time-series counters
+//! must be cumulative and agree with the record's end-of-run stats, latency
 //! histogram buckets must sum to the delivery count with ordered
-//! percentiles. Exits non-zero on the first invalid file — the CI gate for
-//! `shootout --out json:...` and its bench trajectory.
+//! percentiles.
+//!
+//! `reportcheck trace FILE` validates a TRACE/1.0 artifact instead: the
+//! magic and version, the header, the per-record FNV-1a hash chain, dense
+//! monotone sequence numbers, the trailer record count, and the trailing
+//! content fingerprint. Every failure names the file and — for chain
+//! breaks — the offending sequence number.
+//!
+//! Exits non-zero on the first invalid file — the CI gate for
+//! `shootout --out json:...`, its bench trajectory, and recorded run
+//! artifacts.
 
 use dtn_bench::report::validate_document;
+use dtn_sim::TraceReader;
+use std::path::Path;
+
+const USAGE: &str = "usage: reportcheck FILE [FILE...]
+       reportcheck trace FILE [FILE...]";
 
 fn main() {
-    let files: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = std::env::args().skip(1).collect();
     if files.is_empty() || files.iter().any(|f| f == "--help" || f == "-h") {
-        eprintln!("usage: reportcheck FILE [FILE...]");
+        eprintln!("{USAGE}");
         std::process::exit(2);
+    }
+    let traces = files[0] == "trace";
+    if traces {
+        files.remove(0);
+        if files.is_empty() {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
     }
     let mut failed = false;
     for file in &files {
+        if traces {
+            match TraceReader::open(Path::new(file)) {
+                Ok(reader) => {
+                    let meta = reader.meta();
+                    println!(
+                        "{file}: OK (TRACE/1.0, cell `{}`, {} records, \
+                         {} nodes, end {} s, fingerprint {:#018x})",
+                        meta.cell_key,
+                        reader.events().len(),
+                        meta.n_nodes,
+                        reader.end_time().as_secs(),
+                        reader.fingerprint()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("{file}: INVALID: {e}");
+                    failed = true;
+                }
+            }
+            continue;
+        }
         let text = match std::fs::read_to_string(file) {
             Ok(t) => t,
             Err(e) => {

@@ -14,7 +14,9 @@
 //! Binaries: `fig2`, `fig3`, `fig4`, `ablation` (see `--help` of each),
 //! `smoke` (one-shot sanity run), `dtnrun` (single-run report / trace
 //! replay), `shootout` (all protocols across scenario families in one
-//! matrix), `reportcheck` (schema validator for emitted JSON). All of them
+//! matrix), `reportcheck` (schema validator for emitted JSON and TRACE/1.0
+//! event-log artifacts), `dtndiff` (drift classifier between two artifacts
+//! or two reports — the CI regression gate). All of them
 //! execute simulations through the [`runner`] layer's
 //! `RunSpec → SimStats` primitive ([`runner::run_spec`] / [`runner::run_on`]),
 //! every scenario/workload is a first-class
@@ -37,6 +39,13 @@
 //! and exact latency percentiles come out of the *same single run* that
 //! produces the end-of-run counters — probes never change a run's
 //! [`dtn_sim::SimStats`], bit for bit.
+//!
+//! Runs are durable, too: `--probe eventlog[:path=P]` streams every engine
+//! event into a hash-chained TRACE/1.0 artifact
+//! ([`dtn_sim::EventLogWriter`]), and [`replay_artifact`] re-folds any
+//! probe set over the recorded stream into a normal [`report::RunRecord`]
+//! — stats and probe outputs bitwise identical to the live run — without
+//! touching the engine (see [`dtn_sim::TraceReader`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -55,7 +64,8 @@ pub use report::{
     Series,
 };
 pub use runner::{
-    run_matrix, run_matrix_records, run_matrix_with, run_on, run_on_observed, run_spec,
-    run_spec_observed, run_stream, CommunitySource, RunOutput, RunSpec, StreamRun, SweepConfig,
+    replay_artifact, run_matrix, run_matrix_records, run_matrix_with, run_on, run_on_observed,
+    run_spec, run_spec_observed, run_stream, CommunitySource, RunOutput, RunSpec, StreamRun,
+    SweepConfig,
 };
 pub use scenario::{BuiltScenario, ScenarioCache, ScenarioKey};

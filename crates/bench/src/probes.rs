@@ -14,6 +14,9 @@
 //! --probe timeseries            delivery/overhead/occupancy curves, dt = 60 s
 //! --probe timeseries:dt=250     the same at a 250 s cadence
 //! --probe latency               log₂ latency histogram with exact p50/p95/p99
+//! --probe eventlog              record a TRACE/1.0 artifact (results/run.trace)
+//! --probe eventlog:path=P       the same at an explicit path; `{seed}` in P
+//!                               expands to the run's seed
 //! ```
 //!
 //! The flag is repeatable; each spec attaches one observer to every run of
@@ -40,9 +43,12 @@ use std::fmt;
 /// Default sampling cadence of the time-series probe, in seconds.
 pub const DEFAULT_TIMESERIES_DT: f64 = 60.0;
 
+/// Default artifact path of the event-log probe.
+pub const DEFAULT_EVENTLOG_PATH: &str = "results/run.trace";
+
 /// One observation attached to a run — the probe-layer sibling of
 /// `ScenarioSpec`/`WorkloadSpec`/`ProtocolSpec`.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ProbeSpec {
     /// Sample delivery-ratio / overhead / buffer-occupancy curves every
     /// `dt` seconds ([`dtn_sim::TimeSeriesProbe`]).
@@ -53,13 +59,21 @@ pub enum ProbeSpec {
     /// Collect per-delivery latencies into a log₂-bucketed histogram with
     /// exact p50/p95/p99 ([`dtn_sim::LatencyHistogramProbe`]).
     LatencyHist,
+    /// Record the full event stream into a TRACE/1.0 artifact
+    /// ([`dtn_sim::EventLogWriter`]) for later replay.
+    EventLog {
+        /// Artifact path. A literal `{seed}` expands to the run's seed at
+        /// attach time, so multi-seed sweeps write distinct artifacts.
+        path: String,
+    },
 }
 
 impl ProbeSpec {
-    /// Parses the `--probe` grammar: `timeseries[:dt=SECS]` (alias `ts`) or
-    /// `latency` (alias `hist`). Validation happens here: a non-positive or
-    /// non-finite cadence, an unknown key or an unknown probe name all fail
-    /// with a message naming the valid forms.
+    /// Parses the `--probe` grammar: `timeseries[:dt=SECS]` (alias `ts`),
+    /// `latency` (alias `hist`) or `eventlog[:path=P]` (alias `record`).
+    /// Validation happens here: a non-positive or non-finite cadence, an
+    /// unknown key, an empty or directory-shaped artifact path or an
+    /// unknown probe name all fail with a message naming the valid forms.
     pub fn parse(s: &str) -> Result<Self, String> {
         let (name, params) = match s.split_once(':') {
             Some((n, p)) => (n, Some(p)),
@@ -106,8 +120,31 @@ impl ProbeSpec {
                 }
                 Ok(ProbeSpec::LatencyHist)
             }
+            "eventlog" | "record" => {
+                // The whole parameter tail after `path=` is the path
+                // verbatim — artifact paths may contain `,` and `=`.
+                let path = match params {
+                    None => DEFAULT_EVENTLOG_PATH.to_string(),
+                    Some(p) => match p.strip_prefix("path=") {
+                        Some(rest) if !rest.is_empty() => rest.to_string(),
+                        _ => {
+                            return Err(format!(
+                                "probe `{s}`: expected path=PATH (valid: \
+                                 eventlog[:path=PATH])"
+                            ))
+                        }
+                    },
+                };
+                if path.ends_with('/') {
+                    return Err(format!(
+                        "probe `{s}`: artifact path `{path}` names a directory"
+                    ));
+                }
+                Ok(ProbeSpec::EventLog { path })
+            }
             other => Err(format!(
-                "unknown probe `{other}` (valid: timeseries[:dt=SECS], latency)"
+                "unknown probe `{other}` (valid: timeseries[:dt=SECS], latency, \
+                 eventlog[:path=PATH])"
             )),
         }
     }
@@ -119,6 +156,32 @@ impl ProbeSpec {
         match self {
             ProbeSpec::TimeSeries { dt } => format!("timeseries:dt={:016x}", dt.to_bits()),
             ProbeSpec::LatencyHist => "latency".to_string(),
+            // The path is percent-escaped so the key never contains the
+            // `|` / `+` separators the cell-key encoding reserves (and so
+            // distinct paths cannot collide after escaping).
+            ProbeSpec::EventLog { path } => {
+                let mut out = String::with_capacity(path.len() + 14);
+                out.push_str("eventlog:path=");
+                for c in path.chars() {
+                    match c {
+                        '%' | '|' | '+' => {
+                            out.push('%');
+                            out.push_str(&format!("{:02x}", c as u32));
+                        }
+                        _ => out.push(c),
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// For an event-log probe, the artifact path with `{seed}` expanded to
+    /// the run's seed; `None` for pure in-memory probes.
+    pub fn artifact_path(&self, seed: u64) -> Option<String> {
+        match self {
+            ProbeSpec::EventLog { path } => Some(path.replace("{seed}", &seed.to_string())),
+            _ => None,
         }
     }
 }
@@ -137,6 +200,13 @@ impl fmt::Display for ProbeSpec {
                 }
             }
             ProbeSpec::LatencyHist => write!(f, "latency"),
+            ProbeSpec::EventLog { path } => {
+                if path == DEFAULT_EVENTLOG_PATH {
+                    write!(f, "eventlog")
+                } else {
+                    write!(f, "eventlog:path={path}")
+                }
+            }
         }
     }
 }
@@ -192,5 +262,58 @@ mod tests {
         let b = ProbeSpec::TimeSeries { dt: 60.0000001 }.cache_key();
         assert_ne!(a, b, "distinct cadences must key distinctly");
         assert_ne!(a, ProbeSpec::LatencyHist.cache_key());
+    }
+
+    #[test]
+    fn eventlog_parses_and_round_trips() {
+        assert_eq!(
+            ProbeSpec::parse("eventlog").unwrap(),
+            ProbeSpec::EventLog {
+                path: DEFAULT_EVENTLOG_PATH.into()
+            }
+        );
+        let p = ProbeSpec::parse("record:path=results/run_{seed}.trace").unwrap();
+        assert_eq!(
+            p,
+            ProbeSpec::EventLog {
+                path: "results/run_{seed}.trace".into()
+            }
+        );
+        // Canonical display round-trips; the default path prints bare.
+        assert_eq!(ProbeSpec::parse(&p.to_string()).unwrap(), p);
+        assert_eq!(
+            ProbeSpec::parse("eventlog").unwrap().to_string(),
+            "eventlog"
+        );
+        // Paths with `=` and `,` survive verbatim.
+        let odd = ProbeSpec::parse("eventlog:path=out/a=b,c.trace").unwrap();
+        assert_eq!(ProbeSpec::parse(&odd.to_string()).unwrap(), odd);
+        // Bad forms are loud.
+        assert!(ProbeSpec::parse("eventlog:path=").is_err());
+        assert!(ProbeSpec::parse("eventlog:dir=x").is_err());
+        assert!(ProbeSpec::parse("eventlog:path=results/").is_err());
+    }
+
+    #[test]
+    fn eventlog_cache_key_escapes_separators() {
+        let p = ProbeSpec::EventLog {
+            path: "a|b+c%d.trace".into(),
+        };
+        let key = p.cache_key();
+        assert!(!key[9..].contains('|'), "cell-key separator leaked: {key}");
+        assert!(!key[9..].contains('+'), "cell-key separator leaked: {key}");
+        assert_eq!(key, "eventlog:path=a%7cb%2bc%25d.trace");
+        // Escaping keeps distinct paths distinct.
+        let q = ProbeSpec::EventLog {
+            path: "a%7cb+c%d.trace".into(),
+        };
+        assert_ne!(p.cache_key(), q.cache_key());
+    }
+
+    #[test]
+    fn eventlog_seed_placeholder_expands() {
+        let p = ProbeSpec::parse("eventlog:path=r/s{seed}.trace").unwrap();
+        assert_eq!(p.artifact_path(42).as_deref(), Some("r/s42.trace"));
+        assert_eq!(ProbeSpec::LatencyHist.artifact_path(42), None);
     }
 }

@@ -1,0 +1,633 @@
+//! Drift classification between two runs of the experiment pipeline.
+//!
+//! `dtndiff` answers "did revision X change the physics?" with a machine
+//! checkable verdict. Two artifacts are compared — either TRACE/1.0 event
+//! logs ([`diff_traces`]) or report/bench JSON documents
+//! ([`diff_reports`]) — and every divergence is classified:
+//!
+//! * **seed-level** ([`DriftClass::Seed`]) — the same cells exist on both
+//!   sides but their recorded physics differ: stats, probe sections, or
+//!   the event stream itself.
+//! * **cell-level** ([`DriftClass::Cell`]) — cells were added or removed;
+//!   the two sides ran different experiments.
+//! * **schema-level** ([`DriftClass::Schema`]) — the documents are not the
+//!   same format or version; content comparison may be meaningless.
+//!
+//! Non-semantic fields are excluded from the verdict: wall-clock
+//! (`wall_s`, `wall_s_mean`, `wall_s_max`, `wall_s_total`), the recorded
+//! artifact path, and the human series label are reported as informational
+//! lines only. Cells are matched on their *semantic* identity — the cell
+//! key with any `+probe=eventlog:…` component removed, since where a run's
+//! event log was written does not change what the run computed.
+
+use super::json::Json;
+use super::record::{ReportSpec, RunRecord, BENCH_SCHEMA, REPORT_SCHEMA};
+use dtn_sim::TraceReader;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// How bad a divergence is; ordered by severity of what it implies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DriftClass {
+    /// Same cells, different physics (stats / probe data / event stream).
+    Seed,
+    /// Cells added or removed: the two sides ran different experiments.
+    Cell,
+    /// Format or version mismatch: content comparison may be meaningless.
+    Schema,
+}
+
+impl DriftClass {
+    /// Stable lowercase label (`seed` / `cell` / `schema`).
+    pub fn label(self) -> &'static str {
+        match self {
+            DriftClass::Seed => "seed",
+            DriftClass::Cell => "cell",
+            DriftClass::Schema => "schema",
+        }
+    }
+
+    /// The `dtndiff` exit code this class maps to (1 / 2 / 3).
+    pub fn exit_code(self) -> i32 {
+        match self {
+            DriftClass::Seed => 1,
+            DriftClass::Cell => 2,
+            DriftClass::Schema => 3,
+        }
+    }
+}
+
+/// One classified divergence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Drift {
+    /// The drift class.
+    pub class: DriftClass,
+    /// Human-readable description of what diverged.
+    pub detail: String,
+}
+
+impl fmt::Display for Drift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "drift[{}]: {}", self.class.label(), self.detail)
+    }
+}
+
+/// The result of a diff: classified drifts plus informational notes
+/// (non-semantic differences that never gate).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DiffOutcome {
+    /// Classified divergences; empty means the two sides agree.
+    pub drifts: Vec<Drift>,
+    /// Non-gating observations (wall-clock deltas, label changes).
+    pub info: Vec<String>,
+}
+
+impl DiffOutcome {
+    /// `true` when no drift of any class was found.
+    pub fn is_clean(&self) -> bool {
+        self.drifts.is_empty()
+    }
+
+    /// The process exit code: `0` when clean, otherwise the exit code of
+    /// the most severe drift class present.
+    pub fn exit_code(&self) -> i32 {
+        self.drifts
+            .iter()
+            .map(|d| d.class)
+            .max()
+            .map_or(0, DriftClass::exit_code)
+    }
+
+    fn drift(&mut self, class: DriftClass, detail: impl Into<String>) {
+        self.drifts.push(Drift {
+            class,
+            detail: detail.into(),
+        });
+    }
+}
+
+/// The semantic cell identity used for matching: `cell` with every
+/// `+probe=eventlog:…` component removed. Recording an event log is pure
+/// observation — the artifact path must not split one cell into two.
+/// (Other probe components stay: attached probes schedule `Tick` samples,
+/// so they do describe the recorded data.)
+pub fn semantic_cell(cell: &str) -> String {
+    const MARK: &str = "+probe=eventlog:";
+    let mut out = String::with_capacity(cell.len());
+    let mut rest = cell;
+    while let Some(i) = rest.find(MARK) {
+        out.push_str(&rest[..i]);
+        // Probe cache keys escape `+` and `|`, so the component ends at
+        // the next separator.
+        let after = &rest[i + 1..]; // keep scanning from just past '+'
+        let end = after.find(['+', '|']).map_or(rest.len(), |e| i + 1 + e);
+        rest = &rest[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Diffs two TRACE/1.0 artifacts. Unreadable files are `Err` (I/O);
+/// wrong-format or wrong-version files classify as schema drift; invalid
+/// (corrupt) artifacts are `Err` naming the failure — a damaged file is
+/// not a different run.
+pub fn diff_traces(path_a: &Path, path_b: &Path) -> Result<DiffOutcome, String> {
+    let mut out = DiffOutcome::default();
+    let mut open = |path: &Path, side: &str| -> Result<Option<TraceReader>, String> {
+        match TraceReader::open(path) {
+            Ok(r) => Ok(Some(r)),
+            Err(e)
+                if e.contains("not a TRACE artifact")
+                    || e.contains("unsupported trace version") =>
+            {
+                out.drifts.push(Drift {
+                    class: DriftClass::Schema,
+                    detail: format!("{side}: {e}"),
+                });
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    };
+    let a = open(path_a, "left")?;
+    let b = open(path_b, "right")?;
+    let (Some(a), Some(b)) = (a, b) else {
+        return Ok(out);
+    };
+
+    let (ma, mb) = (a.meta(), b.meta());
+    let (ca, cb) = (semantic_cell(&ma.cell_key), semantic_cell(&mb.cell_key));
+    if ca != cb {
+        out.drift(
+            DriftClass::Cell,
+            format!("artifacts record different cells: `{ca}` vs `{cb}`"),
+        );
+        return Ok(out);
+    }
+    if ma.n_nodes != mb.n_nodes || ma.n_messages != mb.n_messages {
+        out.drift(
+            DriftClass::Seed,
+            format!(
+                "run shape differs for cell `{ca}`: {} nodes / {} messages vs {} / {}",
+                ma.n_nodes, ma.n_messages, mb.n_nodes, mb.n_messages
+            ),
+        );
+    }
+    // The fingerprint folds the header, so it can differ purely because
+    // the two recorders wrote to different paths (the eventlog probe's
+    // path lands in the full cell key). It is only a valid fast-path
+    // equality check when the full cell keys are byte-identical;
+    // otherwise compare the streams themselves.
+    let same_header = ma.cell_key == mb.cell_key;
+    if (same_header && a.fingerprint() != b.fingerprint()) || a.events() != b.events() {
+        // Name the first diverging sequence number.
+        let ea = a.events();
+        let eb = b.events();
+        let detail = match ea.iter().zip(eb).position(|(x, y)| x != y) {
+            Some(seq) => format!(
+                "streams diverge at seq {seq}: {:?} vs {:?}",
+                ea[seq], eb[seq]
+            ),
+            None if ea.len() != eb.len() => format!(
+                "record counts differ: {} vs {} (streams agree up to seq {})",
+                ea.len(),
+                eb.len(),
+                ea.len().min(eb.len())
+            ),
+            None => format!(
+                "content fingerprints differ ({:#018x} vs {:#018x})",
+                a.fingerprint(),
+                b.fingerprint()
+            ),
+        };
+        out.drift(DriftClass::Seed, format!("cell `{ca}`: {detail}"));
+    } else if !same_header {
+        out.info.push(format!(
+            "fingerprints differ only via the recording path in the header \
+             ({:#018x} vs {:#018x}); streams are identical",
+            a.fingerprint(),
+            b.fingerprint()
+        ));
+    }
+    if a.control_bytes() != b.control_bytes() {
+        out.drift(
+            DriftClass::Seed,
+            format!(
+                "control traffic differs for cell `{ca}`: {} vs {} bytes",
+                a.control_bytes(),
+                b.control_bytes()
+            ),
+        );
+    }
+    if a.end_time() != b.end_time() && out.is_clean() {
+        out.drift(
+            DriftClass::Seed,
+            format!(
+                "end times differ: {} vs {} s",
+                a.end_time().as_secs(),
+                b.end_time().as_secs()
+            ),
+        );
+    }
+    Ok(out)
+}
+
+/// Diffs two report or bench-trajectory JSON documents (already read into
+/// strings). Malformed JSON, unknown schemas, schema-name or version
+/// mismatches classify as schema drift; added/removed cells as cell drift;
+/// content divergence on matched cells as seed drift. Wall-clock fields
+/// and artifact paths never gate.
+pub fn diff_reports(a: &str, b: &str) -> DiffOutcome {
+    let mut out = DiffOutcome::default();
+    let parsed = [("left", a), ("right", b)].map(|(side, text)| match Json::parse(text) {
+        Ok(j) => Some(j),
+        Err(e) => {
+            out.drifts.push(Drift {
+                class: DriftClass::Schema,
+                detail: format!("{side}: not valid JSON: {e}"),
+            });
+            None
+        }
+    });
+    let [Some(ja), Some(jb)] = parsed else {
+        return out;
+    };
+    let schema = |j: &Json| j.get("schema").and_then(Json::as_str).map(str::to_string);
+    let (sa, sb) = (schema(&ja), schema(&jb));
+    match (&sa, &sb) {
+        (Some(x), Some(y)) if x == y => {}
+        _ => {
+            out.drift(
+                DriftClass::Schema,
+                format!("schema names differ or are missing: {sa:?} vs {sb:?}"),
+            );
+            return out;
+        }
+    }
+    let version = |j: &Json| j.get("version").and_then(Json::as_u64);
+    let (va, vb) = (version(&ja), version(&jb));
+    if va != vb {
+        out.drift(
+            DriftClass::Schema,
+            format!("schema versions differ: {va:?} vs {vb:?}"),
+        );
+    }
+    match sa.as_deref() {
+        Some(s) if s == REPORT_SCHEMA => diff_report_docs(a, b, &mut out),
+        Some(s) if s == BENCH_SCHEMA => diff_bench_docs(&ja, &jb, &mut out),
+        Some(other) => out.drift(DriftClass::Schema, format!("unknown schema `{other}`")),
+        None => unreachable!("schema presence checked above"),
+    }
+    out
+}
+
+/// Full-report comparison: records matched on semantic cell, stats and
+/// probe sections gate, wall-clock is informational.
+fn diff_report_docs(a: &str, b: &str, out: &mut DiffOutcome) {
+    let mut parse = |side: &str, text: &str| match ReportSpec::from_json_str(text) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            out.drifts.push(Drift {
+                class: DriftClass::Schema,
+                detail: format!("{side}: {e}"),
+            });
+            None
+        }
+    };
+    let ra = parse("left", a);
+    let rb = parse("right", b);
+    let (Some(ra), Some(rb)) = (ra, rb) else {
+        return;
+    };
+    let index = |r: &ReportSpec| -> BTreeMap<String, RunRecord> {
+        r.records
+            .iter()
+            .map(|rec| (semantic_cell(&rec.cell), rec.clone()))
+            .collect()
+    };
+    let (map_a, map_b) = (index(&ra), index(&rb));
+    for cell in map_a.keys() {
+        if !map_b.contains_key(cell) {
+            out.drift(DriftClass::Cell, format!("cell only in left: `{cell}`"));
+        }
+    }
+    for cell in map_b.keys() {
+        if !map_a.contains_key(cell) {
+            out.drift(DriftClass::Cell, format!("cell only in right: `{cell}`"));
+        }
+    }
+    for (cell, rec_a) in &map_a {
+        let Some(rec_b) = map_b.get(cell) else {
+            continue;
+        };
+        for field in record_divergences(rec_a, rec_b) {
+            out.drift(DriftClass::Seed, format!("cell `{cell}`: {field}"));
+        }
+        if rec_a.series != rec_b.series {
+            out.info.push(format!(
+                "cell `{cell}`: series label changed: `{}` vs `{}`",
+                rec_a.series, rec_b.series
+            ));
+        }
+    }
+    let wall = |r: &ReportSpec| r.records.iter().map(|x| x.wall_s).sum::<f64>();
+    out.info.push(format!(
+        "wall clock (informational): {:.3} s vs {:.3} s",
+        wall(&ra),
+        wall(&rb)
+    ));
+}
+
+/// The semantic field-by-field comparison of two records for one cell.
+/// `wall_s`, `artifact` and the series label are deliberately absent.
+fn record_divergences(a: &RunRecord, b: &RunRecord) -> Vec<String> {
+    let mut out = Vec::new();
+    if a.seed != b.seed {
+        out.push(format!("seed {} vs {}", a.seed, b.seed));
+    }
+    if a.n_nodes != b.n_nodes {
+        out.push(format!("n_nodes {} vs {}", a.n_nodes, b.n_nodes));
+    }
+    if a.duration.to_bits() != b.duration.to_bits() {
+        out.push(format!("duration {} vs {} s", a.duration, b.duration));
+    }
+    for (name, va, vb) in [
+        ("scenario", &a.scenario, &b.scenario),
+        ("workload", &a.workload, &b.workload),
+        ("protocol", &a.protocol, &b.protocol),
+    ] {
+        if va != vb {
+            out.push(format!("{name} `{va}` vs `{vb}`"));
+        }
+    }
+    if a.stats != b.stats {
+        let sa = &a.stats;
+        let sb = &b.stats;
+        let mut fields = Vec::new();
+        for (name, x, y) in [
+            ("created", sa.created, sb.created),
+            ("delivered", sa.delivered, sb.delivered),
+            (
+                "duplicate_deliveries",
+                sa.duplicate_deliveries,
+                sb.duplicate_deliveries,
+            ),
+            ("relayed", sa.relayed, sb.relayed),
+            ("aborted", sa.aborted, sb.aborted),
+            ("drops_buffer", sa.drops_buffer, sb.drops_buffer),
+            ("drops_ttl", sa.drops_ttl, sb.drops_ttl),
+            ("drops_protocol", sa.drops_protocol, sb.drops_protocol),
+            ("refused", sa.refused, sb.refused),
+            ("control_bytes", sa.control_bytes, sb.control_bytes),
+            ("hops_sum", sa.hops_sum, sb.hops_sum),
+        ] {
+            if x != y {
+                fields.push(format!("{name} {x} vs {y}"));
+            }
+        }
+        if sa.latency_sum.to_bits() != sb.latency_sum.to_bits() {
+            fields.push(format!(
+                "latency_sum {} vs {}",
+                sa.latency_sum, sb.latency_sum
+            ));
+        }
+        out.push(format!("stats differ: {}", fields.join(", ")));
+    }
+    if a.timeseries != b.timeseries {
+        out.push("timeseries sections differ".to_string());
+    }
+    if a.latency != b.latency {
+        out.push("latency_hist sections differ".to_string());
+    }
+    out
+}
+
+/// Bench-trajectory comparison: cells matched on the `cell` group key;
+/// `delivery_ratio`, `latency_s`, `runs` and `n_nodes` gate, every
+/// `wall_s*` field is informational.
+fn diff_bench_docs(a: &Json, b: &Json, out: &mut DiffOutcome) {
+    let cells = |j: &Json, side: &str, out: &mut DiffOutcome| -> Option<BTreeMap<String, Json>> {
+        match j.get("cells").and_then(Json::as_arr) {
+            Some(arr) => Some(
+                arr.iter()
+                    .filter_map(|c| {
+                        c.get("cell")
+                            .and_then(Json::as_str)
+                            .map(|k| (semantic_cell(k), c.clone()))
+                    })
+                    .collect(),
+            ),
+            None => {
+                out.drift(
+                    DriftClass::Schema,
+                    format!("{side}: bench document has no `cells` array"),
+                );
+                None
+            }
+        }
+    };
+    let map_a = cells(a, "left", out);
+    let map_b = cells(b, "right", out);
+    let (Some(map_a), Some(map_b)) = (map_a, map_b) else {
+        return;
+    };
+    for cell in map_a.keys() {
+        if !map_b.contains_key(cell) {
+            out.drift(DriftClass::Cell, format!("cell only in left: `{cell}`"));
+        }
+    }
+    for cell in map_b.keys() {
+        if !map_a.contains_key(cell) {
+            out.drift(DriftClass::Cell, format!("cell only in right: `{cell}`"));
+        }
+    }
+    for (cell, ca) in &map_a {
+        let Some(cb) = map_b.get(cell) else { continue };
+        for field in ["runs", "n_nodes"] {
+            let (x, y) = (
+                ca.get(field).and_then(Json::as_u64),
+                cb.get(field).and_then(Json::as_u64),
+            );
+            if x != y {
+                out.drift(
+                    DriftClass::Seed,
+                    format!("cell `{cell}`: {field} {x:?} vs {y:?}"),
+                );
+            }
+        }
+        for field in ["delivery_ratio", "latency_s"] {
+            let (x, y) = (
+                ca.get(field).and_then(Json::as_f64),
+                cb.get(field).and_then(Json::as_f64),
+            );
+            let same = match (x, y) {
+                (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+                (None, None) => true,
+                _ => false,
+            };
+            if !same {
+                out.drift(
+                    DriftClass::Seed,
+                    format!("cell `{cell}`: {field} {x:?} vs {y:?}"),
+                );
+            }
+        }
+        for field in ["wall_s_mean", "wall_s_max"] {
+            let (x, y) = (
+                ca.get(field).and_then(Json::as_f64),
+                cb.get(field).and_then(Json::as_f64),
+            );
+            if let (Some(x), Some(y)) = (x, y) {
+                if x != y {
+                    out.info.push(format!(
+                        "cell `{cell}`: {field} (informational): {x:.3} vs {y:.3}"
+                    ));
+                }
+            }
+        }
+    }
+    let (wa, wb) = (
+        a.get("wall_s_total").and_then(Json::as_f64),
+        b.get("wall_s_total").and_then(Json::as_f64),
+    );
+    if let (Some(x), Some(y)) = (wa, wb) {
+        if x != y {
+            out.info
+                .push(format!("wall_s_total (informational): {x:.3} vs {y:.3}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::StatsSnapshot;
+
+    /// A two-cell report with pinned values, the probed seed carrying an
+    /// eventlog component so semantic matching is exercised end to end.
+    fn synthetic_report_for_diff() -> ReportSpec {
+        let mut report = ReportSpec::new("diff test");
+        let probe = "+probe=eventlog:path=results%2frun.trace";
+        for seed in [1u64, 2] {
+            report.push(RunRecord {
+                series: "EER".into(),
+                scenario: "paper(n=20)".into(),
+                workload: "paper".into(),
+                protocol: "eer:lambda=4".into(),
+                seed,
+                n_nodes: 20,
+                duration: 500.0,
+                cell: format!(
+                    "scenario=paper:n=20|workload=paper|protocol=eer:lambda=4{probe}|seed={seed}|dur=407f400000000000"
+                ),
+                group: format!(
+                    "scenario=paper:n=20|workload=paper|protocol=eer:lambda=4{probe}|dur=407f400000000000"
+                ),
+                stats: StatsSnapshot {
+                    created: 40,
+                    delivered: 20 + seed,
+                    duplicate_deliveries: 1,
+                    relayed: 60,
+                    aborted: 2,
+                    drops_buffer: 3,
+                    drops_ttl: 1,
+                    drops_protocol: 0,
+                    refused: 4,
+                    control_bytes: 4096,
+                    latency_sum: 1234.5,
+                    hops_sum: 44,
+                },
+                wall_s: 0.25,
+                timeseries: None,
+                latency: None,
+                artifact: None,
+            });
+        }
+        report
+    }
+
+    #[test]
+    fn semantic_cell_strips_only_eventlog_components() {
+        let cell = "scenario=paper:n=8|workload=paper|protocol=eer\
+                    +probe=eventlog:path=r%2fa.trace+probe=latency|seed=3|dur=00";
+        assert_eq!(
+            semantic_cell(cell),
+            "scenario=paper:n=8|workload=paper|protocol=eer+probe=latency|seed=3|dur=00"
+        );
+        // No eventlog component: identity.
+        let plain = "scenario=paper|protocol=eer+probe=latency|seed=1|dur=0";
+        assert_eq!(semantic_cell(plain), plain);
+        // Component at end of the protocol field.
+        let tail = "scenario=paper|protocol=eer+probe=eventlog:path=x|seed=1|dur=0";
+        assert_eq!(
+            semantic_cell(tail),
+            "scenario=paper|protocol=eer|seed=1|dur=0"
+        );
+    }
+
+    #[test]
+    fn self_diff_of_a_report_is_clean() {
+        let text = synthetic_report_for_diff().to_json_string();
+        let out = diff_reports(&text, &text);
+        assert!(out.is_clean(), "{:?}", out.drifts);
+        assert_eq!(out.exit_code(), 0);
+    }
+
+    #[test]
+    fn wall_clock_is_informational_not_drift() {
+        let a = synthetic_report_for_diff();
+        let mut b = a.clone();
+        for r in &mut b.records {
+            r.wall_s *= 100.0;
+        }
+        let out = diff_reports(&a.to_json_string(), &b.to_json_string());
+        assert!(out.is_clean(), "{:?}", out.drifts);
+        assert!(!out.info.is_empty());
+    }
+
+    #[test]
+    fn stat_change_is_seed_level() {
+        let a = synthetic_report_for_diff();
+        let mut b = a.clone();
+        b.records[0].stats.delivered += 1;
+        let out = diff_reports(&a.to_json_string(), &b.to_json_string());
+        assert_eq!(out.exit_code(), 1);
+        assert!(out.drifts.iter().all(|d| d.class == DriftClass::Seed));
+        assert!(
+            out.drifts[0].detail.contains("delivered"),
+            "{:?}",
+            out.drifts
+        );
+    }
+
+    #[test]
+    fn missing_cell_is_cell_level() {
+        let a = synthetic_report_for_diff();
+        let mut b = a.clone();
+        b.records.pop();
+        let out = diff_reports(&a.to_json_string(), &b.to_json_string());
+        assert_eq!(out.exit_code(), 2);
+    }
+
+    #[test]
+    fn schema_mismatch_is_schema_level_and_wins() {
+        let a = synthetic_report_for_diff();
+        let bench = a.to_bench_json_string("x");
+        let out = diff_reports(&a.to_json_string(), &bench);
+        assert_eq!(out.exit_code(), 3);
+        let out = diff_reports("not json", &a.to_json_string());
+        assert_eq!(out.exit_code(), 3);
+    }
+
+    #[test]
+    fn bench_self_diff_clean_and_stat_gated() {
+        let a = synthetic_report_for_diff();
+        let text = a.to_bench_json_string("shootout");
+        assert!(diff_reports(&text, &text).is_clean());
+        let mut b = a.clone();
+        b.records[0].stats.delivered += 7;
+        let out = diff_reports(&text, &b.to_bench_json_string("shootout"));
+        assert_eq!(out.exit_code(), 1, "{:?}", out.drifts);
+    }
+}

@@ -71,10 +71,11 @@ impl OutputSpec {
     }
 }
 
-/// Writes `text` to `path`, creating parent directories as needed. Errors
-/// carry the offending path (a bare `io::Error` names neither the file nor
-/// the phase that failed).
-pub fn write_text(path: &Path, text: &str) -> io::Result<()> {
+/// Creates `path`'s parent directory (and ancestors) if missing — the one
+/// shared output-hygiene helper every artifact/report writer goes through.
+/// Errors carry both the directory and the target path (a bare `io::Error`
+/// names neither the file nor the phase that failed).
+pub fn ensure_parent(path: &Path) -> io::Result<()> {
     // `Path::parent` of a bare filename is `Some("")`, which would make
     // `create_dir_all` fail spuriously — filter it out.
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
@@ -89,6 +90,13 @@ pub fn write_text(path: &Path, text: &str) -> io::Result<()> {
             )
         })?;
     }
+    Ok(())
+}
+
+/// Writes `text` to `path`, creating parent directories as needed
+/// ([`ensure_parent`]). Errors carry the offending path.
+pub fn write_text(path: &Path, text: &str) -> io::Result<()> {
+    ensure_parent(path)?;
     std::fs::write(path, text)
         .map_err(|e| io::Error::new(e.kind(), format!("writing {}: {e}", path.display())))
 }
@@ -575,6 +583,9 @@ fn record_to_json(r: &RunRecord) -> Json {
     if let Some(l) = &r.latency {
         fields.push(("latency_hist", latency_to_json(l)));
     }
+    if let Some(a) = &r.artifact {
+        fields.push(("artifact", Json::str(a)));
+    }
     Json::obj(fields)
 }
 
@@ -630,6 +641,14 @@ fn record_from_json(j: &Json) -> Result<RunRecord, String> {
         },
         timeseries: j.get("timeseries").map(timeseries_from_json).transpose()?,
         latency: j.get("latency_hist").map(latency_from_json).transpose()?,
+        artifact: j
+            .get("artifact")
+            .map(|a| {
+                a.as_str()
+                    .map(str::to_string)
+                    .ok_or("field `artifact` is not a string".to_string())
+            })
+            .transpose()?,
     })
 }
 
@@ -938,6 +957,7 @@ mod tests {
                 wall_s: 0.5,
                 timeseries: None,
                 latency: None,
+                artifact: None,
             };
             r.stats.aborted = seed;
             report.push(r);
@@ -964,21 +984,21 @@ mod tests {
     }
 
     /// Documents emitted by older revisions stay parseable and valid: the
-    /// v2 additions over v1 are all optional, and the BENCH_*.json perf
+    /// v2/v3 additions over v1 are all optional, and the BENCH_*.json perf
     /// trajectory exists precisely to be compared across revisions.
     #[test]
-    fn v1_documents_still_parse_and_validate() {
+    fn old_documents_still_parse_and_validate() {
         let report = synthetic_report();
-        let v1 = report
-            .to_json_string()
-            .replace("\"version\": 2", "\"version\": 1");
-        assert_ne!(v1, report.to_json_string(), "version must appear once");
-        assert_eq!(ReportSpec::from_json_str(&v1).unwrap(), report);
-        validate_document(&v1).unwrap();
-        let bench_v1 = report
-            .to_bench_json_string("shootout")
-            .replace("\"version\": 2", "\"version\": 1");
-        validate_document(&bench_v1).unwrap();
+        for old in ["\"version\": 1", "\"version\": 2"] {
+            let doc = report.to_json_string().replace("\"version\": 3", old);
+            assert_ne!(doc, report.to_json_string(), "version must appear once");
+            assert_eq!(ReportSpec::from_json_str(&doc).unwrap(), report);
+            validate_document(&doc).unwrap();
+            let bench = report
+                .to_bench_json_string("shootout")
+                .replace("\"version\": 3", old);
+            validate_document(&bench).unwrap();
+        }
     }
 
     #[test]

@@ -45,12 +45,14 @@
 //! assert!(report.to_markdown().contains("EER"));
 //! ```
 
+pub mod diff;
 pub mod emit;
 pub mod json;
 pub mod metrics;
 pub mod record;
 
-pub use emit::{validate_document, write_text, OutputFormat, OutputSpec};
+pub use diff::{diff_reports, diff_traces, DiffOutcome, Drift, DriftClass};
+pub use emit::{ensure_parent, validate_document, write_text, OutputFormat, OutputSpec};
 pub use metrics::{glossary_markdown, MetricDef, HEADLINE, METRICS};
 pub use record::{CellSummary, MetricSummary, ReportSpec, RunRecord, SCHEMA_VERSION};
 

@@ -35,8 +35,9 @@ use dtn_sim::{LatencyHistogram, MetricPoint, SimStats, StatsSnapshot, TimeSeries
 
 /// Format version stamped into every emitted document; bump when the field
 /// set changes shape. Version 2 added the optional per-record time-series
-/// and latency-histogram sections (probe outputs).
-pub const SCHEMA_VERSION: u32 = 2;
+/// and latency-histogram sections (probe outputs); version 3 the optional
+/// `artifact` path of a recorded TRACE/1.0 event log.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Schema name stamped into report documents.
 pub const REPORT_SCHEMA: &str = "cen-dtn.report";
@@ -80,6 +81,11 @@ pub struct RunRecord {
     /// Latency histogram with exact percentiles, when a
     /// [`ProbeSpec::LatencyHist`](crate::ProbeSpec::LatencyHist) rode along.
     pub latency: Option<LatencyHistogram>,
+    /// Path of the TRACE/1.0 artifact this run recorded (or was replayed
+    /// from), when a [`ProbeSpec::EventLog`](crate::ProbeSpec::EventLog)
+    /// rode along. Non-semantic provenance, like [`RunRecord::wall_s`]:
+    /// excluded from `dtndiff` comparison.
+    pub artifact: Option<String>,
 }
 
 impl RunRecord {
@@ -109,6 +115,7 @@ impl RunRecord {
             wall_s,
             timeseries: None,
             latency: None,
+            artifact: None,
         }
     }
 
@@ -124,6 +131,7 @@ impl RunRecord {
         RunRecord {
             timeseries: out.timeseries.clone(),
             latency: out.latency.clone(),
+            artifact: out.artifact.clone(),
             ..Self::capture(spec, ps, seed, &out.stats, wall_s)
         }
     }
@@ -157,6 +165,7 @@ impl RunRecord {
             wall_s,
             timeseries: out.timeseries.clone(),
             latency: out.latency.clone(),
+            artifact: out.artifact.clone(),
         }
     }
 
@@ -453,6 +462,7 @@ mod tests {
             wall_s: 0.25,
             timeseries: None,
             latency: None,
+            artifact: None,
         }
     }
 

@@ -35,8 +35,8 @@ use crate::scenario::{BuiltScenario, ScenarioCache, ScenarioKey};
 use ce_core::{detect_over_trace, detected_map, CommunityMap, DetectorConfig};
 use dtn_mobility::{ScenarioSpec, WorkloadSpec};
 use dtn_sim::{
-    LatencyHistogram, LatencyHistogramProbe, MetricPoint, SimConfig, SimStats, Simulation,
-    TimeSeries, TimeSeriesProbe,
+    EventLogWriter, LatencyHistogram, LatencyHistogramProbe, MetricPoint, SimConfig, SimObserver,
+    SimStats, Simulation, TimeSeries, TimeSeriesProbe, TraceMeta, TraceReader,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -211,7 +211,7 @@ impl RunSpec {
                 .iter()
                 .any(|q| std::mem::discriminant(q) == std::mem::discriminant(p))
             {
-                out.push(*p);
+                out.push(p.clone());
             }
         }
         out
@@ -307,6 +307,9 @@ pub struct RunOutput {
     /// Latency histogram with exact percentiles
     /// ([`ProbeSpec::LatencyHist`]).
     pub latency: Option<LatencyHistogram>,
+    /// Path of the TRACE/1.0 artifact the run recorded
+    /// ([`ProbeSpec::EventLog`]), with `{seed}` already expanded.
+    pub artifact: Option<String>,
 }
 
 /// Executes one `(spec, seed)` cell, resolving the scenario through `cache`.
@@ -368,13 +371,21 @@ pub fn run_on_observed(ps: &BuiltScenario, spec: &RunSpec, seed: u64) -> RunOutp
         .needs_communities()
         .then(|| spec.communities.resolve(ps));
     let workload = spec.resolved_workload(ps.workload.as_ref().clone());
+    let n_messages = workload.len();
     let sim = Simulation::new(
         &ps.scenario.trace,
         workload,
         spec.sim_config(seed),
         |id, n| spec.protocol.make_router(id, n, communities.as_ref()),
     );
-    observe(sim, spec)
+    observe(
+        sim,
+        spec,
+        seed,
+        ps.n_nodes,
+        ps.scenario.trace.duration,
+        n_messages,
+    )
 }
 
 /// The result of one streaming `(spec, seed)` cell. No [`BuiltScenario`]
@@ -436,7 +447,7 @@ pub fn run_stream(spec: &RunSpec, seed: u64) -> Result<StreamRun, String> {
         n_nodes: stream.n_nodes,
         duration: stream.duration,
         n_messages,
-        output: observe(sim, spec),
+        output: observe(sim, spec, seed, stream.n_nodes, stream.duration, n_messages),
     })
 }
 
@@ -473,11 +484,53 @@ impl RunSpec {
 /// Only the effective probe list is attached — the first of each kind;
 /// duplicates would be paid for (tick chains, occupancy scans) and then
 /// dropped at extraction, since a record carries one output per kind.
-fn observe(mut sim: Simulation, spec: &RunSpec) -> RunOutput {
+///
+/// The run-shape parameters (`seed`, `n_nodes`, `duration`, `n_messages`)
+/// feed the TRACE/1.0 header when an [`ProbeSpec::EventLog`] probe is
+/// attached; both execution paths already hold them.
+///
+/// # Panics
+/// Panics if an event-log artifact cannot be created or written — recording
+/// was explicitly requested, so a silently missing artifact would be worse
+/// than a dead sweep.
+fn observe(
+    mut sim: Simulation,
+    spec: &RunSpec,
+    seed: u64,
+    n_nodes: u32,
+    duration: f64,
+    n_messages: usize,
+) -> RunOutput {
+    let mut artifact = None;
     for probe in spec.effective_probes() {
         match probe {
             ProbeSpec::TimeSeries { dt } => sim.add_observer(Box::new(TimeSeriesProbe::new(dt))),
             ProbeSpec::LatencyHist => sim.add_observer(Box::new(LatencyHistogramProbe::new())),
+            ProbeSpec::EventLog { .. } => {
+                let path = probe
+                    .artifact_path(seed)
+                    .expect("eventlog probe has a path");
+                let meta = TraceMeta {
+                    cell_key: spec.cell_key(seed).encoded(),
+                    seed,
+                    horizon: duration,
+                    n_nodes,
+                    n_messages: n_messages as u64,
+                    labels: vec![
+                        ("series".to_string(), spec.series.clone()),
+                        ("scenario".to_string(), spec.scenario.to_string()),
+                        ("workload".to_string(), spec.workload.to_string()),
+                        ("protocol".to_string(), spec.protocol.to_string()),
+                    ],
+                };
+                let path_ref = std::path::Path::new(&path);
+                crate::report::ensure_parent(path_ref)
+                    .unwrap_or_else(|e| panic!("eventlog probe: {e}"));
+                let writer = EventLogWriter::create(path_ref, &meta)
+                    .unwrap_or_else(|e| panic!("eventlog probe: cannot create {path}: {e}"));
+                sim.add_observer(Box::new(writer));
+                artifact = Some(path);
+            }
         }
     }
     let (stats, observers) = sim.run_observed();
@@ -485,6 +538,7 @@ fn observe(mut sim: Simulation, spec: &RunSpec) -> RunOutput {
         stats,
         timeseries: None,
         latency: None,
+        artifact,
     };
     for obs in &observers {
         if out.timeseries.is_none() {
@@ -496,7 +550,13 @@ fn observe(mut sim: Simulation, spec: &RunSpec) -> RunOutput {
         if out.latency.is_none() {
             if let Some(p) = obs.as_any().downcast_ref::<LatencyHistogramProbe>() {
                 out.latency = Some(p.histogram().clone());
+                continue;
             }
+        }
+        if let Some(w) = obs.as_any().downcast_ref::<EventLogWriter>() {
+            // I/O errors cannot surface through the observer callbacks; the
+            // writer latches the first one and this is where it gets loud.
+            w.status().unwrap_or_else(|e| panic!("{e}"));
         }
     }
     out
@@ -586,6 +646,119 @@ pub fn run_matrix_records(
             v
         })
         .collect()
+}
+
+/// Turns a recorded TRACE/1.0 artifact plus a probe set into a normal
+/// [`RunRecord`] — the report-side twin of [`run_spec_observed`] that never
+/// touches the engine. The reader validates the hash chain, the run's
+/// [`SimStats`] are re-folded from the recorded stream and each requested
+/// probe is replayed over it; because the probes are pure functions of the
+/// stream (and `control_bytes` — the one counter that never travels the
+/// stream — is restored from the artifact trailer), the record's stats and
+/// probe sections are bitwise identical to the live run's on every field.
+///
+/// The record's provenance (series/scenario/workload/protocol) comes from
+/// the artifact's header labels; its cell identity is rebuilt from the
+/// recorded cell key with the *replayed* probe set substituted for the
+/// recorded one, so a replay re-folding the live probes (minus the
+/// recording probe itself) lands in the same report cell as the live run.
+pub fn replay_artifact(path: &std::path::Path, probes: &[ProbeSpec]) -> Result<RunRecord, String> {
+    let t0 = std::time::Instant::now();
+    let reader = TraceReader::open(path)?;
+    let meta = reader.meta();
+
+    // The effective probe list, mirroring live attachment: first of each
+    // kind wins.
+    let mut effective: Vec<ProbeSpec> = Vec::new();
+    for p in probes {
+        if !effective
+            .iter()
+            .any(|q| std::mem::discriminant(q) == std::mem::discriminant(p))
+        {
+            effective.push(p.clone());
+        }
+    }
+    let mut observers: Vec<Box<dyn SimObserver>> = Vec::new();
+    for p in &effective {
+        match p {
+            ProbeSpec::TimeSeries { dt } => observers.push(Box::new(TimeSeriesProbe::new(*dt))),
+            ProbeSpec::LatencyHist => observers.push(Box::new(LatencyHistogramProbe::new())),
+            ProbeSpec::EventLog { .. } => {
+                return Err(
+                    "replay cannot record: the artifact already exists; drop the eventlog probe"
+                        .into(),
+                )
+            }
+        }
+    }
+    reader.replay(&mut observers);
+    let stats = reader.replay_stats();
+    let mut timeseries = None;
+    let mut latency = None;
+    for obs in &observers {
+        if timeseries.is_none() {
+            if let Some(p) = obs.as_any().downcast_ref::<TimeSeriesProbe>() {
+                timeseries = Some(p.series().clone());
+                continue;
+            }
+        }
+        if latency.is_none() {
+            if let Some(p) = obs.as_any().downcast_ref::<LatencyHistogramProbe>() {
+                latency = Some(p.histogram().clone());
+            }
+        }
+    }
+
+    let cell = cell_with_probes(&meta.cell_key, &effective);
+    let group = cell.replacen(&format!("|seed={}|", meta.seed), "|", 1);
+    let label = |k: &str| {
+        meta.labels
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    };
+    Ok(RunRecord {
+        series: label("series"),
+        scenario: label("scenario"),
+        workload: label("workload"),
+        protocol: label("protocol"),
+        seed: meta.seed,
+        n_nodes: meta.n_nodes,
+        duration: meta.horizon,
+        cell,
+        group,
+        stats: stats.snapshot(),
+        wall_s: t0.elapsed().as_secs_f64(),
+        timeseries,
+        latency,
+        artifact: Some(path.display().to_string()),
+    })
+}
+
+/// Replaces the `+probe=…` components of an encoded cell key with the
+/// components for `probes` (sorted, exactly as [`RunSpec::cell_key`]
+/// appends them). Probe cache keys escape `+` and `|`, so scanning each
+/// component to the next separator is exact.
+fn cell_with_probes(recorded: &str, probes: &[ProbeSpec]) -> String {
+    let mut base = String::with_capacity(recorded.len());
+    let mut rest = recorded;
+    while let Some(i) = rest.find("+probe=") {
+        base.push_str(&rest[..i]);
+        let after = &rest[i + "+probe=".len()..];
+        let end = after.find(['+', '|']).unwrap_or(after.len());
+        rest = &after[end..];
+    }
+    base.push_str(rest);
+    let mut keys: Vec<String> = probes.iter().map(ProbeSpec::cache_key).collect();
+    keys.sort_unstable();
+    let insert: String = keys.iter().map(|k| format!("+probe={k}")).collect();
+    // Probe components live inside the protocol field, which ends at
+    // `|seed=` — insert there (headers always carry a seeded cell key).
+    match base.find("|seed=") {
+        Some(i) => format!("{}{}{}", &base[..i], insert, &base[i..]),
+        None => base + &insert,
+    }
 }
 
 #[cfg(test)]
@@ -720,6 +893,38 @@ mod tests {
         assert!(big.effective_run_threads() >= 1);
         let replay = base.with_scenario(ScenarioSpec::trace_path("x.trace"));
         assert_eq!(replay.effective_run_threads(), 1);
+    }
+
+    /// A replayed cell lands exactly where a live run with the same probe
+    /// set (minus the recording probe) would: the recorded cell key's probe
+    /// components are substituted, everything else is preserved.
+    #[test]
+    fn replayed_cell_substitutes_probe_components() {
+        let base =
+            || RunSpec::new("EER", 8, ProtocolSpec::paper(ProtocolKind::Eer)).with_duration(400.0);
+        let recorded = base()
+            .with_probe(ProbeSpec::EventLog {
+                path: "r/a.trace".into(),
+            })
+            .with_probe(ProbeSpec::TimeSeries { dt: 50.0 })
+            .with_probe(ProbeSpec::LatencyHist)
+            .cell_key(3)
+            .encoded();
+        let replayed = cell_with_probes(
+            &recorded,
+            &[ProbeSpec::TimeSeries { dt: 50.0 }, ProbeSpec::LatencyHist],
+        );
+        let live_without_recorder = base()
+            .with_probe(ProbeSpec::TimeSeries { dt: 50.0 })
+            .with_probe(ProbeSpec::LatencyHist)
+            .cell_key(3)
+            .encoded();
+        assert_eq!(replayed, live_without_recorder);
+        // Substituting the empty set recovers the unprobed cell.
+        assert_eq!(
+            cell_with_probes(&recorded, &[]),
+            base().cell_key(3).encoded()
+        );
     }
 
     /// A duration override flows through the cache into the built scenario.

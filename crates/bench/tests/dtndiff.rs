@@ -1,0 +1,229 @@
+//! End-to-end tests of the `dtndiff` binary: golden report fixtures under
+//! `tests/golden/` — one per drift class — driven through the real
+//! executable, plus hand-crafted TRACE/1.0 artifact pairs for the
+//! artifact-mode classes and the self-diff property (any input diffed
+//! against itself exits 0).
+//!
+//! Regenerate the fixtures after an intentional format change with
+//! `UPDATE_GOLDEN=1 cargo test -p bench --test dtndiff`.
+
+use dtn_bench::report::{ReportSpec, RunRecord};
+use dtn_sim::observe::SimEvent;
+use dtn_sim::{EventLogWriter, SimObserver, StatsSnapshot, TraceMeta};
+use dtn_sim::{MessageId, NodeId, SimTime};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Runs `dtndiff` with `args`, returning (exit code, stdout ‖ stderr).
+fn dtndiff(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dtndiff"))
+        .args(args)
+        .output()
+        .expect("dtndiff runs");
+    let mut text = String::from_utf8_lossy(&out.stdout).into_owned();
+    text.push_str(&String::from_utf8_lossy(&out.stderr));
+    (out.status.code().expect("exit code"), text)
+}
+
+/// The pinned two-record report every fixture derives from.
+fn base_report() -> ReportSpec {
+    let mut report = ReportSpec::new("dtndiff golden base");
+    for seed in [1u64, 2] {
+        report.push(RunRecord {
+            series: "EER".into(),
+            scenario: "paper(n=20)".into(),
+            workload: "paper".into(),
+            protocol: "eer:lambda=4".into(),
+            seed,
+            n_nodes: 20,
+            duration: 500.0,
+            cell: format!(
+                "scenario=paper:n=20|workload=paper|protocol=eer:lambda=4|seed={seed}|dur=407f400000000000"
+            ),
+            group: "scenario=paper:n=20|workload=paper|protocol=eer:lambda=4|dur=407f400000000000"
+                .into(),
+            stats: StatsSnapshot {
+                created: 40,
+                delivered: 20 + seed,
+                duplicate_deliveries: 1,
+                relayed: 60,
+                aborted: 2,
+                drops_buffer: 3,
+                drops_ttl: 1,
+                drops_protocol: 0,
+                refused: 4,
+                control_bytes: 4096,
+                latency_sum: 1234.5,
+                hops_sum: 44,
+            },
+            wall_s: 0.125,
+            timeseries: None,
+            latency: None,
+            artifact: None,
+        });
+    }
+    report
+}
+
+/// Writes (under `UPDATE_GOLDEN=1`) or checks one fixture, returning its
+/// path for the binary to consume.
+fn fixture(name: &str, content: &str) -> PathBuf {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, content).unwrap();
+        return path;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden fixture {}: {e}", path.display()));
+    assert_eq!(
+        content,
+        expected,
+        "fixture generator diverged from {} — if intentional, regenerate \
+         with UPDATE_GOLDEN=1",
+        path.display()
+    );
+    path
+}
+
+/// The four report fixtures: (identical, seed-level, cell-level,
+/// schema-level), in that order.
+fn report_fixtures() -> [PathBuf; 4] {
+    let base = base_report();
+    let mut seed_drift = base.clone();
+    seed_drift.records[0].stats.delivered += 1;
+    seed_drift.records[0].stats.latency_sum += 80.0;
+    let mut cell_drift = base.clone();
+    cell_drift.records.pop();
+    let schema_drift = base
+        .to_json_string()
+        .replacen("\"version\": 3", "\"version\": 2", 1);
+    [
+        fixture("diff_base.json", &base.to_json_string()),
+        fixture("diff_seed.json", &seed_drift.to_json_string()),
+        fixture("diff_cell.json", &cell_drift.to_json_string()),
+        fixture("diff_schema.json", &schema_drift),
+    ]
+}
+
+#[test]
+fn report_fixtures_classify_and_gate() {
+    let [base, seed, cell, schema] = report_fixtures();
+    let base = base.to_str().unwrap();
+
+    // Self-diff: no drift, exit 0.
+    let (code, out) = dtndiff(&["--reports", base, base]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("no drift"), "{out}");
+
+    // Seed-level: same cells, different stats → exit 1.
+    let (code, out) = dtndiff(&["--reports", base, seed.to_str().unwrap()]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("drift[seed]"), "{out}");
+    assert!(out.contains("delivered"), "names the field: {out}");
+
+    // Cell-level: a cell disappeared → exit 2.
+    let (code, out) = dtndiff(&["--reports", base, cell.to_str().unwrap()]);
+    assert_eq!(code, 2, "{out}");
+    assert!(out.contains("drift[cell]"), "{out}");
+    assert!(out.contains("only in left"), "{out}");
+
+    // Schema-level: version mismatch → exit 3 (wins over content equality).
+    let (code, out) = dtndiff(&["--reports", base, schema.to_str().unwrap()]);
+    assert_eq!(code, 3, "{out}");
+    assert!(out.contains("drift[schema]"), "{out}");
+}
+
+#[test]
+fn wall_clock_never_gates_reports() {
+    let [base, ..] = report_fixtures();
+    let mut slow = base_report();
+    for r in &mut slow.records {
+        r.wall_s *= 1000.0;
+    }
+    let dir = std::env::temp_dir().join("dtn_dtndiff_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let slow_path = dir.join(format!("slow_{}.json", std::process::id()));
+    std::fs::write(&slow_path, slow.to_json_string()).unwrap();
+    let (code, out) = dtndiff(&[
+        "--reports",
+        base.to_str().unwrap(),
+        slow_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "wall clock gated: {out}");
+    assert!(out.contains("info: wall clock"), "{out}");
+    std::fs::remove_file(slow_path).ok();
+}
+
+/// Hand-writes a valid TRACE/1.0 artifact with the given cell key and
+/// event stream (the writer is an ordinary observer, so driving it
+/// directly produces exactly what a recorded run would).
+fn craft_trace(path: &Path, cell_key: &str, events: &[SimEvent]) {
+    let meta = TraceMeta {
+        cell_key: cell_key.into(),
+        seed: 1,
+        horizon: 100.0,
+        n_nodes: 4,
+        n_messages: 2,
+        labels: vec![],
+    };
+    let mut w = EventLogWriter::create(path, &meta).expect("create");
+    w.on_events(events);
+    w.on_end(SimTime::secs(100.0), &StatsSnapshot::default());
+    w.status().expect("clean write");
+}
+
+#[test]
+fn trace_mode_classifies_all_drift_classes() {
+    let dir = std::env::temp_dir().join("dtn_dtndiff_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |tag: &str| dir.join(format!("{tag}_{}.trace", std::process::id()));
+
+    let gen = |t: f64, m: u32| SimEvent::Generated {
+        at: SimTime::secs(t),
+        msg: MessageId(m),
+        src: NodeId(0),
+    };
+    let cell = "scenario=paper:n=4|workload=paper|protocol=eer|seed=1|dur=0";
+    let (a, b, c, d) = (p("a"), p("b"), p("c"), p("d"));
+    craft_trace(&a, cell, &[gen(1.0, 0), gen(2.0, 1)]);
+    // Same cell, one event differs → seed-level, naming the seq.
+    craft_trace(&b, cell, &[gen(1.0, 0), gen(2.5, 1)]);
+    // Different cell → cell-level.
+    craft_trace(
+        &c,
+        "scenario=paper:n=4|workload=paper|protocol=cr|seed=1|dur=0",
+        &[],
+    );
+    // Wrong version → schema-level.
+    std::fs::write(&d, b"TRACE/9.9\nnot this version").unwrap();
+
+    let (code, out) = dtndiff(&[a.to_str().unwrap(), a.to_str().unwrap()]);
+    assert_eq!(code, 0, "self-diff must be clean: {out}");
+
+    let (code, out) = dtndiff(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("diverge at seq 1"), "{out}");
+
+    let (code, out) = dtndiff(&[a.to_str().unwrap(), c.to_str().unwrap()]);
+    assert_eq!(code, 2, "{out}");
+    assert!(out.contains("different cells"), "{out}");
+
+    let (code, out) = dtndiff(&[a.to_str().unwrap(), d.to_str().unwrap()]);
+    assert_eq!(code, 3, "{out}");
+    assert!(out.contains("unsupported trace version"), "{out}");
+
+    // Unreadable input is usage/IO, not drift.
+    let (code, _) = dtndiff(&["/nonexistent/x.trace", a.to_str().unwrap()]);
+    assert_eq!(code, 64);
+    let (code, _) = dtndiff(&["only-one-arg"]);
+    assert_eq!(code, 64);
+
+    for f in [a, b, c, d] {
+        std::fs::remove_file(f).ok();
+    }
+}

@@ -63,6 +63,7 @@ fn synthetic_report() -> ReportSpec {
                 wall_s: 0.125,
                 timeseries: None,
                 latency: None,
+                artifact: None,
             });
         }
     }

@@ -452,8 +452,9 @@ impl Simulation {
                 buffered_msgs,
             });
             self.flush();
+            let final_stats = self.stats.snapshot();
             for obs in &mut self.observers {
-                obs.on_end(self.now);
+                obs.on_end(self.now, &final_stats);
             }
         }
     }

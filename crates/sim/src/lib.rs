@@ -16,6 +16,8 @@
 //! * [`engine`] — the discrete-event engine ([`Simulation`]);
 //! * [`observe`] — the observation layer: [`SimEvent`] stream,
 //!   [`SimObserver`] probes (time series, latency histograms);
+//! * [`eventlog`] — durable TRACE/1.0 event-log artifacts
+//!   ([`EventLogWriter`]) and re-simulation-free replay ([`TraceReader`]);
 //! * [`buffer`], [`message`], [`stats`], [`event`], [`time`], [`ids`] —
 //!   supporting building blocks.
 //!
@@ -54,6 +56,7 @@
 pub mod buffer;
 pub mod engine;
 pub mod event;
+pub mod eventlog;
 pub mod ids;
 pub mod message;
 pub mod observe;
@@ -66,6 +69,7 @@ pub mod trace;
 
 pub use buffer::{Buffer, BufferEntry, DropReason};
 pub use engine::{SimConfig, Simulation};
+pub use eventlog::{EventLogWriter, TraceMeta, TraceReader};
 pub use ids::{MessageId, NodeId, NodePair};
 pub use message::{Message, MessageArena, MessageSpec, TrafficConfig};
 pub use observe::{

@@ -221,8 +221,14 @@ pub trait SimObserver: Any {
     fn on_events(&mut self, batch: &[SimEvent]);
 
     /// Called exactly once when the run ends, after the final batch (and a
-    /// final [`SimEvent::Tick`]) has been delivered.
-    fn on_end(&mut self, _now: SimTime) {}
+    /// final [`SimEvent::Tick`]) has been delivered. `final_stats` is the
+    /// engine's end-of-run counters; it exists for the one statistic the
+    /// event stream cannot carry — router-side control accounting
+    /// (`control_bytes`), which routers write straight into
+    /// [`SimStats`](crate::stats::SimStats)
+    /// via their contexts. Everything else in it is derivable from the
+    /// stream.
+    fn on_end(&mut self, _now: SimTime, _final_stats: &crate::stats::StatsSnapshot) {}
 
     /// If `Some(dt)`, the engine schedules [`SimEvent::Tick`] samples every
     /// `dt` seconds for this observer (ticks are broadcast, so observers
@@ -388,7 +394,7 @@ impl SimObserver for TimeSeriesProbe {
         }
     }
 
-    fn on_end(&mut self, now: SimTime) {
+    fn on_end(&mut self, now: SimTime, _final_stats: &crate::stats::StatsSnapshot) {
         // Close the curve at the horizon if the last cadence boundary fell
         // short of it (the engine emits a final Tick before calling this, so
         // occupancy in `acc` is current).
@@ -493,7 +499,7 @@ impl SimObserver for LatencyHistogramProbe {
         }
     }
 
-    fn on_end(&mut self, _now: SimTime) {
+    fn on_end(&mut self, _now: SimTime, _final_stats: &crate::stats::StatsSnapshot) {
         self.latencies.sort_by(f64::total_cmp);
         let lats = &self.latencies;
         let mut buckets = Vec::new();
@@ -573,7 +579,7 @@ mod tests {
             delivered(12.0, 1.0, true),
             tick(20.0, 0, 0),
         ]);
-        p.on_end(SimTime::secs(25.0));
+        p.on_end(SimTime::secs(25.0), &crate::stats::StatsSnapshot::default());
         let s = p.series();
         assert_eq!(s.samples.len(), 4, "origin, 10, 20, final 25");
         assert_eq!(s.samples[0].t, 0.0);
@@ -599,12 +605,12 @@ mod tests {
         ];
         let mut one = TimeSeriesProbe::new(10.0);
         one.on_events(&events);
-        one.on_end(SimTime::secs(20.0));
+        one.on_end(SimTime::secs(20.0), &crate::stats::StatsSnapshot::default());
         let mut many = TimeSeriesProbe::new(10.0);
         for ev in events {
             many.on_events(&[ev]);
         }
-        many.on_end(SimTime::secs(20.0));
+        many.on_end(SimTime::secs(20.0), &crate::stats::StatsSnapshot::default());
         assert_eq!(one.series(), many.series());
         let ts: Vec<f64> = one.series().samples.iter().map(|s| s.t).collect();
         assert_eq!(ts, vec![0.0, 10.0, 20.0]);
@@ -636,7 +642,7 @@ mod tests {
     fn timeseries_survives_subresolution_cadence() {
         let mut p = TimeSeriesProbe::new(1e-300);
         p.on_events(&[tick(1.0, 10, 1), tick(2.0, 20, 2)]);
-        p.on_end(SimTime::secs(3.0));
+        p.on_end(SimTime::secs(3.0), &crate::stats::StatsSnapshot::default());
         let s = p.series();
         // Origin, both ticks, and the forced final sample.
         let ts: Vec<f64> = s.samples.iter().map(|x| x.t).collect();
@@ -652,7 +658,10 @@ mod tests {
         }
         // Duplicates are excluded.
         p.on_events(&[delivered(1000.0, 0.0, false)]);
-        p.on_end(SimTime::secs(1000.0));
+        p.on_end(
+            SimTime::secs(1000.0),
+            &crate::stats::StatsSnapshot::default(),
+        );
         let h = p.histogram();
         assert_eq!(h.count, 100);
         // Nearest-rank on 1..=100: rank(50) = round(0.5 · 99) = 50 → 51.
@@ -677,7 +686,7 @@ mod tests {
     #[test]
     fn empty_histogram_is_all_zero() {
         let mut p = LatencyHistogramProbe::new();
-        p.on_end(SimTime::secs(10.0));
+        p.on_end(SimTime::secs(10.0), &crate::stats::StatsSnapshot::default());
         let h = p.histogram();
         assert_eq!(h.count, 0);
         assert_eq!(h.p50, 0.0);

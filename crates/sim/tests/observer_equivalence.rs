@@ -159,12 +159,11 @@ proptest! {
         // Router-side control accounting is also untouched.
         prop_assert_eq!(plain.control_bytes, observed.control_bytes);
 
-        // (1) The replica reproduces everything except control bytes (which
-        // routers account directly, outside the event stream).
+        // (1) The replica reproduces everything — control bytes (which
+        // routers account directly, outside the event stream) are adopted
+        // from the engine's final snapshot at on_end.
         let replica = observers[0].as_any().downcast_ref::<SimStats>().unwrap();
-        let mut expect = observed.snapshot();
-        expect.control_bytes = 0;
-        prop_assert_eq!(replica.snapshot(), expect,
+        prop_assert_eq!(replica.snapshot(), observed.snapshot(),
             "event-stream replica diverged from the engine's stats");
         prop_assert_eq!(replica.latency_sum.to_bits(), observed.latency_sum.to_bits(),
             "float accumulation order must match exactly");
