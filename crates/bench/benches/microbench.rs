@@ -9,7 +9,7 @@ use dtn_mobility::scenario::ScenarioConfig;
 use dtn_mobility::{ContactStepper, ScenarioSpec};
 use dtn_sim::event::{EventKind, EventQueue, HeapEventQueue};
 use dtn_sim::observe::{EventLog, LatencyHistogramProbe, TimeSeriesProbe};
-use dtn_sim::{NodeId, NodePair, SimConfig, SimTime, Simulation, TrafficConfig};
+use dtn_sim::{DrainMode, NodeId, NodePair, SimConfig, SimTime, Simulation, TrafficConfig};
 use std::hint::black_box;
 
 const N: u32 = 240;
@@ -310,6 +310,78 @@ fn bench_engine(c: &mut Criterion) {
             black_box(stats.relayed)
         })
     });
+    // The identical probed run, but with observer dispatch shipped through
+    // the bounded SPSC ring to a companion drain thread. The gap between
+    // this and `_probed` above is the observation cost left on the hot
+    // thread (batch hand-off only) vs. paying full probe dispatch inline.
+    c.bench_function("observer_ring_drain", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(
+                &scenario.trace,
+                workload.clone(),
+                SimConfig::paper(1),
+                |_, _| Box::new(dtn_routing::Epidemic::new()),
+            );
+            sim.add_observer(Box::new(TimeSeriesProbe::new(60.0)));
+            sim.add_observer(Box::new(LatencyHistogramProbe::new()));
+            sim.add_observer(Box::new(EventLog::default()));
+            sim.set_drain_mode(DrainMode::Ring { capacity: 16 });
+            let (stats, _obs) = sim.run_observed();
+            black_box(stats.relayed)
+        })
+    });
+}
+
+/// The work-stealing sweep fabric against a plain sequential fold over the
+/// identical 8-job matrix (4 protocols x 2 seeds on a small scenario): the
+/// gap is the fabric's coordination cost — deque setup, the steal sweep and
+/// the ordered result merge — since both paths run the very same
+/// simulations through the shared [`ScenarioCache`].
+fn bench_matrix_fabric(c: &mut Criterion) {
+    use dtn_bench::{
+        run_matrix_records, ProtocolKind, ProtocolSpec, RunSpec, ScenarioCache,
+        ScenarioSpec as BenchScenarioSpec, SweepConfig,
+    };
+    let specs: Vec<RunSpec> = [
+        ProtocolKind::Epidemic,
+        ProtocolKind::Eer,
+        ProtocolKind::Cr,
+        ProtocolKind::SprayAndWait,
+    ]
+    .into_iter()
+    .map(|k| {
+        RunSpec::on(
+            k.name(),
+            BenchScenarioSpec::paper(16),
+            ProtocolSpec::paper(k),
+        )
+        .with_duration(400.0)
+    })
+    .collect();
+    let cache = ScenarioCache::new();
+    // Warm the scenario cache so both cells measure run + merge, not builds.
+    let warm = SweepConfig {
+        seeds: 2,
+        threads: 1,
+        verbose: false,
+    };
+    black_box(run_matrix_records(&cache, &specs, warm).len());
+    for (label, threads) in [
+        ("matrix_fabric_vs_ticket", 4usize),
+        ("matrix_sequential_fold", 1),
+    ] {
+        let cfg = SweepConfig {
+            seeds: 2,
+            threads,
+            verbose: false,
+        };
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                let records = run_matrix_records(&cache, &specs, cfg);
+                black_box(records.len())
+            })
+        });
+    }
 }
 
 criterion_group! {
@@ -318,6 +390,6 @@ criterion_group! {
     targets = bench_estimators, bench_mi_merge, bench_memd,
               bench_trace_generation, bench_contact_step,
               bench_contact_step_sharded, bench_buffer_soa,
-              bench_event_queue, bench_engine
+              bench_event_queue, bench_engine, bench_matrix_fabric
 }
 criterion_main!(benches);

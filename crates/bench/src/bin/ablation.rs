@@ -33,7 +33,7 @@
 
 use dtn_bench::report::CommonArgs;
 use dtn_bench::{
-    run_matrix_records, ProtocolKind, ProtocolSpec, ReportSpec, RunSpec, ScenarioCache, SweepConfig,
+    run_matrix_records, ProtocolKind, ProtocolSpec, ReportSpec, RunSpec, ScenarioCache,
 };
 
 /// One named, data-driven ablation: a title and a grid of
@@ -122,6 +122,7 @@ const USAGE: &str = "usage: ablation <alpha|ttl-aware|emd|window|cr-state|lambda
                      buffer-policy|adaptive-lambda|detected-communities|grid <spec>...> \
                      [--seeds K] [--nodes a,b,c] [--scenario paper|rwp|trace:<path>] \
                      [--workload paper|hotspot|bursty] [--duration SECS] \
+                     [--threads N] [--run-threads N] [--drain inline|ring[:CAP]] \
                      [--out json:PATH|csv:PATH|md:PATH ...]";
 
 /// CR with ground-truth districts vs. CR with communities learned online by
@@ -151,23 +152,17 @@ fn detected_communities(argv: Vec<String>) {
     let mut specs = Vec::new();
     for (label, source) in &variants {
         for &n in &args.node_counts {
-            let mut spec = RunSpec::on(
-                *label,
-                args.scenario_for(n),
-                ProtocolSpec::paper(ProtocolKind::Cr),
-            )
-            .with_workload(args.workload.clone())
-            .with_communities(source.clone());
-            if let Some(d) = args.duration {
-                spec = spec.with_duration(d);
-            }
-            specs.push(spec);
+            specs.push(
+                args.configure(RunSpec::on(
+                    *label,
+                    args.scenario_for(n),
+                    ProtocolSpec::paper(ProtocolKind::Cr),
+                ))
+                .with_communities(source.clone()),
+            );
         }
     }
-    let cfg = SweepConfig {
-        seeds: args.seeds,
-        ..SweepConfig::default()
-    };
+    let cfg = args.sweep_config();
     let mut report = ReportSpec::new("Ablation: CR with ground-truth vs detected communities");
     report.records = run_matrix_records(&cache, &specs, cfg);
     // Positional view, not cells(): a trace scenario ignores the node
@@ -284,19 +279,14 @@ fn main() {
     let mut specs = Vec::new();
     for (label, proto) in &grid {
         for &n in &args.node_counts {
-            let mut spec = RunSpec::on(label.clone(), args.scenario_for(n), proto.clone())
-                .with_workload(args.workload.clone())
-                .with_probes(args.probes.clone());
-            if let Some(d) = args.duration {
-                spec = spec.with_duration(d);
-            }
-            specs.push(spec);
+            specs.push(args.configure(RunSpec::on(
+                label.clone(),
+                args.scenario_for(n),
+                proto.clone(),
+            )));
         }
     }
-    let cfg = SweepConfig {
-        seeds: args.seeds,
-        ..SweepConfig::default()
-    };
+    let cfg = args.sweep_config();
     eprintln!(
         "ablation {which}: {} variants x {:?} nodes x {} seeds",
         grid.len(),

@@ -12,7 +12,7 @@
 //! runner layer (`RunSpec → SimStats`), and the run header prints the
 //! *resolved* protocol spec so every log line is a reproducible command.
 
-use dtn_bench::report::{OutputSpec, ReportSpec, RunRecord};
+use dtn_bench::report::{CommonArgs, OutputSpec, ReportSpec, RunRecord};
 use dtn_bench::{
     replay_artifact, run_on_observed, run_stream, ProbeSpec, ProtocolSpec, RunOutput, RunSpec,
     ScenarioCache, ScenarioSpec, WorkloadSpec,
@@ -42,6 +42,10 @@ const USAGE: &str = "usage: dtnrun [flags]
                        streaming path (default auto: up to 8 for generated
                        scenarios with >= 10000 nodes, else 1); results are
                        bit-identical for every value
+  --drain MODE         observer dispatch: inline (default) or ring[:CAP] to
+                       fold probes on a companion thread through a bounded
+                       ring of CAP batches (default 16); results are
+                       bit-identical either way
   --progress-step SECS delivery-progress bucket (default 1000)
   --probe SPEC         attach an observer to the run (repeatable):
                          timeseries[:dt=SECS]  delivery/overhead/occupancy
@@ -82,6 +86,8 @@ struct Args {
     stream: Option<bool>,
     /// `None` = auto (parallel scan at n >= 10^4 on the streaming path).
     run_threads: Option<u32>,
+    /// `Some(capacity)` = off-thread observer drain through a bounded ring.
+    ring_drain: Option<usize>,
     progress_step: f64,
     probes: Vec<ProbeSpec>,
     outs: Vec<OutputSpec>,
@@ -103,6 +109,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         buffer: None,
         stream: None,
         run_threads: None,
+        ring_drain: None,
         progress_step: 1_000.0,
         probes: Vec::new(),
         outs: Vec::new(),
@@ -128,6 +135,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--run-threads" => {
                 out.run_threads = Some(val("--run-threads")?.parse().map_err(|e| format!("{e}"))?)
             }
+            "--drain" => out.ring_drain = CommonArgs::parse_drain(&val("--drain")?)?,
             "--no-stream" => out.stream = Some(false),
             "--progress-step" => {
                 out.progress_step = val("--progress-step")?
@@ -220,6 +228,9 @@ fn main() {
     }
     if let Some(t) = args.run_threads {
         spec = spec.with_run_threads(t);
+    }
+    if let Some(c) = args.ring_drain {
+        spec = spec.with_ring_drain(c);
     }
 
     let (n, duration, out, wall, record): (u32, f64, RunOutput, std::time::Duration, RunRecord);

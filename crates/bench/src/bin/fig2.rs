@@ -19,7 +19,7 @@
 use dtn_bench::report::{print_series_table, settings_table, write_text, CommonArgs};
 use dtn_bench::{
     run_matrix_records, ProbeSpec, ProtocolKind, ProtocolSpec, ReportSpec, RunSpec, ScenarioCache,
-    Series, SweepConfig,
+    Series,
 };
 use std::fmt::Write as _;
 use std::path::Path;
@@ -67,23 +67,19 @@ fn main() {
     let mut specs = Vec::new();
     for kind in ProtocolKind::FIG2 {
         for &n in &args.node_counts {
-            let mut spec = RunSpec::on(
-                kind.name().to_string(),
-                args.scenario_for(n),
-                ProtocolSpec::paper(kind).with_lambda(10),
-            )
-            .with_workload(args.workload.clone())
-            .with_probes(probes.clone());
-            if let Some(d) = args.duration {
-                spec = spec.with_duration(d);
-            }
+            // `configure` applies the shared flags; the curve-mode default
+            // probe set (possibly augmented above) then overrides `--probe`.
+            let spec = args
+                .configure(RunSpec::on(
+                    kind.name().to_string(),
+                    args.scenario_for(n),
+                    ProtocolSpec::paper(kind).with_lambda(10),
+                ))
+                .with_probes(probes.clone());
             specs.push(spec);
         }
     }
-    let cfg = SweepConfig {
-        seeds: args.seeds,
-        ..SweepConfig::default()
-    };
+    let cfg = args.sweep_config();
     eprintln!(
         "fig2: {} protocols x {} node counts x {} seeds",
         ProtocolKind::FIG2.len(),

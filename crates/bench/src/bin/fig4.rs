@@ -8,7 +8,6 @@
 use dtn_bench::report::{print_series_table, settings_table, CommonArgs};
 use dtn_bench::{
     run_matrix_records, ProtocolKind, ProtocolSpec, ReportSpec, RunSpec, ScenarioCache, Series,
-    SweepConfig,
 };
 
 const LAMBDAS: [u32; 4] = [6, 8, 10, 12];
@@ -28,23 +27,14 @@ fn main() {
     let mut specs = Vec::new();
     for &lambda in &LAMBDAS {
         for &n in &args.node_counts {
-            let mut spec = RunSpec::on(
+            specs.push(args.configure(RunSpec::on(
                 format!("Lambda = {lambda}"),
                 args.scenario_for(n),
                 ProtocolSpec::paper(ProtocolKind::Cr).with_lambda(lambda),
-            )
-            .with_workload(args.workload.clone())
-            .with_probes(args.probes.clone());
-            if let Some(d) = args.duration {
-                spec = spec.with_duration(d);
-            }
-            specs.push(spec);
+            )));
         }
     }
-    let cfg = SweepConfig {
-        seeds: args.seeds,
-        ..SweepConfig::default()
-    };
+    let cfg = args.sweep_config();
     eprintln!(
         "fig4 (CR): {} lambdas x {} node counts x {} seeds",
         LAMBDAS.len(),

@@ -12,6 +12,7 @@
 //! cargo run -p dtn-bench --release --bin shootout -- \
 //!     [--seeds K] [--nodes a,b,c] [--duration SECS] \
 //!     [--protocols eer,cr,...] [--workload paper|hotspot|bursty] \
+//!     [--threads N] [--run-threads N] [--drain inline|ring[:CAP]] \
 //!     [--trace <path>] [--out json:PATH|csv:PATH|md:PATH ...]
 //! ```
 //!
@@ -33,7 +34,7 @@
 //! never materialized — that pin contact-supply throughput in the BENCH
 //! trajectory (`--no-large-n` skips them).
 
-use dtn_bench::report::{write_text, OutputSpec, ReportSpec};
+use dtn_bench::report::{write_text, CommonArgs, OutputSpec, ReportSpec};
 use dtn_bench::{
     run_matrix_records, run_stream, ProbeSpec, ProtocolKind, ProtocolSpec, RunRecord, RunSpec,
     ScenarioCache, ScenarioSpec, SweepConfig, WorkloadSpec,
@@ -50,6 +51,9 @@ struct Args {
     probes: Vec<ProbeSpec>,
     outs: Vec<OutputSpec>,
     large_n: bool,
+    threads: Option<usize>,
+    run_threads: Option<u32>,
+    ring_drain: Option<usize>,
 }
 
 /// Splits a `--protocols` list into individual spec strings. The separator
@@ -97,6 +101,9 @@ fn parse_args() -> Result<Option<Args>, String> {
         probes: Vec::new(),
         outs: Vec::new(),
         large_n: true,
+        threads: None,
+        run_threads: None,
+        ring_drain: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -128,6 +135,21 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--probe" => out.probes.push(ProbeSpec::parse(&val("--probe")?)?),
             "--out" => out.outs.push(OutputSpec::parse(&val("--out")?)?),
             "--no-large-n" => out.large_n = false,
+            "--threads" => {
+                out.threads = Some(
+                    val("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--run-threads" => {
+                out.run_threads = Some(
+                    val("--run-threads")?
+                        .parse()
+                        .map_err(|e| format!("--run-threads: {e}"))?,
+                )
+            }
+            "--drain" => out.ring_drain = CommonArgs::parse_drain(&val("--drain")?)?,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -152,6 +174,7 @@ fn main() {
                 "usage: shootout [--seeds K] [--nodes a,b,c] [--duration SECS] \
                  [--protocols eer,cr,...] [--workload paper|hotspot|bursty] [--trace <path>] \
                  [--probe timeseries[:dt=SECS]|latency ...] \
+                 [--threads N] [--run-threads N] [--drain inline|ring[:CAP]] \
                  [--out json:PATH|csv:PATH|md:PATH ...] [--no-large-n]\n\
                  \n\
                  --protocols takes full specs (eer:lambda=4,eer:lambda=16,prophet:beta=0.25);\n\
@@ -211,15 +234,24 @@ fn main() {
                 if let Some(d) = cell.duration {
                     spec = spec.with_duration(d);
                 }
+                if let Some(t) = args.run_threads {
+                    spec = spec.with_run_threads(t);
+                }
+                if let Some(c) = args.ring_drain {
+                    spec = spec.with_ring_drain(c);
+                }
                 specs.push(spec);
             }
         }
     }
 
-    let cfg = SweepConfig {
+    let mut cfg = SweepConfig {
         seeds: args.seeds,
         ..SweepConfig::default()
     };
+    if let Some(t) = args.threads {
+        cfg.threads = t;
+    }
     eprintln!(
         "shootout: {} protocols x {} families over {:?} nodes x {} seeds ({} cells)",
         args.protocols.len(),

@@ -11,7 +11,7 @@
 //! Each protocol's run is captured as a report record, so `--out` emits the
 //! whole pass through the shared pipeline (single-seed cells).
 
-use dtn_bench::report::{OutputSpec, ReportSpec, RunRecord};
+use dtn_bench::report::{CommonArgs, OutputSpec, ReportSpec, RunRecord};
 use dtn_bench::{
     run_spec_observed, ProbeSpec, ProtocolKind, ProtocolSpec, RunSpec, ScenarioCache, ScenarioSpec,
     WorkloadSpec,
@@ -26,6 +26,8 @@ fn main() {
     let mut duration: Option<f64> = None;
     let mut probes: Vec<ProbeSpec> = Vec::new();
     let mut outs: Vec<OutputSpec> = Vec::new();
+    let mut run_threads: Option<u32> = None;
+    let mut ring_drain: Option<usize> = None;
     let mut positional = 0;
 
     let mut it = std::env::args().skip(1);
@@ -54,11 +56,22 @@ fn main() {
             }
             "--probe" => probes.push(ProbeSpec::parse(&val("--probe")).unwrap_or_else(|e| die(e))),
             "--out" => outs.push(OutputSpec::parse(&val("--out")).unwrap_or_else(|e| die(e))),
+            "--run-threads" => {
+                run_threads = Some(
+                    val("--run-threads")
+                        .parse()
+                        .unwrap_or_else(|e| die(format!("--run-threads: {e}"))),
+                )
+            }
+            "--drain" => {
+                ring_drain = CommonArgs::parse_drain(&val("--drain")).unwrap_or_else(|e| die(e))
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: smoke [n_nodes] [seed] [--scenario paper|rwp|trace:<path>] \
                      [--workload paper|hotspot|bursty] [--duration SECS] \
                      [--probe timeseries[:dt=SECS]|latency ...] \
+                     [--run-threads N] [--drain inline|ring[:CAP]] \
                      [--out json:PATH|csv:PATH|md:PATH ...]"
                 );
                 return;
@@ -107,13 +120,18 @@ fn main() {
     ));
     for kind in ProtocolKind::ALL {
         let proto = ProtocolSpec::paper(kind);
-        let spec = RunSpec::on(kind.name(), scenario.clone(), proto.clone())
+        let mut spec = RunSpec::on(kind.name(), scenario.clone(), proto.clone())
             .with_workload(workload.clone())
             .with_probes(probes.clone());
-        let spec = match duration {
-            Some(d) => spec.with_duration(d),
-            None => spec,
-        };
+        if let Some(d) = duration {
+            spec = spec.with_duration(d);
+        }
+        if let Some(t) = run_threads {
+            spec = spec.with_run_threads(t);
+        }
+        if let Some(c) = ring_drain {
+            spec = spec.with_ring_drain(c);
+        }
         let t = Instant::now();
         let (run_ps, out) = run_spec_observed(&cache, &spec, seed);
         let wall = t.elapsed();

@@ -6,7 +6,7 @@
 //!
 //! * builds (and memoises) one scenario per
 //!   `(ScenarioSpec, WorkloadSpec, seed, duration)` cell,
-//! * fans simulation runs out over worker threads (`std::thread::scope`),
+//! * fans simulation runs out over the work-stealing sweep [`fabric`],
 //!   reducing results in deterministic `(point, seed)` order,
 //! * prints the same series the paper plots and writes CSV files under
 //!   `results/`.
@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fabric;
 pub mod probes;
 pub mod protocols;
 pub mod report;
@@ -57,6 +58,7 @@ pub mod runner;
 pub mod scenario;
 
 pub use dtn_mobility::{ScenarioSpec, TraceSource, WorkloadSpec};
+pub use fabric::run_indexed;
 pub use probes::ProbeSpec;
 pub use protocols::{ProtocolKind, ProtocolParams, ProtocolSpec};
 pub use report::{

@@ -153,6 +153,17 @@ pub struct CommonArgs {
     pub probes: Vec<ProbeSpec>,
     /// Print the paper's settings table and exit.
     pub print_settings: bool,
+    /// Sweep worker threads (`--threads`); `None` = the
+    /// [`SweepConfig`](crate::SweepConfig) default (available parallelism).
+    pub threads: Option<usize>,
+    /// Per-run contact-scan threads (`--run-threads`), forwarded to every
+    /// spec via [`CommonArgs::configure`]; `None` = auto.
+    pub run_threads: Option<u32>,
+    /// Observer drain (`--drain inline|ring[:CAP]`): `Some(capacity)`
+    /// routes every run's probes through the off-thread ring drain,
+    /// `None` keeps inline dispatch. Results are bitwise identical either
+    /// way — all three of these are execution knobs, never cell identity.
+    pub ring_drain: Option<usize>,
 }
 
 impl CommonArgs {
@@ -170,6 +181,9 @@ impl CommonArgs {
             outs: Vec::new(),
             probes: Vec::new(),
             print_settings: false,
+            threads: None,
+            run_threads: None,
+            ring_drain: None,
         };
         let mut it = args.peekable();
         while let Some(a) = it.next() {
@@ -224,12 +238,28 @@ impl CommonArgs {
                     out.probes.push(ProbeSpec::parse(&v)?);
                 }
                 "--print-settings" => out.print_settings = true,
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    let t: usize = v.parse().map_err(|e| format!("--threads: {e}"))?;
+                    out.threads = Some(t);
+                }
+                "--run-threads" => {
+                    let v = it.next().ok_or("--run-threads needs a value")?;
+                    let t: u32 = v.parse().map_err(|e| format!("--run-threads: {e}"))?;
+                    out.run_threads = Some(t);
+                }
+                "--drain" => {
+                    let v = it.next().ok_or("--drain needs inline|ring[:CAP]")?;
+                    out.ring_drain = Self::parse_drain(&v)?;
+                }
                 "--help" | "-h" => {
                     return Err("usage: [--full|--quick] [--seeds K] \
                                 [--nodes a,b,c] [--scenario paper|rwp|trace:<path>] \
                                 [--workload paper|hotspot|bursty] [--duration SECS] \
                                 [--out json:PATH|csv:PATH|md:PATH ...] \
                                 [--probe timeseries[:dt=SECS]|latency ...] \
+                                [--threads N] [--run-threads N] \
+                                [--drain inline|ring[:CAP]] \
                                 [--print-settings]"
                         .into())
                 }
@@ -257,6 +287,55 @@ impl CommonArgs {
     /// ignores `n` (the recording fixes the node count).
     pub fn scenario_for(&self, n: u32) -> ScenarioSpec {
         ScenarioSpec::parse(&self.scenario, n).expect("validated at parse time")
+    }
+
+    /// Parses a `--drain` value: `inline` (the default dispatch) or
+    /// `ring[:CAP]` for the off-thread observer drain (`CAP` defaults to
+    /// 16 in-flight batches; minimum 1).
+    pub fn parse_drain(v: &str) -> Result<Option<usize>, String> {
+        match v {
+            "inline" => Ok(None),
+            "ring" => Ok(Some(16)),
+            _ => match v.strip_prefix("ring:") {
+                Some(cap) => {
+                    let c: usize = cap.parse().map_err(|e| format!("--drain ring:CAP: {e}"))?;
+                    Ok(Some(c.max(1)))
+                }
+                None => Err(format!("--drain: expected inline|ring[:CAP], got {v}")),
+            },
+        }
+    }
+
+    /// The matrix sweep configuration these args select (`--seeds`,
+    /// `--threads`).
+    pub fn sweep_config(&self) -> crate::SweepConfig {
+        let mut cfg = crate::SweepConfig {
+            seeds: self.seeds,
+            ..crate::SweepConfig::default()
+        };
+        if let Some(t) = self.threads {
+            cfg.threads = t;
+        }
+        cfg
+    }
+
+    /// Applies the shared per-spec flags to one sweep cell: workload,
+    /// probes, duration override, and the execution knobs
+    /// (`--run-threads`, `--drain`).
+    pub fn configure(&self, spec: crate::RunSpec) -> crate::RunSpec {
+        let mut spec = spec
+            .with_workload(self.workload.clone())
+            .with_probes(self.probes.clone());
+        if let Some(d) = self.duration {
+            spec = spec.with_duration(d);
+        }
+        if let Some(t) = self.run_threads {
+            spec = spec.with_run_threads(t);
+        }
+        if let Some(c) = self.ring_drain {
+            spec = spec.with_ring_drain(c);
+        }
+        spec
     }
 
     /// The report outputs to write: the `--out` targets when given,
@@ -371,6 +450,37 @@ mod tests {
         assert_eq!(n.seeds, 5);
         assert!(CommonArgs::parse(["--bogus".to_string()].into_iter()).is_err());
         assert!(CommonArgs::parse(["--seeds".to_string(), "0".to_string()].into_iter()).is_err());
+    }
+
+    /// The execution flags parse, reach `SweepConfig`/`RunSpec` through the
+    /// helpers, and never perturb cell identity.
+    #[test]
+    fn execution_flags_parse_and_configure() {
+        let args = CommonArgs::parse(
+            ["--threads", "4", "--run-threads", "2", "--drain", "ring:8"]
+                .map(String::from)
+                .into_iter(),
+        )
+        .unwrap();
+        assert_eq!(args.threads, Some(4));
+        assert_eq!(args.run_threads, Some(2));
+        assert_eq!(args.ring_drain, Some(8));
+        assert_eq!(args.sweep_config().threads, 4);
+        assert_eq!(args.sweep_config().seeds, 3);
+
+        let base = crate::RunSpec::new("EER", 8, crate::ProtocolSpec::parse("eer").unwrap());
+        let spec = args.configure(base.clone());
+        assert_eq!(spec.run_threads, Some(2));
+        assert_eq!(spec.ring_drain, Some(8));
+        assert_eq!(spec.cell_key(1), args.configure(base).cell_key(1));
+
+        // The drain grammar: inline, bare ring (default capacity), ring:CAP
+        // (clamped to >= 1), everything else refused.
+        assert_eq!(CommonArgs::parse_drain("inline").unwrap(), None);
+        assert_eq!(CommonArgs::parse_drain("ring").unwrap(), Some(16));
+        assert_eq!(CommonArgs::parse_drain("ring:0").unwrap(), Some(1));
+        assert!(CommonArgs::parse_drain("bogus").is_err());
+        assert!(CommonArgs::parse_drain("ring:x").is_err());
     }
 
     #[test]

@@ -100,6 +100,13 @@ pub struct RunSpec {
     /// Results are bit-identical for every value, so this is *execution*
     /// configuration, deliberately excluded from [`RunSpec::cell_key`].
     pub run_threads: Option<u32>,
+    /// Observer drain for the run's engine: `None` folds probes inline on
+    /// the simulation thread, `Some(capacity)` drains them on a companion
+    /// thread through a bounded ring ([`dtn_sim::DrainMode::Ring`]).
+    /// Observer states are bit-identical either way, so — like
+    /// [`RunSpec::run_threads`] — this is *execution* configuration,
+    /// deliberately excluded from [`RunSpec::cell_key`].
+    pub ring_drain: Option<usize>,
 }
 
 impl RunSpec {
@@ -121,6 +128,7 @@ impl RunSpec {
             communities: CommunitySource::default(),
             probes: Vec::new(),
             run_threads: None,
+            ring_drain: None,
         }
     }
 
@@ -176,6 +184,16 @@ impl RunSpec {
     /// cell key.
     pub fn with_run_threads(mut self, threads: u32) -> Self {
         self.run_threads = Some(threads);
+        self
+    }
+
+    /// Drains this run's observers on a companion thread through a bounded
+    /// ring of `capacity` batches (clamped to ≥ 1) instead of folding them
+    /// inline. Purely an execution knob: observer states are bit-identical
+    /// either way (see [`dtn_sim::DrainMode`]), so it never enters the cell
+    /// key.
+    pub fn with_ring_drain(mut self, capacity: usize) -> Self {
+        self.ring_drain = Some(capacity.max(1));
         self
     }
 
@@ -533,6 +551,9 @@ fn observe(
             }
         }
     }
+    if let Some(capacity) = spec.ring_drain {
+        sim.set_drain_mode(dtn_sim::DrainMode::Ring { capacity });
+    }
     let (stats, observers) = sim.run_observed();
     let mut out = RunOutput {
         stats,
@@ -599,53 +620,41 @@ pub fn run_matrix_records(
     let jobs: Vec<(usize, u64)> = (0..specs.len())
         .flat_map(|i| (0..cfg.effective_seeds()).map(move |s| (i, u64::from(s) + 1)))
         .collect();
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<std::sync::Mutex<Vec<RunRecord>>> = Vec::new();
-    slots.resize_with(specs.len(), Default::default);
-    std::thread::scope(|scope| {
-        for _ in 0..cfg.effective_threads() {
-            scope.spawn(|| loop {
-                let j = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(spec_idx, seed)) = jobs.get(j) else {
-                    break;
-                };
-                let spec = &specs[spec_idx];
-                let t0 = std::time::Instant::now();
-                // One resolution per cell: the observed primitive hands back
-                // the scenario it already pulled through the cache.
-                let (ps, out) = run_spec_observed(cache, spec, seed);
-                let wall_s = t0.elapsed().as_secs_f64();
-                let record = RunRecord::capture_output(spec, &ps, seed, &out, wall_s);
-                let stats = &out.stats;
-                if cfg.verbose {
-                    // The protocol prints in its canonical grammar form,
-                    // so every progress line names a reproducible
-                    // `--protocol` argument.
-                    eprintln!(
-                        "  [{}/{}] {} [{}] {} seed={} dr={:.3} lat={:.1} gp={:.4}",
-                        j + 1,
-                        jobs.len(),
-                        spec.series,
-                        spec.protocol,
-                        spec.scenario,
-                        seed,
-                        stats.delivery_ratio(),
-                        stats.avg_latency(),
-                        stats.goodput()
-                    );
-                }
-                slots[spec_idx].lock().unwrap().push(record);
-            });
+    let total = jobs.len();
+    // Completions, not tickets: under interleaved workers the progress
+    // counter must be monotone — `done/total` never appears to skip or
+    // repeat.
+    let done = AtomicUsize::new(0);
+    crate::fabric::run_indexed(total, cfg.effective_threads(), |j| {
+        let (spec_idx, seed) = jobs[j];
+        let spec = &specs[spec_idx];
+        let t0 = std::time::Instant::now();
+        // One resolution per cell: the observed primitive hands back
+        // the scenario it already pulled through the cache.
+        let (ps, out) = run_spec_observed(cache, spec, seed);
+        let wall_s = t0.elapsed().as_secs_f64();
+        let record = RunRecord::capture_output(spec, &ps, seed, &out, wall_s);
+        let stats = &out.stats;
+        if cfg.verbose {
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+            // The protocol prints in its canonical grammar form,
+            // so every progress line names a reproducible
+            // `--protocol` argument.
+            eprintln!(
+                "  [{}/{}] {} [{}] {} seed={} dr={:.3} lat={:.1} gp={:.4}",
+                d,
+                total,
+                spec.series,
+                spec.protocol,
+                spec.scenario,
+                seed,
+                stats.delivery_ratio(),
+                stats.avg_latency(),
+                stats.goodput()
+            );
         }
-    });
-    slots
-        .into_iter()
-        .flat_map(|m| {
-            let mut v = m.into_inner().unwrap();
-            v.sort_by_key(|r| r.seed);
-            v
-        })
-        .collect()
+        record
+    })
 }
 
 /// Turns a recorded TRACE/1.0 artifact plus a probe set into a normal
@@ -884,6 +893,12 @@ mod tests {
         let threaded = base.clone().with_run_threads(8);
         assert_eq!(threaded.cell_key(1), base.cell_key(1));
         assert_eq!(threaded.effective_run_threads(), 8);
+        // The observer drain mode is execution configuration too: a ring
+        // drain of any capacity shares the inline run's cache key.
+        let drained = base.clone().with_ring_drain(4);
+        assert_eq!(drained.cell_key(1), base.cell_key(1));
+        assert_eq!(drained.ring_drain, Some(4));
+        assert_eq!(base.clone().with_ring_drain(0).ring_drain, Some(1));
         assert_eq!(base.clone().with_run_threads(0).effective_run_threads(), 1);
         // Auto mode: small scenarios stay single-threaded; n ≥ 10⁴ generated
         // scenarios parallelize; trace replay never does.

@@ -9,98 +9,17 @@ use dtn_bench::{
     run_matrix_with, ProtocolKind, ProtocolParams, ProtocolSpec, RunSpec, ScenarioCache,
     SweepConfig,
 };
+use dtn_testutil::arb_protocol_spec;
 use proptest::prelude::*;
-
-/// Deterministically builds a valid spec from raw strategy draws: a family
-/// index plus enough scalars to perturb every tunable the grammar exposes.
-#[allow(clippy::too_many_arguments)]
-fn build_spec(
-    kind_i: u32,
-    lambda: u32,
-    window: usize,
-    frac: f64,  // in [0, 1)
-    secs: f64,  // positive seconds-scale value
-    sel_a: u8,  // 3-way selector
-    sel_b: u8,  // 3-way selector
-    small: u32, // small positive integer
-) -> ProtocolSpec {
-    let kind = ProtocolKind::ALL[kind_i as usize % ProtocolKind::ALL.len()];
-    let mut spec = ProtocolSpec::paper(kind);
-    match &mut spec.params {
-        ProtocolParams::Eer(c) => {
-            c.lambda = lambda;
-            c.alpha = 0.05 + frac;
-            c.window = window;
-            c.forward_hysteresis = secs;
-            c.refresh = secs * 0.5;
-            if sel_a == 1 {
-                c.emd_mode = EmdMode::MeanInterval;
-            }
-            if sel_b == 1 {
-                c.buffer_policy = BufferPolicy::LeastRemainingValue;
-            }
-            if sel_a == 2 {
-                c.adaptive_lambda = Some((small, small + 7));
-            }
-        }
-        ProtocolParams::Cr(c) => {
-            c.lambda = lambda;
-            c.alpha = 0.05 + frac;
-            c.window = window;
-            c.forward_hysteresis = secs;
-            c.probability_hysteresis = frac;
-            c.refresh = secs * 2.0;
-            if sel_b == 1 {
-                c.buffer_policy = BufferPolicy::LeastRemainingValue;
-            }
-        }
-        ProtocolParams::Ebr(c) => {
-            c.lambda = lambda;
-            c.alpha = frac;
-            c.window = secs;
-        }
-        ProtocolParams::MaxProp(c) => {
-            c.hop_threshold = small;
-            c.cost_refresh = secs;
-        }
-        ProtocolParams::SprayAndWait { lambda: l, binary } => {
-            *l = lambda;
-            *binary = sel_a != 1;
-        }
-        ProtocolParams::SprayAndFocus(c) => {
-            c.lambda = lambda;
-            c.utility_threshold = secs;
-            c.transitivity_penalty = secs * 3.0;
-        }
-        ProtocolParams::Prophet(c) => {
-            c.p_init = 0.05 + frac * 0.9;
-            c.beta = frac;
-            c.gamma = 0.5 + frac * 0.49;
-            c.time_unit = secs;
-        }
-        ProtocolParams::Epidemic | ProtocolParams::Direct | ProtocolParams::FirstContact => {}
-    }
-    if sel_a == 0 {
-        spec.buffer = Some(u64::from(small) * 4096);
-    }
-    if sel_b == 2 {
-        spec.ttl = Some(secs * 10.0);
-    }
-    spec
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
     /// `ProtocolSpec::parse ∘ Display` is the identity over randomly tuned
-    /// specs of every family, and the injective cache encoding agrees.
+    /// specs of every family (drawn from the canonical `dtn_testutil`
+    /// generator), and the injective cache encoding agrees.
     #[test]
-    fn parse_display_is_identity(
-        (kind_i, lambda, window) in (0u32..10, 1u32..64, 1usize..128),
-        (frac, secs) in (0.0f64..1.0, 0.25f64..5000.0),
-        (sel_a, sel_b, small) in (0u8..3, 0u8..3, 1u32..32),
-    ) {
-        let spec = build_spec(kind_i, lambda, window, frac, secs, sel_a, sel_b, small);
+    fn parse_display_is_identity(spec in arb_protocol_spec()) {
         let shown = spec.to_string();
         let parsed = ProtocolSpec::parse(&shown)
             .unwrap_or_else(|e| panic!("`{shown}` failed to re-parse: {e}"));

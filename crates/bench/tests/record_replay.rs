@@ -11,57 +11,9 @@
 //!    fails hash-chain verification naming the offending sequence number,
 //!    and `replay_artifact` refuses the artifact.
 
-use dtn_bench::{
-    replay_artifact, run_spec_observed, ProbeSpec, ProtocolSpec, RunRecord, RunSpec, ScenarioCache,
-    ScenarioSpec, WorkloadSpec,
-};
+use dtn_bench::{replay_artifact, run_spec_observed, ProbeSpec, RunRecord, ScenarioCache};
+use dtn_testutil::{specs_for, temp_trace, PROTOCOLS, WORKLOADS};
 use proptest::prelude::*;
-use std::path::PathBuf;
-
-/// Protocols drawn by the property: a quota family, pure flooding and a
-/// history-based one, so the recorded streams exercise different event
-/// mixes (splits, refusals, protocol drops).
-const PROTOCOLS: &[&str] = &[
-    "eer:lambda=4",
-    "epidemic",
-    "eer:lambda=2,alpha=0.35",
-    "prophet",
-];
-
-/// Workloads drawn by the property.
-const WORKLOADS: &[&str] = &["paper", "hotspot"];
-
-fn temp_trace(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join("dtn_record_replay_tests");
-    std::fs::create_dir_all(&dir).expect("temp dir");
-    dir.join(format!("{tag}_{}.trace", std::process::id()))
-}
-
-/// Builds the live (unrecorded) and recording variants of one random cell.
-fn specs_for(
-    family: usize,
-    n: u32,
-    duration: f64,
-    protocol: usize,
-    workload: usize,
-    artifact: &std::path::Path,
-) -> (RunSpec, RunSpec) {
-    let scenario = match family % 2 {
-        0 => ScenarioSpec::parse("paper", n).expect("paper family"),
-        _ => ScenarioSpec::parse("rwp", n).expect("rwp family"),
-    };
-    let protocol = ProtocolSpec::parse(PROTOCOLS[protocol % PROTOCOLS.len()]).expect("protocol");
-    let workload = WorkloadSpec::parse(WORKLOADS[workload % WORKLOADS.len()]).expect("workload");
-    let live = RunSpec::on("live", scenario, protocol)
-        .with_workload(workload)
-        .with_duration(duration)
-        .with_probe(ProbeSpec::TimeSeries { dt: 50.0 })
-        .with_probe(ProbeSpec::LatencyHist);
-    let recorded = live.clone().with_probe(ProbeSpec::EventLog {
-        path: artifact.display().to_string(),
-    });
-    (live, recorded)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]

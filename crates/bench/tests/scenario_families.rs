@@ -8,67 +8,9 @@ use dtn_bench::{
     run_matrix_records, run_matrix_with, ProbeSpec, ProtocolKind, ProtocolSpec, RunSpec,
     ScenarioCache, ScenarioSpec, SweepConfig, WorkloadSpec,
 };
-use dtn_sim::{Contact, ContactTrace, MetricPoint};
+use dtn_sim::MetricPoint;
+use dtn_testutil::family_matrix;
 use std::sync::Arc;
-
-/// A small synthetic recording shared by the trace-replay cells.
-fn replay_trace() -> Arc<ContactTrace> {
-    let mut contacts = Vec::new();
-    // A deterministic ring of repeating meetings over 8 nodes / 1 200 s so
-    // every protocol has real forwarding work to do.
-    for round in 0..10u32 {
-        let t0 = f64::from(round) * 110.0;
-        for i in 0..8u32 {
-            let (a, b) = (i, (i + 1) % 8);
-            let start = t0 + f64::from(i) * 5.0;
-            contacts.push(Contact::new(a, b, start, start + 20.0));
-        }
-    }
-    Arc::new(ContactTrace::new(8, 1_200.0, contacts))
-}
-
-/// One matrix mixing all three scenario families (and a non-paper workload)
-/// as separate series.
-fn family_matrix() -> Vec<RunSpec> {
-    let trace = replay_trace();
-    let mut specs = Vec::new();
-    for (label, proto) in [
-        ("EER", ProtocolSpec::paper(ProtocolKind::Eer).with_lambda(6)),
-        ("Epidemic", ProtocolSpec::paper(ProtocolKind::Epidemic)),
-    ] {
-        specs.push(
-            RunSpec::on(
-                format!("{label} @ paper"),
-                ScenarioSpec::paper(8),
-                proto.clone(),
-            )
-            .with_duration(1_200.0),
-        );
-        specs.push(
-            RunSpec::on(
-                format!("{label} @ rwp"),
-                ScenarioSpec::rwp(10),
-                proto.clone(),
-            )
-            .with_duration(1_200.0),
-        );
-        specs.push(RunSpec::on(
-            format!("{label} @ trace"),
-            ScenarioSpec::trace(Arc::clone(&trace)),
-            proto.clone(),
-        ));
-        specs.push(
-            RunSpec::on(
-                format!("{label} @ paper/hotspot"),
-                ScenarioSpec::paper(8),
-                proto,
-            )
-            .with_workload(WorkloadSpec::hotspot())
-            .with_duration(1_200.0),
-        );
-    }
-    specs
-}
 
 fn run_with_threads(threads: usize) -> (Vec<MetricPoint>, usize) {
     let cache = ScenarioCache::new();

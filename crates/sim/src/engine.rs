@@ -43,7 +43,7 @@ use crate::buffer::{Buffer, BufferEntry, DropReason};
 use crate::event::{EventKind, EventQueue};
 use crate::ids::{MessageId, NodeId, NodePair};
 use crate::message::{Message, MessageArena, MessageSpec};
-use crate::observe::{SimEvent, SimObserver};
+use crate::observe::{DrainMode, ObserverDrain, SimEvent, SimObserver};
 use crate::router::{pair_mut, ContactCtx, NodeCtx, Router, SentSet, TransferAction, TransferPlan};
 use crate::source::{ContactEvent, ContactSource, TraceReplaySource};
 use crate::stats::SimStats;
@@ -154,7 +154,8 @@ pub struct Simulation {
     /// Scratch for expired message ids, reused by TTL sweeps.
     expired_scratch: Vec<MessageId>,
     /// Attached observers; the engine's own `stats` is always folded inline
-    /// and is not in this list.
+    /// and is not in this list. Empty while a ring drain owns them; restored
+    /// (in attachment order) by [`Self::finish`].
     observers: Vec<Box<dyn SimObserver>>,
     /// Reused scratch batch of pending events for observer dispatch (empty
     /// while no observers are attached).
@@ -162,6 +163,14 @@ pub struct Simulation {
     /// Distinct sampling cadences requested by observers; each entry owns a
     /// [`EventKind::ProbeSample`] chain.
     probe_intervals: Vec<f64>,
+    /// Where observer batches are dispatched ([`Self::set_drain_mode`]).
+    drain_mode: DrainMode,
+    /// The running companion drain thread, when [`DrainMode::Ring`] is
+    /// active and observers are attached.
+    drain: Option<ObserverDrain>,
+    /// Whether any observer consumes the stream this run (directly or via
+    /// the drain) — decided once at start so [`Self::emit`] checks one bool.
+    observing: bool,
     finished: bool,
     started: bool,
 }
@@ -254,9 +263,28 @@ impl Simulation {
             observers: Vec::new(),
             batch: Vec::new(),
             probe_intervals: Vec::new(),
+            drain_mode: DrainMode::Inline,
+            drain: None,
+            observing: false,
             finished: false,
             started: false,
         }
+    }
+
+    /// Selects where observer batches are dispatched: inline on the
+    /// simulation thread (the default) or through a bounded lock-free ring
+    /// to a companion drain thread ([`DrainMode::Ring`]). Purely an
+    /// execution knob — stats, probe outputs and recorded artifacts are
+    /// bitwise identical in both modes.
+    ///
+    /// # Panics
+    /// Panics if the run has already started.
+    pub fn set_drain_mode(&mut self, mode: DrainMode) {
+        assert!(
+            !self.started,
+            "the drain mode must be chosen before the simulation starts"
+        );
+        self.drain_mode = mode;
     }
 
     /// Attaches an observer to the run. If the observer requests a sampling
@@ -345,6 +373,15 @@ impl Simulation {
     /// inspectable afterwards (used by tests and examples).
     pub fn run_to_end(&mut self) -> &SimStats {
         if !self.started {
+            if let DrainMode::Ring { capacity } = self.drain_mode {
+                if !self.observers.is_empty() {
+                    self.drain = Some(ObserverDrain::spawn(
+                        std::mem::take(&mut self.observers),
+                        capacity,
+                    ));
+                }
+            }
+            self.observing = self.drain.is_some() || !self.observers.is_empty();
             self.start();
             self.started = true;
         }
@@ -444,7 +481,7 @@ impl Simulation {
             return;
         }
         self.finished = true;
-        if !self.observers.is_empty() {
+        if self.observing {
             let (buffered_bytes, buffered_msgs) = self.occupancy();
             self.emit(SimEvent::Tick {
                 at: self.now,
@@ -453,8 +490,16 @@ impl Simulation {
             });
             self.flush();
             let final_stats = self.stats.snapshot();
-            for obs in &mut self.observers {
-                obs.on_end(self.now, &final_stats);
+            if let Some(drain) = self.drain.take() {
+                // End-of-run barrier: the drain thread folds every batch
+                // published before this point, runs `on_end`, and hands the
+                // observers back — in attachment order, states bitwise equal
+                // to inline dispatch.
+                self.observers = drain.finish(self.now, final_stats);
+            } else {
+                for obs in &mut self.observers {
+                    obs.on_end(self.now, &final_stats);
+                }
             }
         }
     }
@@ -466,7 +511,7 @@ impl Simulation {
     #[inline]
     fn emit(&mut self, ev: SimEvent) {
         self.stats.apply(&ev);
-        if !self.observers.is_empty() {
+        if self.observing {
             self.batch.push(ev);
             if self.batch.len() >= OBSERVER_BATCH {
                 self.flush();
@@ -474,16 +519,24 @@ impl Simulation {
         }
     }
 
-    /// Delivers the pending batch to every observer and clears it (capacity
-    /// is retained — the batch is a reused scratch buffer).
+    /// Delivers the pending batch to every observer and clears it. Inline
+    /// mode dispatches from the reused scratch buffer (capacity retained, no
+    /// allocation); ring mode hands the batch's storage to the drain thread
+    /// and starts a fresh one — one allocation per [`OBSERVER_BATCH`]
+    /// events, paid instead of the observers' fold cost.
     fn flush(&mut self) {
         if self.batch.is_empty() {
             return;
         }
-        for obs in &mut self.observers {
-            obs.on_events(&self.batch);
+        if let Some(drain) = &mut self.drain {
+            let batch = std::mem::replace(&mut self.batch, Vec::with_capacity(OBSERVER_BATCH));
+            drain.send_batch(batch);
+        } else {
+            for obs in &mut self.observers {
+                obs.on_events(&self.batch);
+            }
+            self.batch.clear();
         }
-        self.batch.clear();
     }
 
     /// Global buffer occupancy: `(total bytes, total messages)` across all

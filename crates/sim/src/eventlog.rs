@@ -36,6 +36,14 @@
 //! there — which is exactly why replayed statistics match the live run on
 //! *every* field.
 //!
+//! The writer is drain-agnostic: under [`crate::observe::DrainMode::Ring`]
+//! it runs on the companion drain thread instead of the simulation thread,
+//! and because the ring preserves batch order and the engine's end-of-run
+//! barrier joins the drain before returning, the artifact — every record,
+//! chain value and the trailer — is byte-identical to inline dispatch and
+//! complete on disk by the time `run_observed` returns (pinned by
+//! `crates/sim/tests/ring.rs`).
+//!
 //! The hash chain is FNV-1a (64-bit): the chain starts from the FNV offset
 //! basis folded over the magic and header bytes, and each record folds its
 //! own `tag ‖ seq ‖ payload` into the running value, which is then stored

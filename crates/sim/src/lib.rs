@@ -15,7 +15,9 @@
 //! * [`router`] — the protocol callback API ([`Router`]);
 //! * [`engine`] — the discrete-event engine ([`Simulation`]);
 //! * [`observe`] — the observation layer: [`SimEvent`] stream,
-//!   [`SimObserver`] probes (time series, latency histograms);
+//!   [`SimObserver`] probes (time series, latency histograms), and the
+//!   off-thread drain mode ([`DrainMode`]);
+//! * [`ring`] — the bounded lock-free SPSC ring under the off-thread drain;
 //! * [`eventlog`] — durable TRACE/1.0 event-log artifacts
 //!   ([`EventLogWriter`]) and re-simulation-free replay ([`TraceReader`]);
 //! * [`buffer`], [`message`], [`stats`], [`event`], [`time`], [`ids`] —
@@ -61,6 +63,7 @@ pub mod ids;
 pub mod message;
 pub mod observe;
 pub mod report;
+pub mod ring;
 pub mod router;
 pub mod source;
 pub mod stats;
@@ -73,8 +76,8 @@ pub use eventlog::{EventLogWriter, TraceMeta, TraceReader};
 pub use ids::{MessageId, NodeId, NodePair};
 pub use message::{Message, MessageArena, MessageSpec, TrafficConfig};
 pub use observe::{
-    LatencyHistogram, LatencyHistogramProbe, SimEvent, SimObserver, TimeSeries, TimeSeriesProbe,
-    TsSample,
+    DrainMode, LatencyHistogram, LatencyHistogramProbe, SimEvent, SimObserver, TimeSeries,
+    TimeSeriesProbe, TsSample,
 };
 pub use router::{ContactCtx, NodeCtx, Router, SentSet, TransferAction, TransferPlan};
 pub use source::{ContactEvent, ContactSource, TraceReplaySource};
