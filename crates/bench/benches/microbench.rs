@@ -384,12 +384,77 @@ fn bench_matrix_fabric(c: &mut Criterion) {
     }
 }
 
+/// Result-store primitives. `store_roundtrip` is one publish + admit +
+/// serve cycle of a synthetic record — the per-cell overhead a cold sweep
+/// pays to populate the store and a warm sweep pays to hit it.
+/// `matrix_warm_vs_cold` runs the fabric bench's 8-job matrix against a
+/// populated store vs. no store at all: the gap locates the break-even
+/// cell cost. Serving pays file read + full reportcheck admission
+/// (~70 µs/cell), so on this deliberately tiny matrix (400 s, n = 16)
+/// recomputing through the warm `ScenarioCache` can win — the store's
+/// ≥10× payoff is on real cells, where a run costs milliseconds to
+/// minutes (see the shootout warm-cache CI job).
+fn bench_store(c: &mut Criterion) {
+    use dtn_bench::{
+        run_matrix_records_stored, CellStore, ProtocolKind, ProtocolSpec, RunSpec, ScenarioCache,
+        ScenarioSpec as BenchScenarioSpec, SweepConfig,
+    };
+    let root = std::env::temp_dir().join(format!("dtn_bench_store_micro_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = CellStore::open(&root).expect("fresh store");
+
+    let specs: Vec<RunSpec> = [
+        ProtocolKind::Epidemic,
+        ProtocolKind::Eer,
+        ProtocolKind::Cr,
+        ProtocolKind::SprayAndWait,
+    ]
+    .into_iter()
+    .map(|k| {
+        RunSpec::on(
+            k.name(),
+            BenchScenarioSpec::paper(16),
+            ProtocolSpec::paper(k),
+        )
+        .with_duration(400.0)
+    })
+    .collect();
+    let cache = ScenarioCache::new();
+    let cfg = SweepConfig {
+        seeds: 2,
+        threads: 1,
+        verbose: false,
+    };
+    // Populate the store (and warm the scenario cache for the cold cell).
+    let records = run_matrix_records_stored(&cache, &specs, cfg, Some(&store));
+    let record = records[0].clone();
+    let key = record.cell.clone();
+
+    c.bench_function("store_roundtrip", |b| {
+        b.iter(|| {
+            store.publish(&record).expect("publish");
+            black_box(store.serve(&key, record.seed).expect("serve"))
+        })
+    });
+    for (label, with_store) in [("matrix_warm", true), ("matrix_cold_nostore", false)] {
+        let store = with_store.then_some(&store);
+        c.bench_function(&format!("matrix_warm_vs_cold/{label}"), |b| {
+            b.iter(|| {
+                let records = run_matrix_records_stored(&cache, &specs, cfg, store);
+                black_box(records.len())
+            })
+        });
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_estimators, bench_mi_merge, bench_memd,
               bench_trace_generation, bench_contact_step,
               bench_contact_step_sharded, bench_buffer_soa,
-              bench_event_queue, bench_engine, bench_matrix_fabric
+              bench_event_queue, bench_engine, bench_matrix_fabric,
+              bench_store
 }
 criterion_main!(benches);

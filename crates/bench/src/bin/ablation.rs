@@ -33,7 +33,7 @@
 
 use dtn_bench::report::CommonArgs;
 use dtn_bench::{
-    run_matrix_records, ProtocolKind, ProtocolSpec, ReportSpec, RunSpec, ScenarioCache,
+    run_matrix_records_stored, ProtocolKind, ProtocolSpec, ReportSpec, RunSpec, ScenarioCache,
 };
 
 /// One named, data-driven ablation: a title and a grid of
@@ -123,6 +123,7 @@ const USAGE: &str = "usage: ablation <alpha|ttl-aware|emd|window|cr-state|lambda
                      [--seeds K] [--nodes a,b,c] [--scenario paper|rwp|trace:<path>] \
                      [--workload paper|hotspot|bursty] [--duration SECS] \
                      [--threads N] [--run-threads N] [--drain inline|ring[:CAP]] \
+                     [--store DIR|--no-store] \
                      [--out json:PATH|csv:PATH|md:PATH ...]";
 
 /// CR with ground-truth districts vs. CR with communities learned online by
@@ -163,8 +164,9 @@ fn detected_communities(argv: Vec<String>) {
         }
     }
     let cfg = args.sweep_config();
+    let store = args.open_store();
     let mut report = ReportSpec::new("Ablation: CR with ground-truth vs detected communities");
-    report.records = run_matrix_records(&cache, &specs, cfg);
+    report.records = run_matrix_records_stored(&cache, &specs, cfg, store.as_ref());
     // Positional view, not cells(): a trace scenario ignores the node
     // count, so its per-n sweep points merge into one cell.
     let points = report.points(cfg.effective_seeds() as usize);
@@ -293,8 +295,9 @@ fn main() {
         args.node_counts,
         args.seeds
     );
+    let store = args.open_store();
     let mut report = ReportSpec::new(format!("Ablation: {title}"));
-    report.records = run_matrix_records(&ScenarioCache::new(), &specs, cfg);
+    report.records = run_matrix_records_stored(&ScenarioCache::new(), &specs, cfg, store.as_ref());
 
     print!("{}", report.render_table());
     eprintln!();

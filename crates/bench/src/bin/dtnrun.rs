@@ -14,8 +14,8 @@
 
 use dtn_bench::report::{CommonArgs, OutputSpec, ReportSpec, RunRecord};
 use dtn_bench::{
-    replay_artifact, run_on_observed, run_stream, ProbeSpec, ProtocolSpec, RunOutput, RunSpec,
-    ScenarioCache, ScenarioSpec, WorkloadSpec,
+    replay_artifact, resolve_store, run_on_observed, run_stream, ProbeSpec, ProtocolSpec,
+    RunOutput, RunSpec, ScenarioCache, ScenarioSpec, WorkloadSpec,
 };
 use dtn_sim::report::{delivery_progress, latencies, percentile};
 
@@ -59,6 +59,10 @@ const USAGE: &str = "usage: dtnrun [flags]
                        instead of running the engine; stats and probe outputs
                        are bitwise identical to the recorded live run (only
                        --probe and --out apply alongside)
+  --store DIR          persistent result store root (default results/store);
+                       a previously computed run of the same cell is served
+                       from disk instead of simulated, new runs are published
+  --no-store           disable the result store (always run, never publish)
   --out FORMAT:PATH    emit the run through the report pipeline
                        (json:|csv:|md:, repeatable)
   --help, -h           print this help
@@ -93,6 +97,10 @@ struct Args {
     outs: Vec<OutputSpec>,
     /// Replay a recorded TRACE/1.0 artifact instead of running the engine.
     replay: Option<String>,
+    /// Result-store root override; `None` = the default root.
+    store: Option<String>,
+    /// Disable the result store entirely.
+    no_store: bool,
 }
 
 /// `Ok(None)` means `--help` was requested.
@@ -114,6 +122,8 @@ fn parse_args() -> Result<Option<Args>, String> {
         probes: Vec::new(),
         outs: Vec::new(),
         replay: None,
+        store: None,
+        no_store: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -148,6 +158,8 @@ fn parse_args() -> Result<Option<Args>, String> {
                 val("--record")?
             ))?),
             "--replay" => out.replay = Some(val("--replay")?),
+            "--store" => out.store = Some(val("--store")?),
+            "--no-store" => out.no_store = true,
             "--out" => out.outs.push(OutputSpec::parse(&val("--out")?)?),
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other} (try --help)")),
@@ -231,6 +243,22 @@ fn main() {
     }
     if let Some(c) = args.ring_drain {
         spec = spec.with_ring_drain(c);
+    }
+
+    // A run recording an event log is never served from (or published to)
+    // the store: the side-effect artifact is the point of the run.
+    let store = resolve_store(args.store.as_deref(), args.no_store);
+    let storable = !spec
+        .effective_probes()
+        .iter()
+        .any(|p| matches!(p, ProbeSpec::EventLog { .. }));
+    if storable {
+        if let Some(store) = &store {
+            if let Some(record) = store.serve(&spec.cell_key(args.seed).encoded(), args.seed) {
+                served_report(&spec, record, &args);
+                return;
+            }
+        }
     }
 
     let (n, duration, out, wall, record): (u32, f64, RunOutput, std::time::Duration, RunRecord);
@@ -366,6 +394,72 @@ fn main() {
 
     // The machine-readable view of the same run: one record through the
     // shared report pipeline, carrying the probe outputs.
+    if storable {
+        if let Some(store) = &store {
+            if let Err(e) = store.publish(&record) {
+                eprintln!("warning: store publish failed: {e}");
+            }
+        }
+    }
+    let mut report = ReportSpec::new(format!("dtnrun: {} on {}", args.protocol, spec.scenario));
+    report.push(record);
+    if !report.write_all(&args.outs) {
+        std::process::exit(1);
+    }
+}
+
+/// The run was served from the persistent result store: print the
+/// record-derived report (stats plus any probe sections that rode along —
+/// exact per-message percentiles and the delivery-progress table need the
+/// live engine, exactly as in `--replay`) and emit through the pipeline.
+fn served_report(spec: &RunSpec, record: RunRecord, args: &Args) {
+    println!(
+        "protocol {}, scenario {}, workload {}: {} nodes, {:.0} s, seed {} — served from result \
+         store in {:.4} s (no simulation; --no-store forces a cold run)",
+        args.protocol,
+        spec.scenario,
+        args.workload,
+        record.n_nodes,
+        record.duration,
+        record.seed,
+        record.wall_s
+    );
+
+    let stats = &record.stats;
+    println!("\n=== {} (served from store) ===", args.protocol);
+    println!("delivery ratio   {:.4}", stats.delivery_ratio());
+    println!("latency (mean)   {:.1} s", stats.avg_latency());
+    println!("goodput          {:.4}", stats.goodput());
+    println!("overhead ratio   {:.2}", stats.overhead_ratio());
+    println!("relayed          {}", stats.relayed);
+    println!("aborted          {}", stats.aborted);
+    println!(
+        "drops            buffer {} / ttl {} / protocol {}",
+        stats.drops_buffer, stats.drops_ttl, stats.drops_protocol
+    );
+    println!("control traffic  {:.2} MB", stats.control_mb());
+
+    if let Some(ts) = &record.timeseries {
+        println!("\ntime series (stored probe, dt = {:.0} s):", ts.dt);
+        let stride = ts.samples.len().div_ceil(20).max(1);
+        for s in ts.samples.iter().step_by(stride) {
+            println!(
+                "  t={:>7.0}  dr={:.4} overhead={:>7.2} buffered={:>6} KB ({} msgs)",
+                s.t,
+                s.delivery_ratio(),
+                s.overhead_ratio(),
+                s.buffered_bytes / 1024,
+                s.buffered_msgs
+            );
+        }
+    }
+    if let Some(hist) = &record.latency {
+        println!(
+            "\nlatency histogram (stored probe): n={} p50={:.1} p95={:.1} p99={:.1} max={:.1}",
+            hist.count, hist.p50, hist.p95, hist.p99, hist.max
+        );
+    }
+
     let mut report = ReportSpec::new(format!("dtnrun: {} on {}", args.protocol, spec.scenario));
     report.push(record);
     if !report.write_all(&args.outs) {

@@ -18,8 +18,8 @@
 
 use dtn_bench::report::{print_series_table, settings_table, write_text, CommonArgs};
 use dtn_bench::{
-    run_matrix_records, ProbeSpec, ProtocolKind, ProtocolSpec, ReportSpec, RunSpec, ScenarioCache,
-    Series,
+    run_matrix_records_stored, ProbeSpec, ProtocolKind, ProtocolSpec, ReportSpec, RunSpec,
+    ScenarioCache, Series,
 };
 use std::fmt::Write as _;
 use std::path::Path;
@@ -86,8 +86,9 @@ fn main() {
         args.node_counts.len(),
         args.seeds
     );
+    let store = args.open_store();
     let mut report = ReportSpec::new("Figure 2: performance comparison (lambda = 10)");
-    report.records = run_matrix_records(&cache, &specs, cfg);
+    report.records = run_matrix_records_stored(&cache, &specs, cfg, store.as_ref());
 
     // The paper's three-panel view: the positional one-point-per-spec
     // reduction (protocol-major spec order). Not cells() — a trace scenario

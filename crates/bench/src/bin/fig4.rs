@@ -7,7 +7,8 @@
 
 use dtn_bench::report::{print_series_table, settings_table, CommonArgs};
 use dtn_bench::{
-    run_matrix_records, ProtocolKind, ProtocolSpec, ReportSpec, RunSpec, ScenarioCache, Series,
+    run_matrix_records_stored, ProtocolKind, ProtocolSpec, ReportSpec, RunSpec, ScenarioCache,
+    Series,
 };
 
 const LAMBDAS: [u32; 4] = [6, 8, 10, 12];
@@ -41,8 +42,9 @@ fn main() {
         args.node_counts.len(),
         args.seeds
     );
+    let store = args.open_store();
     let mut report = ReportSpec::new("Figure 4: effects of lambda on CR");
-    report.records = run_matrix_records(&ScenarioCache::new(), &specs, cfg);
+    report.records = run_matrix_records_stored(&ScenarioCache::new(), &specs, cfg, store.as_ref());
 
     // The paper's three-panel view: the positional one-point-per-spec
     // reduction (lambda-major spec order). Not cells() — a trace scenario

@@ -25,6 +25,12 @@
 //! Exits non-zero on the first invalid file — the CI gate for
 //! `shootout --out json:...`, its bench trajectory, and recorded run
 //! artifacts.
+//!
+//! The same validation is the result store's admission rule: every entry
+//! under `results/store/` is a one-record `cen-dtn.report` document, so
+//! `reportcheck results/store/*/*.json` (or `dtnstore verify`, which adds
+//! the layout invariant) audits the warm-sweep cache with this exact code
+//! path — an entry this tool rejects is never served.
 
 use dtn_bench::report::validate_document;
 use dtn_sim::TraceReader;

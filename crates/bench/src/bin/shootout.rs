@@ -36,8 +36,8 @@
 
 use dtn_bench::report::{write_text, CommonArgs, OutputSpec, ReportSpec};
 use dtn_bench::{
-    run_matrix_records, run_stream, ProbeSpec, ProtocolKind, ProtocolSpec, RunRecord, RunSpec,
-    ScenarioCache, ScenarioSpec, SweepConfig, WorkloadSpec,
+    resolve_store, run_matrix_records_stored, run_stream, ProbeSpec, ProtocolKind, ProtocolSpec,
+    RunRecord, RunSpec, ScenarioCache, ScenarioSpec, SweepConfig, WorkloadSpec,
 };
 use std::path::Path;
 
@@ -54,6 +54,8 @@ struct Args {
     threads: Option<usize>,
     run_threads: Option<u32>,
     ring_drain: Option<usize>,
+    store: Option<String>,
+    no_store: bool,
 }
 
 /// Splits a `--protocols` list into individual spec strings. The separator
@@ -104,6 +106,8 @@ fn parse_args() -> Result<Option<Args>, String> {
         threads: None,
         run_threads: None,
         ring_drain: None,
+        store: None,
+        no_store: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -150,6 +154,8 @@ fn parse_args() -> Result<Option<Args>, String> {
                 )
             }
             "--drain" => out.ring_drain = CommonArgs::parse_drain(&val("--drain")?)?,
+            "--store" => out.store = Some(val("--store")?),
+            "--no-store" => out.no_store = true,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -175,6 +181,7 @@ fn main() {
                  [--protocols eer,cr,...] [--workload paper|hotspot|bursty] [--trace <path>] \
                  [--probe timeseries[:dt=SECS]|latency ...] \
                  [--threads N] [--run-threads N] [--drain inline|ring[:CAP]] \
+                 [--store DIR|--no-store] \
                  [--out json:PATH|csv:PATH|md:PATH ...] [--no-large-n]\n\
                  \n\
                  --protocols takes full specs (eer:lambda=4,eer:lambda=16,prophet:beta=0.25);\n\
@@ -260,7 +267,8 @@ fn main() {
         cfg.effective_seeds(),
         specs.len()
     );
-    let mut records = run_matrix_records(&ScenarioCache::new(), &specs, cfg);
+    let store = resolve_store(args.store.as_deref(), args.no_store);
+    let mut records = run_matrix_records_stored(&ScenarioCache::new(), &specs, cfg, store.as_ref());
 
     // Large-n supply cells: one flooding protocol on the city family at
     // n=1 000 and n=10 000, run through the streaming path (the contact
@@ -291,6 +299,17 @@ fn main() {
             .with_duration(horizon)
             .with_run_threads(threads);
             for seed in 1..=u64::from(cfg.effective_seeds()) {
+                // A streamed run of a generated scenario shares its cell key
+                // with a materialized run, so the store memoizes it like any
+                // other cell.
+                if let Some(store) = &store {
+                    let cell = spec.cell_key(seed).encoded();
+                    if let Some(record) = store.serve(&cell, seed) {
+                        eprintln!("  city n={n} @ {horizon:.0} s seed {seed}: served from store");
+                        records.push(record);
+                        continue;
+                    }
+                }
                 let t0 = std::time::Instant::now();
                 match run_stream(&spec, seed) {
                     Ok(run) => {
@@ -298,14 +317,20 @@ fn main() {
                             "  city n={n} @ {horizon:.0} s seed {seed} ({threads} threads): streamed in {:.2} s",
                             t0.elapsed().as_secs_f64()
                         );
-                        records.push(RunRecord::capture_stream(
+                        let record = RunRecord::capture_stream(
                             &spec,
                             run.n_nodes,
                             run.duration,
                             seed,
                             &run.output,
                             t0.elapsed().as_secs_f64(),
-                        ));
+                        );
+                        if let Some(store) = &store {
+                            if let Err(e) = store.publish(&record) {
+                                eprintln!("warning: store publish failed: {e}");
+                            }
+                        }
+                        records.push(record);
                     }
                     Err(e) => {
                         eprintln!("large-n cell n={n} failed: {e}");

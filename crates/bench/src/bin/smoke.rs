@@ -13,8 +13,8 @@
 
 use dtn_bench::report::{CommonArgs, OutputSpec, ReportSpec, RunRecord};
 use dtn_bench::{
-    run_spec_observed, ProbeSpec, ProtocolKind, ProtocolSpec, RunSpec, ScenarioCache, ScenarioSpec,
-    WorkloadSpec,
+    resolve_store, run_spec_observed, ProbeSpec, ProtocolKind, ProtocolSpec, RunSpec,
+    ScenarioCache, ScenarioSpec, WorkloadSpec,
 };
 use std::time::Instant;
 
@@ -28,6 +28,8 @@ fn main() {
     let mut outs: Vec<OutputSpec> = Vec::new();
     let mut run_threads: Option<u32> = None;
     let mut ring_drain: Option<usize> = None;
+    let mut store_dir: Option<String> = None;
+    let mut no_store = false;
     let mut positional = 0;
 
     let mut it = std::env::args().skip(1);
@@ -66,12 +68,15 @@ fn main() {
             "--drain" => {
                 ring_drain = CommonArgs::parse_drain(&val("--drain")).unwrap_or_else(|e| die(e))
             }
+            "--store" => store_dir = Some(val("--store")),
+            "--no-store" => no_store = true,
             "--help" | "-h" => {
                 println!(
                     "usage: smoke [n_nodes] [seed] [--scenario paper|rwp|trace:<path>] \
                      [--workload paper|hotspot|bursty] [--duration SECS] \
                      [--probe timeseries[:dt=SECS]|latency ...] \
                      [--run-threads N] [--drain inline|ring[:CAP]] \
+                     [--store DIR|--no-store] \
                      [--out json:PATH|csv:PATH|md:PATH ...]"
                 );
                 return;
@@ -115,6 +120,12 @@ fn main() {
         t0.elapsed()
     );
 
+    let store = resolve_store(store_dir.as_deref(), no_store);
+    // Event-log probes record a side-effect artifact, so those runs bypass
+    // the store in both directions (same rule as the matrix runner).
+    let storable = !probes
+        .iter()
+        .any(|p| matches!(p, ProbeSpec::EventLog { .. }));
     let mut report = ReportSpec::new(format!(
         "Smoke: every protocol on {scenario} ({workload} workload, seed {seed})"
     ));
@@ -132,22 +143,46 @@ fn main() {
         if let Some(c) = ring_drain {
             spec = spec.with_ring_drain(c);
         }
+        let served = if storable {
+            store
+                .as_ref()
+                .and_then(|s| s.serve(&spec.cell_key(seed).encoded(), seed))
+        } else {
+            None
+        };
+        let cached = served.is_some();
         let t = Instant::now();
-        let (run_ps, out) = run_spec_observed(&cache, &spec, seed);
+        let (record, stats) = match served {
+            Some(record) => {
+                let stats = record.stats;
+                (record, stats)
+            }
+            None => {
+                let (run_ps, out) = run_spec_observed(&cache, &spec, seed);
+                let record = RunRecord::capture_output(
+                    &spec,
+                    &run_ps,
+                    seed,
+                    &out,
+                    t.elapsed().as_secs_f64(),
+                );
+                if storable {
+                    if let Some(store) = &store {
+                        if let Err(e) = store.publish(&record) {
+                            eprintln!("warning: store publish failed: {e}");
+                        }
+                    }
+                }
+                (record, out.stats.snapshot())
+            }
+        };
         let wall = t.elapsed();
-        let stats = &out.stats;
-        report.push(RunRecord::capture_output(
-            &spec,
-            &run_ps,
-            seed,
-            &out,
-            wall.as_secs_f64(),
-        ));
+        report.push(record);
         // Each row names the *resolved* spec in the `--protocol` grammar, so
         // any line of the log is a reproducible dtnrun invocation.
         println!(
             "{:<14} dr={:.3} lat={:>6.1} gp={:.4} relayed={:>6} dup={:>4} aborted={:>5} \
-             drops(buf/ttl/proto)={}/{}/{} ctrl={:>8}KB  [{:.2?}]",
+             drops(buf/ttl/proto)={}/{}/{} ctrl={:>8}KB  [{:.2?}]{}",
             proto,
             stats.delivery_ratio(),
             stats.avg_latency(),
@@ -159,7 +194,8 @@ fn main() {
             stats.drops_ttl,
             stats.drops_protocol,
             stats.control_bytes / 1024,
-            wall
+            wall,
+            if cached { " (served from store)" } else { "" }
         );
     }
     if !report.write_all(&outs) {

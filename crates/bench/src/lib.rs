@@ -46,6 +46,12 @@
 //! probe set over the recorded stream into a normal [`report::RunRecord`]
 //! — stats and probe outputs bitwise identical to the live run — without
 //! touching the engine (see [`dtn_sim::TraceReader`]).
+//!
+//! And runs are *memoised* across processes and revisions: the persistent
+//! content-addressed result [`store`] files every computed
+//! [`report::RunRecord`] under its injective cell key, so a warm re-run of
+//! any matrix costs file reads instead of simulation (`--store DIR` /
+//! `--no-store` on every binary; maintenance via the `dtnstore` binary).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -56,6 +62,7 @@ pub mod protocols;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod store;
 
 pub use dtn_mobility::{ScenarioSpec, TraceSource, WorkloadSpec};
 pub use fabric::run_indexed;
@@ -66,8 +73,9 @@ pub use report::{
     Series,
 };
 pub use runner::{
-    replay_artifact, run_matrix, run_matrix_records, run_matrix_with, run_on, run_on_observed,
-    run_spec, run_spec_observed, run_stream, CommunitySource, RunOutput, RunSpec, StreamRun,
-    SweepConfig,
+    replay_artifact, run_matrix, run_matrix_records, run_matrix_records_stored, run_matrix_with,
+    run_on, run_on_observed, run_spec, run_spec_observed, run_stream, CommunitySource, RunOutput,
+    RunSpec, StreamRun, SweepConfig,
 };
-pub use scenario::{BuiltScenario, ScenarioCache, ScenarioKey};
+pub use scenario::{BuiltScenario, ScenarioCache, ScenarioKey, DEFAULT_SCENARIO_CACHE_CAP};
+pub use store::{resolve_store, CellStore, GcOutcome, StoreStats, DEFAULT_STORE_ROOT};

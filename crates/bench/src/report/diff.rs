@@ -330,6 +330,11 @@ fn diff_report_docs(a: &str, b: &str, out: &mut DiffOutcome) {
                 rec_a.series, rec_b.series
             ));
         }
+        if rec_a.cached != rec_b.cached {
+            out.info.push(format!(
+                "cell `{cell}`: served-from-store flag differs (informational)"
+            ));
+        }
     }
     let wall = |r: &ReportSpec| r.records.iter().map(|x| x.wall_s).sum::<f64>();
     out.info.push(format!(
@@ -542,6 +547,7 @@ mod tests {
                 timeseries: None,
                 latency: None,
                 artifact: None,
+                cached: false,
             });
         }
         report
@@ -580,10 +586,16 @@ mod tests {
         let mut b = a.clone();
         for r in &mut b.records {
             r.wall_s *= 100.0;
+            r.cached = true;
         }
         let out = diff_reports(&a.to_json_string(), &b.to_json_string());
         assert!(out.is_clean(), "{:?}", out.drifts);
         assert!(!out.info.is_empty());
+        assert!(
+            out.info.iter().any(|l| l.contains("served-from-store")),
+            "{:?}",
+            out.info
+        );
     }
 
     #[test]

@@ -385,6 +385,11 @@ impl ReportSpec {
             ("title", Json::str(&self.title)),
             ("runs", Json::uint(self.records.len() as u64)),
             ("wall_s_total", Json::num(self.wall_s_total())),
+            ("computed_wall_s", Json::num(self.computed_wall_s())),
+            (
+                "served_from_store",
+                Json::uint(self.served_from_store() as u64),
+            ),
             (
                 "cells",
                 Json::arr(
@@ -586,6 +591,9 @@ fn record_to_json(r: &RunRecord) -> Json {
     if let Some(a) = &r.artifact {
         fields.push(("artifact", Json::str(a)));
     }
+    if r.cached {
+        fields.push(("cached", Json::Bool(true)));
+    }
     Json::obj(fields)
 }
 
@@ -649,6 +657,7 @@ fn record_from_json(j: &Json) -> Result<RunRecord, String> {
                     .ok_or("field `artifact` is not a string".to_string())
             })
             .transpose()?,
+        cached: j.get("cached").and_then(Json::as_bool).unwrap_or(false),
     })
 }
 
@@ -958,6 +967,7 @@ mod tests {
                 timeseries: None,
                 latency: None,
                 artifact: None,
+                cached: false,
             };
             r.stats.aborted = seed;
             report.push(r);
@@ -967,10 +977,15 @@ mod tests {
 
     #[test]
     fn json_emit_parse_identity() {
-        let report = synthetic_report();
+        let mut report = synthetic_report();
+        report.records[1].cached = true;
         let text = report.to_json_string();
         let back = ReportSpec::from_json_str(&text).unwrap();
         assert_eq!(back, report);
+        assert!(!back.records[0].cached, "absent `cached` parses as false");
+        assert!(back.records[1].cached);
+        assert_eq!(report.served_from_store(), 1);
+        assert!(report.computed_wall_s() < report.wall_s_total());
     }
 
     #[test]

@@ -103,6 +103,14 @@ impl Json {
         }
     }
 
+    /// The value as a bool, if it is `true` or `false`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -164,6 +164,12 @@ pub struct CommonArgs {
     /// `None` keeps inline dispatch. Results are bitwise identical either
     /// way — all three of these are execution knobs, never cell identity.
     pub ring_drain: Option<usize>,
+    /// Result-store root override (`--store DIR`); `None` = the default
+    /// root ([`crate::DEFAULT_STORE_ROOT`]) unless [`CommonArgs::no_store`].
+    pub store: Option<String>,
+    /// Disable the persistent result store entirely (`--no-store`): every
+    /// cell computes cold and nothing is published.
+    pub no_store: bool,
 }
 
 impl CommonArgs {
@@ -184,6 +190,8 @@ impl CommonArgs {
             threads: None,
             run_threads: None,
             ring_drain: None,
+            store: None,
+            no_store: false,
         };
         let mut it = args.peekable();
         while let Some(a) = it.next() {
@@ -252,6 +260,11 @@ impl CommonArgs {
                     let v = it.next().ok_or("--drain needs inline|ring[:CAP]")?;
                     out.ring_drain = Self::parse_drain(&v)?;
                 }
+                "--store" => {
+                    let v = it.next().ok_or("--store needs a directory")?;
+                    out.store = Some(v);
+                }
+                "--no-store" => out.no_store = true,
                 "--help" | "-h" => {
                     return Err("usage: [--full|--quick] [--seeds K] \
                                 [--nodes a,b,c] [--scenario paper|rwp|trace:<path>] \
@@ -260,6 +273,7 @@ impl CommonArgs {
                                 [--probe timeseries[:dt=SECS]|latency ...] \
                                 [--threads N] [--run-threads N] \
                                 [--drain inline|ring[:CAP]] \
+                                [--store DIR|--no-store] \
                                 [--print-settings]"
                         .into())
                 }
@@ -336,6 +350,13 @@ impl CommonArgs {
             spec = spec.with_ring_drain(c);
         }
         spec
+    }
+
+    /// Opens the persistent result store these args select: `None` under
+    /// `--no-store` or when the root cannot be opened (with a warning —
+    /// the sweep then runs cold; see [`crate::store::resolve_store`]).
+    pub fn open_store(&self) -> Option<crate::store::CellStore> {
+        crate::store::resolve_store(self.store.as_deref(), self.no_store)
     }
 
     /// The report outputs to write: the `--out` targets when given,
@@ -450,6 +471,25 @@ mod tests {
         assert_eq!(n.seeds, 5);
         assert!(CommonArgs::parse(["--bogus".to_string()].into_iter()).is_err());
         assert!(CommonArgs::parse(["--seeds".to_string(), "0".to_string()].into_iter()).is_err());
+    }
+
+    /// `--store DIR` / `--no-store` parse, default to "no override, store
+    /// on", and `open_store` honors the disable switch.
+    #[test]
+    fn store_flags_parse_and_resolve() {
+        let d = CommonArgs::parse(std::iter::empty()).unwrap();
+        assert_eq!(d.store, None);
+        assert!(!d.no_store);
+
+        let s =
+            CommonArgs::parse(["--store".to_string(), "results/alt-store".to_string()].into_iter())
+                .unwrap();
+        assert_eq!(s.store.as_deref(), Some("results/alt-store"));
+
+        let n = CommonArgs::parse(["--no-store".to_string()].into_iter()).unwrap();
+        assert!(n.no_store);
+        assert!(n.open_store().is_none(), "--no-store disables the store");
+        assert!(CommonArgs::parse(["--store".to_string()].into_iter()).is_err());
     }
 
     /// The execution flags parse, reach `SweepConfig`/`RunSpec` through the

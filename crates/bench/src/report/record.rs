@@ -86,6 +86,11 @@ pub struct RunRecord {
     /// rode along. Non-semantic provenance, like [`RunRecord::wall_s`]:
     /// excluded from `dtndiff` comparison.
     pub artifact: Option<String>,
+    /// `true` when this record was served from a persistent result store
+    /// ([`CellStore`](crate::CellStore)) instead of being computed; its
+    /// `wall_s` is then the serve time, not a simulation time. Non-semantic
+    /// provenance, excluded from `dtndiff` comparison.
+    pub cached: bool,
 }
 
 impl RunRecord {
@@ -116,6 +121,7 @@ impl RunRecord {
             timeseries: None,
             latency: None,
             artifact: None,
+            cached: false,
         }
     }
 
@@ -166,6 +172,7 @@ impl RunRecord {
             timeseries: out.timeseries.clone(),
             latency: out.latency.clone(),
             artifact: out.artifact.clone(),
+            cached: false,
         }
     }
 
@@ -402,8 +409,31 @@ impl ReportSpec {
     }
 
     /// Total wall-clock seconds across all records.
+    ///
+    /// For mixed hit/miss runs this mixes simulation time (computed
+    /// records) with file-read time (records served from a result store);
+    /// [`ReportSpec::computed_wall_s`] and [`ReportSpec::served_from_store`]
+    /// split the two so warm and cold trajectories stay comparable.
     pub fn wall_s_total(&self) -> f64 {
         self.records.iter().map(|r| r.wall_s).sum()
+    }
+
+    /// Wall-clock seconds spent actually computing: the `wall_s` sum over
+    /// records *not* served from a result store. Informational, like
+    /// [`ReportSpec::wall_s_total`].
+    pub fn computed_wall_s(&self) -> f64 {
+        // fold, not sum: an all-hits report must print 0.0, and the empty
+        // f64 Sum identity is -0.0.
+        self.records
+            .iter()
+            .filter(|r| !r.cached)
+            .fold(0.0, |acc, r| acc + r.wall_s)
+    }
+
+    /// How many records were served from a persistent result store instead
+    /// of being computed ([`RunRecord::cached`]).
+    pub fn served_from_store(&self) -> usize {
+        self.records.iter().filter(|r| r.cached).count()
     }
 
     /// The execution-plan view: one legacy [`MetricPoint`] per consecutive
@@ -463,6 +493,7 @@ mod tests {
             timeseries: None,
             latency: None,
             artifact: None,
+            cached: false,
         }
     }
 

@@ -617,16 +617,68 @@ pub fn run_matrix_records(
     specs: &[RunSpec],
     cfg: SweepConfig,
 ) -> Vec<RunRecord> {
+    run_matrix_records_stored(cache, specs, cfg, None)
+}
+
+/// [`run_matrix_records`] backed by an optional persistent result store:
+/// the job list is first partitioned into hits (served from the store,
+/// marked [`RunRecord::cached`]) and misses (scheduled over the worker
+/// pool exactly as the cold path would, then published to the store on
+/// completion). The returned vector is bitwise identical to a cold run's
+/// on every field except `wall_s`/`cached`, in the same deterministic
+/// (spec-major, seed-minor) order — hits and misses merge by job index,
+/// never by completion order.
+///
+/// Cells whose effective probe set records an event log are computed and
+/// left out of the store in both directions: their side-effect artifact
+/// cannot be served from a memo, and serving the record without the
+/// artifact would break replay provenance.
+pub fn run_matrix_records_stored(
+    cache: &ScenarioCache,
+    specs: &[RunSpec],
+    cfg: SweepConfig,
+    store: Option<&crate::store::CellStore>,
+) -> Vec<RunRecord> {
     let jobs: Vec<(usize, u64)> = (0..specs.len())
         .flat_map(|i| (0..cfg.effective_seeds()).map(move |s| (i, u64::from(s) + 1)))
         .collect();
     let total = jobs.len();
+
+    // Serve pass: cheap sequential file reads, before any worker spins up.
+    let mut slots: Vec<Option<RunRecord>> = vec![None; total];
+    let storable: Vec<bool> = jobs
+        .iter()
+        .map(|&(spec_idx, _)| {
+            !specs[spec_idx]
+                .effective_probes()
+                .iter()
+                .any(|p| matches!(p, crate::ProbeSpec::EventLog { .. }))
+        })
+        .collect();
+    if let Some(store) = store {
+        for (j, &(spec_idx, seed)) in jobs.iter().enumerate() {
+            if storable[j] {
+                let cell = specs[spec_idx].cell_key(seed).encoded();
+                slots[j] = store.serve(&cell, seed);
+            }
+        }
+    }
+    let hits = slots.iter().filter(|s| s.is_some()).count();
+    if store.is_some() && cfg.verbose {
+        eprintln!(
+            "  store: {hits} hit(s), {} miss(es) of {total} cells",
+            total - hits
+        );
+    }
+
+    // Miss pass: the cold scheduling, shrunk to the unserved job indices.
+    let miss_jobs: Vec<usize> = (0..total).filter(|&j| slots[j].is_none()).collect();
     // Completions, not tickets: under interleaved workers the progress
     // counter must be monotone — `done/total` never appears to skip or
-    // repeat.
-    let done = AtomicUsize::new(0);
-    crate::fabric::run_indexed(total, cfg.effective_threads(), |j| {
-        let (spec_idx, seed) = jobs[j];
+    // repeat. Hits count as already done so mixed runs still end at total.
+    let done = AtomicUsize::new(hits);
+    let computed = crate::fabric::run_indexed(miss_jobs.len(), cfg.effective_threads(), |m| {
+        let (spec_idx, seed) = jobs[miss_jobs[m]];
         let spec = &specs[spec_idx];
         let t0 = std::time::Instant::now();
         // One resolution per cell: the observed primitive hands back
@@ -654,7 +706,24 @@ pub fn run_matrix_records(
             );
         }
         record
-    })
+    });
+
+    // Publish pass, then the deterministic merge by job index.
+    for (m, record) in computed.into_iter().enumerate() {
+        let j = miss_jobs[m];
+        if let Some(store) = store {
+            if storable[j] {
+                if let Err(e) = store.publish(&record) {
+                    eprintln!("warning: store publish failed: {e}");
+                }
+            }
+        }
+        slots[j] = Some(record);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job slot filled by serve or compute"))
+        .collect()
 }
 
 /// Turns a recorded TRACE/1.0 artifact plus a probe set into a normal
@@ -742,6 +811,7 @@ pub fn replay_artifact(path: &std::path::Path, probes: &[ProbeSpec]) -> Result<R
         timeseries,
         latency,
         artifact: Some(path.display().to_string()),
+        cached: false,
     })
 }
 

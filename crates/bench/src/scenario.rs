@@ -12,7 +12,15 @@ use dtn_mobility::scenario::Scenario;
 use dtn_mobility::{ScenarioSpec, WorkloadSpec};
 use dtn_sim::{ContactTrace, MessageSpec};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Default [`ScenarioCache`] capacity (built scenarios held at once). Big
+/// enough that every paper figure's sweep — a handful of families × node
+/// counts × seeds per family — stays fully memoised, small enough that a
+/// million-cell matrix over many distinct scenario specs cannot grow memory
+/// without bound.
+pub const DEFAULT_SCENARIO_CACHE_CAP: usize = 64;
 
 /// Cache identity of a built scenario — and, with
 /// [`ScenarioKey::with_protocol`], of a full sweep cell. The canonical
@@ -204,19 +212,54 @@ fn detect_ground_truth(scenario: &mut Scenario) {
 
 /// Thread-safe memo of built scenarios, so every protocol and λ value runs
 /// against the *identical* contact process and workload for a given
-/// [`ScenarioKey`].
-#[derive(Default)]
+/// [`ScenarioKey`]. Bounded: the cache holds at most
+/// [`capacity`](ScenarioCache::capacity) scenarios
+/// ([`DEFAULT_SCENARIO_CACHE_CAP`] by default; tune with
+/// [`ScenarioCache::with_capacity`]) and evicts the least recently used
+/// entry — along with its memoised community detection — when full, so a
+/// matrix over arbitrarily many distinct scenario specs runs in bounded
+/// memory. Eviction only drops the memo, never correctness: a re-requested
+/// scenario is rebuilt bit-identically from its spec.
 pub struct ScenarioCache {
-    map: Mutex<HashMap<ScenarioKey, BuiltScenario>>,
+    /// Built scenarios plus the logical time of their last use.
+    map: Mutex<HashMap<ScenarioKey, (BuiltScenario, u64)>>,
     /// Memoised online community detection per scenario (detection replays
     /// the whole trace — worth doing once, not once per consumer).
     detected: Mutex<HashMap<ScenarioKey, Arc<ce_core::CommunityMap>>>,
+    /// Monotone logical clock stamping every hit/insert for LRU ordering.
+    tick: AtomicU64,
+    /// Maximum number of scenarios held at once (≥ 1).
+    cap: usize,
+}
+
+impl Default for ScenarioCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SCENARIO_CACHE_CAP)
+    }
 }
 
 impl ScenarioCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity
+    /// ([`DEFAULT_SCENARIO_CACHE_CAP`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache holding at most `cap` scenarios (clamped to
+    /// at least 1 — a cache that can hold nothing would rebuild the current
+    /// scenario on every consumer).
+    pub fn with_capacity(cap: usize) -> Self {
+        ScenarioCache {
+            map: Mutex::new(HashMap::new()),
+            detected: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The maximum number of scenarios this cache holds at once.
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 
     /// Returns the scenario for the full `(spec, workload, seed, duration)`
@@ -246,7 +289,13 @@ impl ScenarioCache {
         duration: Option<f64>,
     ) -> Result<BuiltScenario, String> {
         let key = ScenarioKey::new(spec, workload, seed, duration);
-        if let Some(s) = self.map.lock().unwrap().get(&key).cloned() {
+        if let Some(s) = {
+            let mut map = self.map.lock().unwrap();
+            map.get_mut(&key).map(|slot| {
+                slot.1 = self.tick.fetch_add(1, Ordering::Relaxed);
+                slot.0.clone()
+            })
+        } {
             // Trace replay keys as NATIVE whatever the override, so a hit
             // must still enforce what the build would have rejected.
             if let Some(d) = duration {
@@ -260,7 +309,30 @@ impl ScenarioCache {
             return Ok(s);
         }
         let built = BuiltScenario::from_specs(spec, workload, seed, duration)?;
-        Ok(self.map.lock().unwrap().entry(key).or_insert(built).clone())
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().unwrap();
+        // A racing builder may have inserted first; keep whichever scenario
+        // is already cached so every consumer shares one Arc.
+        let out = {
+            let slot = map.entry(key.clone()).or_insert((built, tick));
+            slot.1 = tick;
+            slot.0.clone()
+        };
+        if map.len() > self.cap {
+            // Evict the least recently used entry (never the one just
+            // touched) together with its community-detection memo.
+            let victim = map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, v)| v.1)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                map.remove(&victim);
+                drop(map);
+                self.detected.lock().unwrap().remove(&victim);
+            }
+        }
+        Ok(out)
     }
 
     /// Returns the paper-horizon bus-city scenario for `(n_nodes, seed)`,
@@ -297,7 +369,7 @@ impl ScenarioCache {
             .lock()
             .unwrap()
             .get(&bs.key)
-            .is_some_and(|cached| Arc::ptr_eq(&cached.scenario, &bs.scenario));
+            .is_some_and(|cached| Arc::ptr_eq(&cached.0.scenario, &bs.scenario));
         if ours {
             if let Some(m) = self.detected.lock().unwrap().get(&bs.key) {
                 return Arc::clone(m);
@@ -356,6 +428,34 @@ mod tests {
         let c = cache.get(8, 2);
         assert_eq!(cache.len(), 2);
         assert!(!Arc::ptr_eq(&a.scenario, &c.scenario));
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_beyond_capacity() {
+        let cache = ScenarioCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        cache.get(8, 1);
+        let _b = cache.get(8, 2);
+        // Re-get seed 1 so seed 2 becomes the LRU victim, and memoise seed
+        // 1's detection so we can observe it survives eviction of others.
+        let a = cache.get(8, 1);
+        let det_a = cache.detected_communities(&a);
+        let c = cache.get(8, 3);
+        assert_eq!(cache.len(), 2, "capacity bounds the cache");
+        // Seed 1 (recently used) and seed 3 (just inserted) survive; seed 2
+        // was evicted, so re-requesting it rebuilds rather than errors.
+        let a2 = cache.get(8, 1);
+        assert!(Arc::ptr_eq(&a.scenario, &a2.scenario));
+        assert!(Arc::ptr_eq(&det_a, &cache.detected_communities(&a2)));
+        let b2 = cache.get(8, 2);
+        assert_eq!(b2.scenario.trace.duration, c.scenario.trace.duration);
+        assert_eq!(cache.len(), 2);
+        // The clamp: a zero capacity still caches the current scenario.
+        let one = ScenarioCache::with_capacity(0);
+        assert_eq!(one.capacity(), 1);
+        one.get(8, 1);
+        one.get(8, 2);
+        assert_eq!(one.len(), 1);
     }
 
     #[test]

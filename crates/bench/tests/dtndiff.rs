@@ -64,6 +64,7 @@ fn base_report() -> ReportSpec {
             timeseries: None,
             latency: None,
             artifact: None,
+            cached: false,
         });
     }
     report
